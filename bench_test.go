@@ -1,0 +1,142 @@
+// Benchmark harness: one testing.B benchmark per table/figure of the
+// paper (see DESIGN.md's per-experiment index). The full averaged
+// tables are produced by cmd/rsnbench; these benchmarks exercise the
+// same code paths at a bounded size so `go test -bench=.` regenerates
+// every experiment's machinery and reports its cost.
+package rsnsec
+
+import (
+	"strings"
+	"testing"
+)
+
+// BenchmarkTableISizes (E1) regenerates the structural columns of
+// Table I: all 22 full-size benchmark networks.
+func BenchmarkTableISizes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, bm := range Catalog() {
+			nw := bm.Build(1)
+			st := nw.Stats()
+			if st.Registers != bm.Registers || st.Muxes != bm.Muxes {
+				b.Fatalf("%s: structure mismatch", bm.Name)
+			}
+		}
+	}
+}
+
+// benchProtocol runs the Table I measured protocol (E2/E3) for one
+// benchmark at smoke-test size.
+func benchProtocol(b *testing.B, name string) {
+	b.Helper()
+	bm, ok := BenchmarkByName(name)
+	if !ok {
+		b.Fatalf("benchmark %s missing", name)
+	}
+	cfg := QuickRunConfig()
+	cfg.Circuits, cfg.Specs = 2, 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunBenchmark(bm, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIMainBasicSCB (E2/E3) measures the averaged protocol
+// on the smallest BASTION benchmark.
+func BenchmarkTableIMainBasicSCB(b *testing.B) { benchProtocol(b, "BasicSCB") }
+
+// BenchmarkTableIMainTreeFlat (E2/E3) covers the SIB-tree topology.
+func BenchmarkTableIMainTreeFlat(b *testing.B) { benchProtocol(b, "TreeFlat") }
+
+// BenchmarkTableIMainMBIST (E2/E3) covers the industrial MBIST family.
+func BenchmarkTableIMainMBIST(b *testing.B) { benchProtocol(b, "MBIST_1_5_5") }
+
+// BenchmarkTableIMainFlexScan (E2/E3) covers the serial-bypass
+// topology with one module per register.
+func BenchmarkTableIMainFlexScan(b *testing.B) { benchProtocol(b, "FlexScan") }
+
+// BenchmarkBridging (E4) measures the Section III-A bridging
+// comparison: the dependency analysis with and without internal
+// flip-flop elimination.
+func BenchmarkBridging(b *testing.B) {
+	bm, _ := BenchmarkByName("Mingle")
+	cfg := QuickRunConfig()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := RunBridging(bm, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.FFReduction() <= 0 {
+			b.Fatal("bridging removed nothing")
+		}
+	}
+}
+
+// BenchmarkStructuralApprox (E5) measures the Section IV-C ablation:
+// exact versus structurally over-approximated dependencies.
+func BenchmarkStructuralApprox(b *testing.B) {
+	bm, _ := BenchmarkByName("BasicSCB")
+	cfg := QuickRunConfig()
+	cfg.Circuits, cfg.Specs = 2, 4
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RunApprox(bm, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunningExample (E6, Figures 1/4/5) secures the paper's
+// running example end to end.
+func BenchmarkRunningExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		ex := RunningExample()
+		rep, err := Secure(ex.Network, ex.Circuit, ex.Internal, ex.Spec, Options{})
+		if err != nil || !rep.Secured {
+			b.Fatalf("secure failed: %v", err)
+		}
+	}
+}
+
+// BenchmarkPipelineStages (E7, Figure 2) isolates the pipeline on a
+// mid-size benchmark with one circuit and specification.
+func BenchmarkPipelineStages(b *testing.B) {
+	bm, _ := BenchmarkByName("MBIST_1_5_5")
+	base := bm.Build(1)
+	att := AttachCircuit(base, DefaultCircuitConfig(), 3)
+	spec := GenerateSpec(len(base.Modules), DefaultSpecGenConfig(), 9)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := base.Clone()
+		if _, err := Secure(nw, att.Circuit, att.Internal, spec, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkICLRoundTrip measures parsing and writing of a mid-size
+// network (the benchmark distribution format, E1's substrate).
+func BenchmarkICLRoundTrip(b *testing.B) {
+	bm, _ := BenchmarkByName("p22810")
+	nw := bm.Build(0.2)
+	text := mustICL(b, nw)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw2, err := ParseICL(text, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = mustICL(b, nw2)
+	}
+}
+
+func mustICL(b *testing.B, nw *Network) string {
+	b.Helper()
+	var sb strings.Builder
+	if err := WriteICL(&sb, nw, nil); err != nil {
+		b.Fatal(err)
+	}
+	return sb.String()
+}

@@ -1,0 +1,242 @@
+// Command rsnbench regenerates the paper's experimental results:
+//
+//	rsnbench -table sizes     Table I structural columns (full size)
+//	rsnbench -table main      Table I measured columns (violations,
+//	                          applied changes, per-stage runtimes)
+//	rsnbench -table bridging  Section III-A bridging reductions
+//	rsnbench -table approx    Section IV-C structural approximation
+//	rsnbench -table all       everything
+//
+// The analysis columns run on scaled structures by default (the
+// paper's full sizes need many hours; see -ffbudget/-scale). Absolute
+// runtimes are machine-bound; the reproduced claims are the relative
+// ones (pure-vs-hybrid change split, bridging reductions,
+// approximation overhead).
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	rsnsec "repro"
+	"repro/internal/report"
+)
+
+func main() {
+	var (
+		table    = flag.String("table", "main", "sizes | main | bridging | approx | all")
+		scale    = flag.Float64("scale", 0, "explicit structure scale (overrides -ffbudget)")
+		ffBudget = flag.Int("ffbudget", 350, "per-benchmark scan flip-flop budget for auto scaling")
+		circuits = flag.Int("circuits", 10, "random circuits per benchmark (paper: 10)")
+		specs    = flag.Int("specs", 16, "random specifications per circuit (paper: 16)")
+		seed     = flag.Int64("seed", 1, "experiment seed")
+		only     = flag.String("benchmarks", "", "comma-separated benchmark filter")
+		mode     = flag.String("mode", "exact", "dependency mode for -table main: exact or structural")
+		csvPath  = flag.String("csv", "", "also write the main table as CSV to this file")
+	)
+	flag.Parse()
+	if err := run(*table, *scale, *ffBudget, *circuits, *specs, *seed, *only, *mode, *csvPath); err != nil {
+		fmt.Fprintln(os.Stderr, "rsnbench:", err)
+		os.Exit(1)
+	}
+}
+
+func selectBenchmarks(filter string) ([]rsnsec.Benchmark, error) {
+	cat := rsnsec.Catalog()
+	if filter == "" {
+		return cat, nil
+	}
+	var out []rsnsec.Benchmark
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		b, ok := rsnsec.BenchmarkByName(name)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", name)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+func run(table string, scale float64, ffBudget, circuits, specs int, seed int64, only, modeName, csvPath string) error {
+	benchmarks, err := selectBenchmarks(only)
+	if err != nil {
+		return err
+	}
+	cfg := rsnsec.DefaultRunConfig()
+	cfg.Scale = scale
+	cfg.TargetScanFFs = ffBudget
+	cfg.Circuits = circuits
+	cfg.Specs = specs
+	cfg.Seed = seed
+	switch modeName {
+	case "exact":
+		cfg.Mode = rsnsec.Exact
+	case "structural":
+		cfg.Mode = rsnsec.StructuralApprox
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	want := func(name string) bool { return table == name || table == "all" }
+	ran := false
+	if want("sizes") {
+		ran = true
+		sizesTable(benchmarks)
+	}
+	if want("main") {
+		ran = true
+		if err := mainTable(benchmarks, cfg, csvPath); err != nil {
+			return err
+		}
+	}
+	if want("bridging") {
+		ran = true
+		if err := bridgingTable(benchmarks, cfg); err != nil {
+			return err
+		}
+	}
+	if want("approx") {
+		ran = true
+		if err := approxTable(benchmarks, cfg); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown table %q", table)
+	}
+	return nil
+}
+
+func sizesTable(benchmarks []rsnsec.Benchmark) {
+	t := report.New("Table I (structural columns, full size) — paper vs generated",
+		"Benchmark", "Family", ">#Scan Registers", ">#Scan Flip-Flops", ">#Scan Mux's", ">Paper FFs")
+	for _, b := range benchmarks {
+		nw := b.Build(1)
+		st := nw.Stats()
+		t.Add(b.Name, b.Family.String(), report.Int(st.Registers), report.Int(st.ScanFFs),
+			report.Int(st.Muxes), report.Int(b.PaperScanFFs))
+	}
+	t.WriteTo(os.Stdout)
+	fmt.Println()
+}
+
+func mainTable(benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig, csvPath string) error {
+	var csvW *csv.Writer
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		csvW = csv.NewWriter(f)
+		defer csvW.Flush()
+		if err := csvW.Write([]string{
+			"benchmark", "family", "regs", "scan_ffs", "muxes",
+			"full_regs", "full_scan_ffs", "full_muxes",
+			"avg_violating_regs", "avg_pure_changes", "avg_hybrid_changes", "avg_total_changes",
+			"dep_calc_s", "pure_s", "hybrid_s", "total_s",
+			"runs", "skipped_secure", "skipped_insecure_logic", "errors",
+		}); err != nil {
+			return err
+		}
+	}
+	fmt.Printf("Protocol: %d circuits x %d specs per benchmark, mode=%v, scan-FF budget %d (scale %g)\n",
+		cfg.Circuits, cfg.Specs, cfg.Mode, cfg.TargetScanFFs, cfg.Scale)
+	t := report.New("Table I (measured columns, scaled structures)",
+		"Benchmark", ">Regs", ">FFs", ">Muxes",
+		">#Reg w/ viol.", ">Chg pure", ">Chg hybrid", ">Chg total",
+		">Dep calc (s)", ">Pure (s)", ">Hybrid (s)", ">Total (s)",
+		">Runs", ">Skip(sec)", ">Skip(logic)")
+	var sumPure, sumTotal float64
+	for _, b := range benchmarks {
+		res, err := rsnsec.RunBenchmark(b, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		if res.Errors > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %s: %d runs failed to resolve\n", b.Name, res.Errors)
+		}
+		t.Add(b.Name,
+			report.Int(res.ScaledStats.Registers), report.Int(res.ScaledStats.ScanFFs), report.Int(res.ScaledStats.Muxes),
+			report.F2(res.AvgViolatingRegs), report.F1(res.AvgPureChanges), report.F1(res.AvgHybridChanges), report.F1(res.AvgTotalChanges),
+			report.Secs(res.AvgDepTime), report.Secs(res.AvgPureTime), report.Secs(res.AvgHybridTime), report.Secs(res.AvgTotalTime),
+			report.Int(res.Runs), report.Int(res.SkippedNoViolation), report.Int(res.SkippedInsecureLogic))
+		sumPure += res.AvgPureChanges
+		sumTotal += res.AvgTotalChanges
+		if csvW != nil {
+			if err := csvW.Write([]string{
+				b.Name, b.Family.String(),
+				report.Int(res.ScaledStats.Registers), report.Int(res.ScaledStats.ScanFFs), report.Int(res.ScaledStats.Muxes),
+				report.Int(res.FullStats.Registers), report.Int(res.FullStats.ScanFFs), report.Int(res.FullStats.Muxes),
+				report.F2(res.AvgViolatingRegs), report.F1(res.AvgPureChanges), report.F1(res.AvgHybridChanges), report.F1(res.AvgTotalChanges),
+				report.Secs(res.AvgDepTime), report.Secs(res.AvgPureTime), report.Secs(res.AvgHybridTime), report.Secs(res.AvgTotalTime),
+				report.Int(res.Runs), report.Int(res.SkippedNoViolation), report.Int(res.SkippedInsecureLogic), report.Int(res.Errors),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	t.WriteTo(os.Stdout)
+	if sumTotal > 0 {
+		fmt.Printf("\npure changes are %.0f%% of total changes (paper: ~43%%)\n\n", 100*sumPure/sumTotal)
+	}
+	return nil
+}
+
+func bridgingTable(benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig) error {
+	t := report.New("Section III-A: bridging over internal flip-flops",
+		"Benchmark", ">FFs (no bridge)", ">FFs (bridged)", ">FF reduction",
+		">Deps (no bridge)", ">Deps (bridged)", ">Dep reduction")
+	var sumFF, sumDep float64
+	n := 0
+	for _, b := range benchmarks {
+		res, err := rsnsec.RunBridging(b, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		t.Add(b.Name, report.Int(res.FFsTotal), report.Int(res.FFsBridged), report.Pct(res.FFReduction()),
+			report.Int(res.DepsNoBridge), report.Int(res.DepsBridge), report.Pct(res.DepReduction()))
+		sumFF += res.FFReduction()
+		sumDep += res.DepReduction()
+		n++
+	}
+	t.WriteTo(os.Stdout)
+	if n > 0 {
+		fmt.Printf("\naverage reductions: %.2f%% flip-flops, %.2f%% dependencies (paper: 41.72%% / 65.37%%)\n\n",
+			100*sumFF/float64(n), 100*sumDep/float64(n))
+	}
+	return nil
+}
+
+func approxTable(benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig) error {
+	t := report.New("Section IV-C: approximating path-dependency with structural dependency",
+		"Benchmark", ">Runs", ">Exact changes", ">Approx changes", ">Overhead", ">False insecure", ">Rate")
+	var sumExact, sumApprox, sumOverhead float64
+	falseCnt, totalCnt, withRuns := 0, 0, 0
+	for _, b := range benchmarks {
+		res, err := rsnsec.RunApprox(b, cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", b.Name, err)
+		}
+		t.Add(b.Name, report.Int(res.Runs), report.F1(res.ExactChanges), report.F1(res.ApproxChanges),
+			report.Pct(res.ChangeOverhead()), report.Int(res.FalseInsecure), report.Pct(res.FalseInsecureRate()))
+		sumExact += res.ExactChanges
+		sumApprox += res.ApproxChanges
+		falseCnt += res.FalseInsecure
+		totalCnt += res.TotalSpecRuns
+		if res.Runs > 0 {
+			sumOverhead += res.ChangeOverhead()
+			withRuns++
+		}
+	}
+	t.WriteTo(os.Stdout)
+	if sumExact > 0 && totalCnt > 0 && withRuns > 0 {
+		fmt.Printf("\noverall: +%.0f%% additional changes weighted, +%.0f%% per-benchmark average (paper: +61%%); %.2f%% falsely insecure logic (paper: 6.21%%)\n\n",
+			100*(sumApprox/sumExact-1), 100*sumOverhead/float64(withRuns), 100*float64(falseCnt)/float64(totalCnt))
+	}
+	return nil
+}

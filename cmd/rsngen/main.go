@@ -1,0 +1,106 @@
+// Command rsngen reconstructs the benchmark networks of the paper's
+// Table I and writes them as ICL files.
+//
+//	rsngen -all -out networks/            # every benchmark, full size
+//	rsngen -benchmark FlexScan -scale 0.1 # one scaled benchmark to stdout
+//
+// Pass -with-circuit to also attach the seeded random circuit and emit
+// the capture/update instrument links.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	rsnsec "repro"
+)
+
+func main() {
+	var (
+		benchName   = flag.String("benchmark", "", "benchmark to generate (default: stdout)")
+		all         = flag.Bool("all", false, "generate every Table I benchmark")
+		scale       = flag.Float64("scale", 1, "structure scale (0..1]")
+		outDir      = flag.String("out", "", "output directory (required with -all)")
+		seed        = flag.Int64("seed", 1, "circuit generation seed")
+		withCircuit = flag.Bool("with-circuit", false, "attach a random circuit and emit instrument links")
+	)
+	flag.Parse()
+	if err := run(*benchName, *all, *scale, *outDir, *seed, *withCircuit); err != nil {
+		fmt.Fprintln(os.Stderr, "rsngen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName string, all bool, scale float64, outDir string, seed int64, withCircuit bool) error {
+	var list []rsnsec.Benchmark
+	switch {
+	case all:
+		if outDir == "" {
+			return fmt.Errorf("-all requires -out")
+		}
+		list = rsnsec.Catalog()
+	case benchName != "":
+		b, ok := rsnsec.BenchmarkByName(benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", benchName)
+		}
+		list = []rsnsec.Benchmark{b}
+	default:
+		return fmt.Errorf("one of -benchmark or -all is required")
+	}
+	if outDir != "" {
+		if err := os.MkdirAll(outDir, 0o755); err != nil {
+			return err
+		}
+	}
+	for _, b := range list {
+		nw := b.Build(scale)
+		var ffName func(rsnsec.FFID) string
+		var circuit *rsnsec.Netlist
+		if withCircuit {
+			att := rsnsec.AttachCircuit(nw, rsnsec.DefaultCircuitConfig(), seed)
+			circuit = att.Circuit
+			ffName = func(f rsnsec.FFID) string { return circuit.FFs[f].Name }
+		}
+		st := nw.Stats()
+		if outDir == "" {
+			if err := rsnsec.WriteICL(os.Stdout, nw, ffName); err != nil {
+				return err
+			}
+			continue
+		}
+		path := filepath.Join(outDir, b.Name+".icl")
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		err = rsnsec.WriteICL(f, nw, ffName)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %6d registers %7d scan FFs %5d muxes -> %s\n",
+			b.Name, st.Registers, st.ScanFFs, st.Muxes, path)
+		if circuit != nil {
+			// The attached circuit travels alongside as .bench.
+			cpath := filepath.Join(outDir, b.Name+".bench")
+			cf, err := os.Create(cpath)
+			if err != nil {
+				return err
+			}
+			err = rsnsec.WriteBench(cf, circuit)
+			if cerr := cf.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-16s circuit: %d FFs, %d gates -> %s\n", "", circuit.NumFFs(), circuit.NumGates(), cpath)
+		}
+	}
+	return nil
+}

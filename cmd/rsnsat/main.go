@@ -1,0 +1,61 @@
+// Command rsnsat exposes the library's CDCL SAT solver as a DIMACS
+// tool, mainly for debugging the dependency computation's substrate:
+//
+//	rsnsat formula.cnf        # prints SAT + model, or UNSAT
+//	rsnsat -stats formula.cnf # adds solver statistics
+//
+// Exit status follows the SAT-competition convention: 10 for
+// satisfiable, 20 for unsatisfiable.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/sat"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print solver statistics")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: rsnsat [-stats] formula.cnf")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsnsat:", err)
+		os.Exit(2)
+	}
+	s, err := sat.LoadDIMACS(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsnsat:", err)
+		os.Exit(2)
+	}
+	res := s.Solve()
+	if *stats {
+		fmt.Printf("c vars=%d clauses=%d decisions=%d propagations=%d conflicts=%d learnt=%d deleted=%d restarts=%d\n",
+			s.NumVars(), s.NumClauses(), s.Stats.Decisions, s.Stats.Propagations,
+			s.Stats.Conflicts, s.Stats.Learnt, s.Stats.Deleted, s.Stats.Restarts)
+	}
+	switch res {
+	case sat.Sat:
+		fmt.Println("s SATISFIABLE")
+		fmt.Print("v")
+		for v := sat.Var(1); int(v) <= s.NumVars(); v++ {
+			if s.Value(v) {
+				fmt.Printf(" %d", v)
+			} else {
+				fmt.Printf(" -%d", v)
+			}
+		}
+		fmt.Println(" 0")
+		os.Exit(10)
+	case sat.Unsat:
+		fmt.Println("s UNSATISFIABLE")
+		os.Exit(20)
+	}
+	fmt.Println("s UNKNOWN")
+}

@@ -1,0 +1,260 @@
+// Command rsnsec analyzes a reconfigurable scan network against a
+// security specification and transforms it into a data-flow secure
+// network, printing the pipeline stages of the paper's Figure 2.
+//
+// Two input modes:
+//
+//	rsnsec -benchmark BasicSCB [-scale 0.5] [-seed 1] [-spec-seed 1]
+//	    reconstructs a Table I benchmark, attaches a random circuit and
+//	    a random security specification (the paper's protocol);
+//
+//	rsnsec -icl network.icl
+//	    reads an ICL description (without instrument links) and runs
+//	    the pure-path stage against a random specification.
+//
+// Use -mode structural for the Section IV-C over-approximation and
+// -out to write the secured network back as ICL.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	rsnsec "repro"
+)
+
+func main() {
+	var (
+		benchName = flag.String("benchmark", "", "Table I benchmark name (see rsnbench -table sizes)")
+		iclPath   = flag.String("icl", "", "path to an ICL network description")
+		scale     = flag.Float64("scale", 1, "structure scale for -benchmark (0..1]")
+		seed      = flag.Int64("seed", 1, "circuit generation seed")
+		specSeed  = flag.Int64("spec-seed", 1, "security specification seed")
+		mode      = flag.String("mode", "exact", "dependency mode: exact or structural")
+		outPath   = flag.String("out", "", "write the secured network as ICL to this file")
+		benchPath = flag.String("bench", "", "circuit (.bench) backing the -icl network's instrument links")
+		doVerify  = flag.Bool("verify", false, "re-check the result with the independent verifier")
+		explain   = flag.Int("explain", 0, "print up to N violating data flows before resolving")
+	)
+	flag.Parse()
+	if err := run(*benchName, *iclPath, *benchPath, *scale, *seed, *specSeed, *mode, *outPath, *doVerify, *explain); err != nil {
+		fmt.Fprintln(os.Stderr, "rsnsec:", err)
+		os.Exit(1)
+	}
+}
+
+func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int64, modeName, outPath string, doVerify bool, explain int) error {
+	var m rsnsec.Mode
+	switch modeName {
+	case "exact":
+		m = rsnsec.Exact
+	case "structural":
+		m = rsnsec.StructuralApprox
+	default:
+		return fmt.Errorf("unknown mode %q (want exact or structural)", modeName)
+	}
+
+	var (
+		nw           *rsnsec.Network
+		circuit      *rsnsec.Netlist
+		internal     []rsnsec.FFID
+		embeddedSpec *rsnsec.Spec
+		dataSources  []bool
+	)
+	switch {
+	case benchName != "" && iclPath != "":
+		return fmt.Errorf("-benchmark and -icl are mutually exclusive")
+	case benchName != "":
+		b, ok := rsnsec.BenchmarkByName(benchName)
+		if !ok {
+			return fmt.Errorf("unknown benchmark %q", benchName)
+		}
+		nw = b.Build(scale)
+		att := rsnsec.AttachCircuit(nw, rsnsec.DefaultCircuitConfig(), seed)
+		circuit = att.Circuit
+		internal = att.Internal
+		dataSources = att.DataSources
+		fmt.Printf("benchmark %s at scale %g: %d registers, %d scan FFs, %d muxes, circuit %d FFs\n",
+			benchName, scale, nw.Stats().Registers, nw.Stats().ScanFFs, nw.Stats().Muxes, circuit.NumFFs())
+	case iclPath != "":
+		data, err := os.ReadFile(iclPath)
+		if err != nil {
+			return err
+		}
+		var lookup func(string) (rsnsec.FFID, bool)
+		var lazyCircuit *rsnsec.Netlist
+		if benchPath != "" {
+			// Bind instrument links against a real circuit.
+			cf, err := os.Open(benchPath)
+			if err != nil {
+				return err
+			}
+			circuit, err = rsnsec.ParseBench(cf)
+			cf.Close()
+			if err != nil {
+				return err
+			}
+			byName := map[string]rsnsec.FFID{}
+			for i := range circuit.FFs {
+				byName[circuit.FFs[i].Name] = rsnsec.FFID(i)
+			}
+			lookup = func(name string) (rsnsec.FFID, bool) {
+				id, ok := byName[name]
+				return id, ok
+			}
+		} else {
+			// Synthesize hold flip-flops for referenced instrument
+			// names so link-carrying files load without a circuit.
+			lazyCircuit = rsnsec.NewNetlist()
+			byName := map[string]rsnsec.FFID{}
+			lookup = func(name string) (rsnsec.FFID, bool) {
+				if id, ok := byName[name]; ok {
+					return id, true
+				}
+				f := lazyCircuit.AddFF(name, 0)
+				lazyCircuit.SetFFInput(f, lazyCircuit.FFs[f].Node)
+				byName[name] = f
+				return f, true
+			}
+		}
+		var fileSpec *rsnsec.Spec
+		nw, fileSpec, err = rsnsec.ParseICLWithSpec(string(data), lookup)
+		if err != nil {
+			return err
+		}
+		embeddedSpec = fileSpec
+		if circuit == nil {
+			// The synthetic circuit needs the network's module table.
+			circuit = rsnsec.NewNetlist()
+			for _, name := range nw.Modules {
+				circuit.AddModule(name)
+			}
+			for i := range lazyCircuit.FFs {
+				name := lazyCircuit.FFs[i].Name
+				mod := 0
+				for mi, mn := range nw.Modules {
+					if len(name) > len(mn) && name[:len(mn)] == mn && name[len(mn)] == '.' {
+						mod = mi
+						break
+					}
+				}
+				f := circuit.AddFF(name, mod)
+				circuit.SetFFInput(f, circuit.FFs[f].Node)
+			}
+			if circuit.NumFFs() == 0 {
+				for mi, name := range nw.Modules {
+					f := circuit.AddFF(name+".f", mi)
+					circuit.SetFFInput(f, circuit.FFs[f].Node)
+				}
+			}
+		}
+		fmt.Printf("network %s: %d registers, %d scan FFs, %d muxes, circuit %d FFs\n",
+			nw.Name, nw.Stats().Registers, nw.Stats().ScanFFs, nw.Stats().Muxes, circuit.NumFFs())
+	default:
+		return fmt.Errorf("one of -benchmark or -icl is required")
+	}
+
+	spec := embeddedSpec
+	if spec != nil {
+		fmt.Println("using the security specification embedded in the ICL file")
+	}
+	genSpec := func(seed int64) *rsnsec.Spec {
+		if dataSources != nil {
+			return rsnsec.GenerateSpecWithRoles(len(nw.Modules), dataSources, rsnsec.DefaultSpecGenConfig(), seed)
+		}
+		return rsnsec.GenerateSpec(len(nw.Modules), rsnsec.DefaultSpecGenConfig(), seed)
+	}
+	logTo := func(f string, a ...any) { fmt.Printf("  %s\n", fmt.Sprintf(f, a...)) }
+	showFlows := func(sp *rsnsec.Spec) {
+		if explain <= 0 {
+			return
+		}
+		an := rsnsec.NewAnalysis(nw, circuit, internal, sp, m)
+		exps := an.ExplainAll(nw)
+		if len(exps) == 0 {
+			fmt.Println("no violating data flows")
+			return
+		}
+		fmt.Printf("violating data flows (%d total, showing up to %d):\n", len(exps), explain)
+		for i, e := range exps {
+			if i >= explain {
+				break
+			}
+			fmt.Printf("  [%d wiring hops] %s\n", e.WiringHops, e)
+		}
+	}
+	var rep *rsnsec.Report
+	var err error
+	if spec != nil {
+		showFlows(spec)
+		rep, err = rsnsec.Secure(nw, circuit, internal, spec, rsnsec.Options{Mode: m, Log: logTo})
+		if err != nil {
+			return err
+		}
+	} else {
+		// Like the paper's protocol, skip generated specifications under
+		// which the circuit logic itself is insecure: no scan network
+		// transformation can help those.
+		const maxTries = 16
+		analysis := rsnsec.NewAnalysis(nw, circuit, internal, nil, m)
+		chosen := int64(-1)
+		for try := int64(0); try < maxTries; try++ {
+			cand := genSpec(specSeed + try)
+			ca := analysis.WithSpec(cand)
+			if len(ca.InsecureModulePairs()) > 0 {
+				continue // the paper's protocol skips such specifications
+			}
+			spec = cand
+			chosen = specSeed + try
+			if len(ca.ViolatingRegisters(nw)) > 0 {
+				break // prefer a specification the method has work on
+			}
+		}
+		if spec == nil {
+			return fmt.Errorf("no generated specification with secure circuit logic in %d tries; give -spec-seed", maxTries)
+		}
+		if chosen != specSeed {
+			fmt.Printf("using spec seed %d (earlier seeds classified the circuit logic insecure)\n", chosen)
+		}
+		showFlows(spec)
+		rep, err = rsnsec.Secure(nw, circuit, internal, spec, rsnsec.Options{Mode: m, Log: logTo})
+		if err != nil {
+			return err
+		}
+	}
+	switch {
+	case rep.InsecureLogic:
+		fmt.Printf("result: INSECURE CIRCUIT LOGIC (%d module pairs) — requires circuit redesign\n",
+			len(rep.InsecureModulePairs))
+	case rep.Secured:
+		fmt.Printf("result: SECURE after %d changes (%d pure + %d hybrid) in %s\n",
+			rep.TotalChanges(), rep.PureChanges, rep.HybridChanges, rep.Times.Total.Round(1000000))
+	}
+	if doVerify && rep.Secured {
+		v := rsnsec.Verify(nw, circuit, spec)
+		if v.Secure {
+			fmt.Printf("independent verification: SECURE (%d edges, %d exhaustive + %d SAT checks)\n",
+				v.Edges, v.ExhaustiveChecks, v.SATChecks)
+		} else {
+			fmt.Println("independent verification FAILED:")
+			for _, f := range v.Counterexamples {
+				fmt.Printf("  %s\n", f)
+			}
+			return fmt.Errorf("verification mismatch — please report this")
+		}
+	}
+	if outPath != "" && rep.Secured {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		name := func(ff rsnsec.FFID) string { return circuit.FFs[ff].Name }
+		if err := rsnsec.WriteICLWithSpec(f, nw, spec, name); err != nil {
+			return err
+		}
+		fmt.Printf("secured network written to %s\n", outPath)
+	}
+	return nil
+}

@@ -1,0 +1,80 @@
+// Access plans: the point of an RSN is reading and writing embedded
+// instruments. This example shows that the secure transformation keeps
+// every register accessible — the method's guarantee that
+// distinguishes it from filter-based defenses, which must block whole
+// register pairs. For every register of the running example we compute
+// an access plan (configuration + shift offsets) before and after
+// securing, and exercise a full write-update / capture-read round trip
+// through the secured network.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	rsnsec "repro"
+)
+
+func main() {
+	ex := rsnsec.RunningExample()
+	fmt.Println("access plans on the INSECURE network:")
+	printPlans(ex.Network)
+
+	rep, err := rsnsec.Secure(ex.Network, ex.Circuit, ex.Internal, ex.Spec, rsnsec.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsecured with %d changes; plans on the SECURED network:\n", rep.TotalChanges())
+	printPlans(ex.Network)
+
+	// Read and write an instrument through the secured network: the
+	// plain module's register SR3 still reaches its circuit flip-flops.
+	plan, err := ex.Network.PlanAccess(ex.SR[2])
+	if err != nil {
+		log.Fatal(err)
+	}
+	csim := rsnsec.NewCircuitSimulator(ex.Circuit)
+	sim := rsnsec.NewNetworkSimulator(ex.Network, csim)
+
+	fmt.Println("\nwriting pattern 10 into SR3's instrument (F5, F6)...")
+	if err := sim.WriteInstrument(plan, []bool{true, false}); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("circuit now holds F5=%v F6=%v\n", csim.FFValue(ex.F[4]), csim.FFValue(ex.F[5]))
+
+	got, err := sim.ReadInstrument(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("read back over the scan path: %v\n", fmtBits(got))
+	if !got[0] || got[1] {
+		log.Fatal("instrument round trip failed")
+	}
+	fmt.Println("\nevery register of the secured RSN remains fully usable for")
+	fmt.Println("test and debug — only the insecure data flows are gone.")
+}
+
+func printPlans(nw *rsnsec.Network) {
+	plans, err := nw.PlanAllAccesses()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range plans {
+		reg := &nw.Registers[p.Register]
+		fmt.Printf("  %-4s len %d: config %v, offset %d, path %d FFs (write: %d shifts, read: %d)\n",
+			reg.Name, reg.Len, p.Config, p.Offset, p.PathLen,
+			p.ShiftsToWrite(reg.Len), p.ShiftsToRead(reg.Len))
+	}
+}
+
+func fmtBits(bits []bool) string {
+	out := ""
+	for _, b := range bits {
+		if b {
+			out += "1"
+		} else {
+			out += "0"
+		}
+	}
+	return out
+}

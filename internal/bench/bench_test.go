@@ -1,0 +1,273 @@
+package bench
+
+import (
+	"testing"
+
+	"repro/internal/dep"
+	"repro/internal/hybrid"
+	"repro/internal/icl"
+	"repro/internal/secspec"
+)
+
+// TestBenchmarkSizesMatchPaper asserts experiment E1: the full-size
+// generated networks match Table I's structural columns. Register and
+// mux counts must match exactly for all 22 benchmarks; scan flip-flop
+// counts match exactly for the BASTION set and within the documented
+// +8n offset for the MBIST set.
+func TestBenchmarkSizesMatchPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-size structure generation in -short mode")
+	}
+	for _, b := range Catalog() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			nw := b.Build(1)
+			st := nw.Stats()
+			if st.Registers != b.Registers {
+				t.Errorf("registers = %d, want %d", st.Registers, b.Registers)
+			}
+			if st.Muxes != b.Muxes {
+				t.Errorf("muxes = %d, want %d", st.Muxes, b.Muxes)
+			}
+			if st.ScanFFs != b.ScanFFs {
+				t.Errorf("scan FFs = %d, want %d", st.ScanFFs, b.ScanFFs)
+			}
+			if b.Family == Bastion && st.ScanFFs != b.PaperScanFFs {
+				t.Errorf("BASTION scan FFs = %d, paper says %d", st.ScanFFs, b.PaperScanFFs)
+			}
+			if b.Family == Industrial {
+				diff := st.ScanFFs - b.PaperScanFFs
+				if diff < 0 || diff > st.ScanFFs/50 {
+					t.Errorf("MBIST scan FFs = %d vs paper %d (offset %d too large)", st.ScanFFs, b.PaperScanFFs, diff)
+				}
+			}
+			if err := nw.Validate(); err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+		})
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	cat := Catalog()
+	if len(cat) != 22 {
+		t.Fatalf("catalog has %d benchmarks, want 22", len(cat))
+	}
+	bastion, industrial := 0, 0
+	for _, b := range cat {
+		if b.Family == Bastion {
+			bastion++
+		} else {
+			industrial++
+		}
+	}
+	if bastion != 13 || industrial != 9 {
+		t.Fatalf("families: %d bastion, %d industrial", bastion, industrial)
+	}
+}
+
+func TestByName(t *testing.T) {
+	b, ok := ByName("FlexScan")
+	if !ok || b.Registers != 8485 {
+		t.Fatalf("ByName(FlexScan) = %+v, %v", b, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Fatal("unknown name found")
+	}
+}
+
+func TestScaledBuildsValidate(t *testing.T) {
+	for _, b := range Catalog() {
+		for _, s := range []float64{0.02, 0.1, 0.3} {
+			nw := b.Build(s)
+			if err := nw.Validate(); err != nil {
+				t.Fatalf("%s scale %.2f: %v", b.Name, s, err)
+			}
+			full := b.Build(1)
+			if s <= 0.3 && nw.NumScanFFs() > full.NumScanFFs() {
+				t.Fatalf("%s scale %.2f larger than full size", b.Name, s)
+			}
+		}
+	}
+}
+
+func TestScaleClamped(t *testing.T) {
+	b, _ := ByName("BasicSCB")
+	a := b.Build(0)   // clamps to 1
+	c := b.Build(1.5) // clamps to 1
+	if a.Stats() != c.Stats() || a.Stats().Registers != 21 {
+		t.Fatal("scale clamping broken")
+	}
+}
+
+func TestMBISTCountFormulas(t *testing.T) {
+	cases := []struct {
+		n, m, o            int
+		regs, muxes, paper int
+	}{
+		{1, 5, 5, 113, 15, 548},
+		{1, 5, 20, 338, 15, 1523},
+		{1, 20, 20, 1313, 45, 6068},
+		{2, 5, 5, 224, 28, 1091},
+		{2, 5, 20, 674, 28, 3041},
+		{2, 20, 20, 2624, 88, 12131},
+		{5, 5, 5, 557, 67, 2720},
+		{5, 20, 20, 6557, 217, 30320},
+		{20, 20, 20, 26222, 862, 121265},
+	}
+	for _, c := range cases {
+		regs, _, muxes := MBISTCounts(c.n, c.m, c.o)
+		if regs != c.regs || muxes != c.muxes {
+			t.Errorf("MBIST_%d_%d_%d: regs/muxes = %d/%d, want %d/%d", c.n, c.m, c.o, regs, muxes, c.regs, c.muxes)
+		}
+		if got := MBISTPaperFFs(c.n, c.m, c.o); got != c.paper {
+			t.Errorf("MBIST_%d_%d_%d paper FFs = %d, want %d", c.n, c.m, c.o, got, c.paper)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	b, _ := ByName("Mingle")
+	a := b.Build(1)
+	c := b.Build(1)
+	if a.Stats() != c.Stats() || len(a.Muxes) != len(c.Muxes) {
+		t.Fatal("builds differ")
+	}
+	for i := range a.Registers {
+		if a.Registers[i].In != c.Registers[i].In || a.Registers[i].Len != c.Registers[i].Len {
+			t.Fatalf("register %d differs", i)
+		}
+	}
+}
+
+func TestAttachCircuitBasics(t *testing.T) {
+	b, _ := ByName("BasicSCB")
+	nw := b.Build(1)
+	att := AttachCircuit(nw, DefaultCircuitConfig(), 3)
+	if att.Links == 0 {
+		t.Fatal("no capture/update links created")
+	}
+	if err := att.Circuit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(att.Circuit.Modules) != len(nw.Modules) {
+		t.Fatalf("circuit modules %d != network modules %d", len(att.Circuit.Modules), len(nw.Modules))
+	}
+	// Every capture/update reference must be a valid circuit FF of the
+	// register's own module.
+	for r := range nw.Registers {
+		reg := &nw.Registers[r]
+		for bit, f := range reg.Capture {
+			if f < 0 {
+				continue
+			}
+			if int(f) >= att.Circuit.NumFFs() {
+				t.Fatalf("register %d bit %d links to bogus FF %d", r, bit, f)
+			}
+			if att.Circuit.FFs[f].Module != reg.Module {
+				t.Fatalf("register %d (module %d) linked to FF of module %d", r, reg.Module, att.Circuit.FFs[f].Module)
+			}
+		}
+	}
+}
+
+func TestAttachCircuitDeterministic(t *testing.T) {
+	b, _ := ByName("TreeFlat")
+	n1 := b.Build(1)
+	n2 := b.Build(1)
+	a1 := AttachCircuit(n1, DefaultCircuitConfig(), 7)
+	a2 := AttachCircuit(n2, DefaultCircuitConfig(), 7)
+	if a1.Circuit.NumNodes() != a2.Circuit.NumNodes() || a1.Links != a2.Links {
+		t.Fatal("same seed produced different attachments")
+	}
+	a3 := AttachCircuit(b.Build(1), DefaultCircuitConfig(), 8)
+	if a3.Circuit.NumNodes() == a1.Circuit.NumNodes() && a3.Circuit.NumGates() == a1.Circuit.NumGates() {
+		t.Log("different seeds produced equal sizes (possible but unusual)")
+	}
+}
+
+func TestAttachCircuitCapRespected(t *testing.T) {
+	b, _ := ByName("Mingle")
+	nw := b.Build(1)
+	cfg := DefaultCircuitConfig()
+	cfg.MaxPortsPerModule = 3
+	att := AttachCircuit(nw, cfg, 1)
+	counts := make(map[int]int)
+	for r := range nw.Registers {
+		for _, f := range nw.Registers[r].Capture {
+			if f >= 0 {
+				counts[att.Circuit.FFs[f].Module]++
+			}
+		}
+	}
+	for m, c := range counts {
+		if c > 3 {
+			t.Fatalf("module %d has %d links, cap 3", m, c)
+		}
+	}
+}
+
+// TestSmallBenchmarkEndToEnd runs the full secure pipeline stages on a
+// small benchmark with an attached circuit and random specification.
+func TestSmallBenchmarkEndToEnd(t *testing.T) {
+	b, _ := ByName("BasicSCB")
+	nw := b.Build(1)
+	att := AttachCircuit(nw, DefaultCircuitConfig(), 11)
+	spec := secspec.Generate(len(nw.Modules), secspec.DefaultGenConfig(), 5)
+	an := hybrid.NewAnalysis(nw, att.Circuit, att.Internal, spec, dep.Exact)
+	if an.DepStats.FFsDenoted <= 0 {
+		t.Fatal("no denoted FFs")
+	}
+	// The analysis must at least run detection without error.
+	_ = an.Violations(nw)
+	_ = an.InsecureModulePairs()
+}
+
+func BenchmarkBuildFlexScanFull(b *testing.B) {
+	bench, _ := ByName("FlexScan")
+	for i := 0; i < b.N; i++ {
+		bench.Build(1)
+	}
+}
+
+func BenchmarkAttachCircuitBasicSCB(b *testing.B) {
+	bench, _ := ByName("BasicSCB")
+	for i := 0; i < b.N; i++ {
+		nw := bench.Build(1)
+		AttachCircuit(nw, DefaultCircuitConfig(), int64(i))
+	}
+}
+
+// TestICLRoundTripAllBenchmarks round-trips every (scaled) benchmark
+// through the ICL dialect and compares structure.
+func TestICLRoundTripAllBenchmarks(t *testing.T) {
+	for _, b := range Catalog() {
+		b := b
+		t.Run(b.Name, func(t *testing.T) {
+			nw := b.Build(0.05)
+			text := icl.String(nw, nil)
+			nw2, err := icl.ParseNetwork(text, nil)
+			if err != nil {
+				t.Fatalf("re-parse: %v", err)
+			}
+			if nw2.Stats() != nw.Stats() {
+				t.Fatalf("stats changed: %+v vs %+v", nw2.Stats(), nw.Stats())
+			}
+			for i := range nw.Registers {
+				if nw.Registers[i].In != nw2.Registers[i].In || nw.Registers[i].Len != nw2.Registers[i].Len {
+					t.Fatalf("register %d differs", i)
+				}
+			}
+			for i := range nw.Muxes {
+				for j := range nw.Muxes[i].Inputs {
+					if nw.Muxes[i].Inputs[j] != nw2.Muxes[i].Inputs[j] {
+						t.Fatalf("mux %d input %d differs", i, j)
+					}
+				}
+			}
+			if nw.OutSrc != nw2.OutSrc {
+				t.Fatal("scan-out differs")
+			}
+		})
+	}
+}

@@ -1,0 +1,196 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rsn"
+)
+
+// Family distinguishes the two benchmark sets of Table I.
+type Family uint8
+
+// Benchmark families.
+const (
+	Bastion Family = iota
+	Industrial
+)
+
+func (f Family) String() string {
+	if f == Bastion {
+		return "Bastion"
+	}
+	return "Industrial"
+}
+
+// Benchmark describes one reconstructable benchmark network.
+type Benchmark struct {
+	Name   string
+	Family Family
+	// Registers, ScanFFs and Muxes are the structural counts of the
+	// full-size generated network. Registers and Muxes match Table I
+	// exactly for every benchmark; ScanFFs matches exactly for the
+	// BASTION set and is 8·n above the paper's fit for MBIST_n_m_o.
+	Registers, ScanFFs, Muxes int
+	// PaperScanFFs is Table I's scan flip-flop count.
+	PaperScanFFs int
+
+	build func(scale float64) *rsn.Network
+}
+
+// Build generates the network at the given scale. Scale 1 reproduces
+// the full-size benchmark; smaller scales shrink the analysis load
+// (for runs on bounded hardware) while keeping the topology style:
+// scan flip-flops scale linearly, register and mux counts by the
+// square root (preserving structure). Scale is clamped to (0, 1].
+func (b Benchmark) Build(scale float64) *rsn.Network {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	return b.build(scale)
+}
+
+// ScaleForTarget returns the scale that brings the benchmark's scan
+// flip-flop count down to roughly target (1 if already smaller).
+func (b Benchmark) ScaleForTarget(target int) float64 {
+	if target <= 0 || b.ScanFFs <= target {
+		return 1
+	}
+	return float64(target) / float64(b.ScanFFs)
+}
+
+func scaleInt(v int, s float64, min int) int {
+	n := int(math.Round(float64(v) * s))
+	if n < min {
+		n = min
+	}
+	return n
+}
+
+func bastionEntry(name string, regs, ffs, muxes, regsPerModule int,
+	build func(r, f, x int) *rsn.Network) Benchmark {
+	return Benchmark{
+		Name:         name,
+		Family:       Bastion,
+		Registers:    regs,
+		ScanFFs:      ffs,
+		Muxes:        muxes,
+		PaperScanFFs: ffs,
+		build: func(s float64) *rsn.Network {
+			// Registers/muxes shrink by sqrt(s) so structure survives
+			// even when the flip-flop budget shrinks linearly.
+			sq := math.Sqrt(s)
+			r := scaleInt(regs, sq, 4)
+			f := scaleInt(ffs, s, r)
+			x := scaleInt(muxes, sq, 1)
+			if x > r {
+				x = r
+			}
+			return build(r, f, x)
+		},
+	}
+}
+
+func mbistEntry(n, m, o int) Benchmark {
+	regs, ffs, muxes := MBISTCounts(n, m, o)
+	return Benchmark{
+		Name:         mbistName(n, m, o),
+		Family:       Industrial,
+		Registers:    regs,
+		ScanFFs:      ffs,
+		Muxes:        muxes,
+		PaperScanFFs: MBISTPaperFFs(n, m, o),
+		build: func(s float64) *rsn.Network {
+			if s >= 1 {
+				return buildMBIST(n, m, o)
+			}
+			// Search the hierarchy parameters whose flip-flop count
+			// best matches the scaled target.
+			target := float64(ffs) * s
+			bestN, bestM, bestO := 1, 1, 1
+			best := math.Inf(1)
+			for ns := 1; ns <= n; ns++ {
+				for ms := 1; ms <= m; ms++ {
+					for os_ := 1; os_ <= o; os_++ {
+						_, f, _ := MBISTCounts(ns, ms, os_)
+						d := math.Abs(float64(f) - target)
+						if d < best {
+							best = d
+							bestN, bestM, bestO = ns, ms, os_
+						}
+					}
+				}
+			}
+			return buildMBIST(bestN, bestM, bestO)
+		},
+	}
+}
+
+func mbistName(n, m, o int) string {
+	return fmt.Sprintf("MBIST_%d_%d_%d", n, m, o)
+}
+
+// Catalog returns all 22 benchmarks of Table I in the paper's order.
+func Catalog() []Benchmark {
+	mk := func(name string, regs, ffs, muxes, rpm int, kind string) Benchmark {
+		return bastionEntry(name, regs, ffs, muxes, rpm, func(r, f, x int) *rsn.Network {
+			switch kind {
+			case "flat":
+				return buildFlatSIB(name, r, f, x, rpm)
+			case "balanced":
+				return buildTreeSIB(name, r, f, x, rpm, true)
+			case "unbalanced":
+				return buildTreeSIB(name, r, f, x, rpm, false)
+			}
+			panic("bench: unknown kind " + kind)
+		})
+	}
+
+	flexScan := Benchmark{
+		Name:         "FlexScan",
+		Family:       Bastion,
+		Registers:    8485,
+		ScanFFs:      8485,
+		Muxes:        4243,
+		PaperScanFFs: 8485,
+		build: func(s float64) *rsn.Network {
+			x := scaleInt(4243, s, 2)
+			return buildSerialBypass("FlexScan", x)
+		},
+	}
+
+	return []Benchmark{
+		mk("BasicSCB", 21, 176, 10, 3, "flat"),
+		mk("Mingle", 22, 270, 13, 3, "flat"),
+		mk("TreeFlat", 24, 101, 24, 2, "flat"),
+		mk("TreeFlatEx", 122, 5194, 59, 4, "balanced"),
+		mk("TreeBalanced", 90, 5581, 46, 4, "balanced"),
+		mk("TreeUnbalanced", 63, 41887, 28, 4, "unbalanced"),
+		mk("q12710", 50, 26185, 27, 5, "flat"),
+		mk("t512505", 287, 77005, 159, 5, "flat"),
+		mk("p22810", 524, 30098, 270, 5, "balanced"),
+		mk("a586710", 64, 41667, 32, 5, "flat"),
+		mk("p34392", 197, 23196, 96, 5, "balanced"),
+		mk("p93791", 1185, 98611, 596, 5, "balanced"),
+		flexScan,
+		mbistEntry(1, 5, 5),
+		mbistEntry(1, 5, 20),
+		mbistEntry(1, 20, 20),
+		mbistEntry(2, 5, 5),
+		mbistEntry(2, 5, 20),
+		mbistEntry(2, 20, 20),
+		mbistEntry(5, 5, 5),
+		mbistEntry(5, 20, 20),
+		mbistEntry(20, 20, 20),
+	}
+}
+
+// ByName finds a benchmark in the catalog.
+func ByName(name string) (Benchmark, bool) {
+	for _, b := range Catalog() {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}

@@ -1,0 +1,173 @@
+package bench
+
+import (
+	"math/rand"
+
+	"repro/internal/netlist"
+	"repro/internal/rsn"
+)
+
+// CircuitConfig controls the random circuit attached to a benchmark
+// network (the paper generates 10 random circuits per benchmark since
+// the benchmarks ship without underlying logic).
+type CircuitConfig struct {
+	// MaxPortsPerModule caps the number of RSN-linked circuit
+	// flip-flops per module; scan flip-flops beyond the cap stay
+	// unlinked (pure shift-only bits), bounding circuit size for the
+	// very large networks.
+	MaxPortsPerModule int
+	// InternalPerModule is the minimum number of internal (bridgeable)
+	// flip-flops per module.
+	InternalPerModule int
+	// InternalFrac sizes each module's internal flip-flop count
+	// relative to its scan flip-flops (capped by MaxInternalPerModule).
+	// Real circuits hold far more state than the scan infrastructure
+	// can reach directly — the paper's generated circuits bridge away
+	// 41.72% of all denoted flip-flops on average.
+	InternalFrac float64
+	// MaxInternalPerModule caps the internal flip-flops per module so
+	// the dependency matrices stay bounded on wide-register networks.
+	MaxInternalPerModule int
+	// CrossEdgesPerModule scales the number of inter-module circuit
+	// paths (the raw material of hybrid violations).
+	CrossEdgesPerModule float64
+	// ReconvergenceRate is the fraction of masked (only-structural)
+	// data paths.
+	ReconvergenceRate float64
+	// DataSourceFrac is the fraction of modules treated as data
+	// sources (crypto-like cores): their circuit data never drives
+	// other modules over functional logic, so it can leave only via
+	// the scan infrastructure. Security specifications assign
+	// confidential annotations to these modules.
+	DataSourceFrac float64
+	// Depth of the random next-state gate trees.
+	Depth int
+	// Inputs is the number of circuit primary inputs.
+	Inputs int
+}
+
+// DefaultCircuitConfig mirrors the flavor of the running example.
+func DefaultCircuitConfig() CircuitConfig {
+	return CircuitConfig{
+		MaxPortsPerModule:    6,
+		InternalPerModule:    2,
+		InternalFrac:         1.0,
+		MaxInternalPerModule: 48,
+		CrossEdgesPerModule:  2.5,
+		ReconvergenceRate:    0.45,
+		DataSourceFrac:       0.25,
+		Depth:                2,
+		Inputs:               4,
+	}
+}
+
+// Attachment is a generated circuit wired to a network's scan
+// flip-flops via capture/update links.
+type Attachment struct {
+	Circuit  *netlist.Netlist
+	Internal []netlist.FFID
+	// Links counts the scan flip-flops with capture/update links.
+	Links int
+	// DataSources marks modules whose circuit data never drives other
+	// modules (crypto-like cores); specifications draw confidential
+	// annotations from these.
+	DataSources []bool
+}
+
+// AttachCircuit generates a random circuit for the network's modules
+// and links it: scan flip-flops capture from and update into their
+// module's circuit flip-flops (round-robin up to the per-module cap).
+// The attachment mutates the network's capture/update tables.
+func AttachCircuit(nw *rsn.Network, cfg CircuitConfig, seed int64) *Attachment {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+
+	// Decide per register how many of its scan flip-flops get circuit
+	// links: up to two per register, capped per module, so links spread
+	// over a module's registers and circuit size stays bounded on the
+	// very large networks.
+	perReg := make([]int, len(nw.Registers))
+	ports := make([]int, len(nw.Modules))
+	for r := range nw.Registers {
+		reg := &nw.Registers[r]
+		want := reg.Len
+		if want > 2 {
+			want = 2
+		}
+		if room := cfg.MaxPortsPerModule - ports[reg.Module]; want > room {
+			want = room
+		}
+		if want < 0 {
+			want = 0
+		}
+		perReg[r] = want
+		ports[reg.Module] += want
+	}
+	for m := range ports {
+		if ports[m] == 0 {
+			ports[m] = 1 // every module gets at least one circuit flip-flop
+		}
+	}
+	// Pick the data-source modules: they never drive other modules.
+	sources := make([]bool, len(nw.Modules))
+	nSources := 0
+	for m := range sources {
+		if rng.Float64() < cfg.DataSourceFrac {
+			sources[m] = true
+			nSources++
+		}
+	}
+	if nSources == 0 && len(sources) > 0 {
+		sources[rng.Intn(len(sources))] = true
+	}
+	crossSources := make([]bool, len(sources))
+	for m := range crossSources {
+		crossSources[m] = !sources[m]
+	}
+
+	// Internal flip-flop counts scale with each module's scan width.
+	scanPerModule := make([]int, len(nw.Modules))
+	for r := range nw.Registers {
+		scanPerModule[nw.Registers[r].Module] += nw.Registers[r].Len
+	}
+	internals := make([]int, len(nw.Modules))
+	for m := range internals {
+		n := int(cfg.InternalFrac * float64(scanPerModule[m]))
+		if n < cfg.InternalPerModule {
+			n = cfg.InternalPerModule
+		}
+		if cfg.MaxInternalPerModule > 0 && n > cfg.MaxInternalPerModule {
+			n = cfg.MaxInternalPerModule
+		}
+		internals[m] = n
+	}
+
+	gcfg := netlist.GenConfig{
+		ModuleNames:       append([]string{}, nw.Modules...),
+		PortFFs:           ports,
+		InternalFFs:       cfg.InternalPerModule,
+		InternalPerModule: internals,
+		Inputs:            cfg.Inputs,
+		CrossEdges:        int(cfg.CrossEdgesPerModule*float64(len(nw.Modules))) + 1,
+		ReconvergenceRate: cfg.ReconvergenceRate,
+		Depth:             cfg.Depth,
+		CrossSources:      crossSources,
+	}
+	gen := netlist.Generate(gcfg, rng.Int63())
+
+	// Link scan flip-flops to their module's port FFs in order.
+	next := make([]int, len(nw.Modules))
+	links := 0
+	for r := range nw.Registers {
+		reg := &nw.Registers[r]
+		mod := reg.Module
+		avail := gen.PortFFs[mod]
+		for b := 0; b < perReg[r] && next[mod] < len(avail); b++ {
+			f := avail[next[mod]]
+			next[mod]++
+			nw.SetCapture(r, b, f)
+			nw.SetUpdate(r, b, f)
+			links++
+		}
+	}
+	return &Attachment{Circuit: gen.N, Internal: gen.InternalFFs, Links: links, DataSources: sources}
+}

@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/rsn"
+)
+
+// RandomNetwork builds a random acyclic scan network with nRegs
+// registers (one module per register), random widths, and a mix of
+// direct connections and multiplexers — useful for property-based
+// testing of the analysis and resolution algorithms.
+func RandomNetwork(rng *rand.Rand, nRegs int) *rsn.Network {
+	nw := rsn.New("random")
+	for i := 0; i < nRegs; i++ {
+		m := nw.AddModule(fmt.Sprintf("mod%d", i))
+		nw.AddRegister(fmt.Sprintf("R%d", i), 1+rng.Intn(4), m)
+	}
+	for i := 0; i < nRegs; i++ {
+		pick := func() rsn.Ref {
+			if i == 0 || rng.Intn(4) == 0 {
+				return rsn.ScanIn
+			}
+			return rsn.Reg(rng.Intn(i))
+		}
+		if i > 1 && rng.Intn(3) == 0 {
+			a, b := pick(), pick()
+			if a == b {
+				b = rsn.ScanIn
+			}
+			if a == b {
+				nw.Connect(i, a)
+				continue
+			}
+			m := nw.AddMux(fmt.Sprintf("mux%d", len(nw.Muxes)), a, b)
+			nw.Connect(i, rsn.Mx(m))
+		} else {
+			nw.Connect(i, pick())
+		}
+	}
+	// Route every sink-less register to the scan-out port.
+	var dangling []rsn.Ref
+	for i := 0; i < nRegs; i++ {
+		if len(nw.Sinks(rsn.Reg(i))) == 0 {
+			dangling = append(dangling, rsn.Reg(i))
+		}
+	}
+	switch len(dangling) {
+	case 0:
+		nw.ConnectOut(rsn.Reg(nRegs - 1))
+	case 1:
+		nw.ConnectOut(dangling[0])
+	default:
+		m := nw.AddMux("mout", dangling...)
+		nw.ConnectOut(rsn.Mx(m))
+	}
+	if err := nw.Validate(); err != nil {
+		panic("bench: RandomNetwork invalid: " + err.Error())
+	}
+	return nw
+}

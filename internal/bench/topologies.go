@@ -1,0 +1,211 @@
+// Package bench reconstructs the benchmark networks of the paper's
+// experimental evaluation: the BASTION suite subset (ITC 2016) and the
+// industrial-style scalable MBIST networks, with the exact register,
+// scan flip-flop and multiplexer counts of Table I, plus seeded random
+// circuit attachment (the paper's benchmarks ship without underlying
+// circuits, so the authors — and this reproduction — generate them).
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/rsn"
+)
+
+// widths distributes total scan flip-flops over n registers as evenly
+// as possible (earlier registers get the remainder).
+func widths(n, total int) []int {
+	if total < n {
+		total = n
+	}
+	w := make([]int, n)
+	base, rem := total/n, total%n
+	for i := range w {
+		w[i] = base
+		if i < rem {
+			w[i]++
+		}
+	}
+	return w
+}
+
+// moduleEvery assigns one module per group of consecutive registers.
+func moduleEvery(nw *rsn.Network, group int) func() int {
+	count := 0
+	cur := -1
+	return func() int {
+		if count%group == 0 {
+			cur = nw.AddModule(fmt.Sprintf("inst%d", len(nw.Modules)))
+		}
+		count++
+		return cur
+	}
+}
+
+// buildFlatSIB builds a chain of regs registers with muxes bypass
+// multiplexers evenly distributed: the topology of SIB-based flat
+// networks (TreeFlat) and of SCB-controlled segment chains (BasicSCB,
+// Mingle, SoC wrapper chains). Every bypass mux lets the active path
+// skip the chain segment it guards.
+func buildFlatSIB(name string, regs, ffs, muxes, regsPerModule int) *rsn.Network {
+	nw := rsn.New(name)
+	mod := moduleEvery(nw, regsPerModule)
+	w := widths(regs, ffs)
+	if muxes > regs {
+		muxes = regs
+	}
+	// Segment boundaries: after which registers a bypass mux sits.
+	segLen := regs / muxes
+	extra := regs % muxes
+	cur := rsn.ScanIn
+	segStart := cur
+	placed := 0
+	inSeg := 0
+	segTarget := segLen
+	if extra > 0 {
+		segTarget++
+		extra--
+	}
+	for i := 0; i < regs; i++ {
+		id := nw.AddRegister(fmt.Sprintf("%s_R%d", name, i), w[i], mod())
+		nw.Connect(id, cur)
+		cur = rsn.Reg(id)
+		inSeg++
+		if inSeg == segTarget && placed < muxes {
+			m := nw.AddMux(fmt.Sprintf("%s_M%d", name, placed), cur, segStart)
+			cur = rsn.Mx(m)
+			segStart = cur
+			placed++
+			inSeg = 0
+			segTarget = segLen
+			if extra > 0 {
+				segTarget++
+				extra--
+			}
+		}
+	}
+	nw.ConnectOut(cur)
+	return nw
+}
+
+// buildTreeSIB builds a two-level SIB tree: registers are grouped, each
+// group is guarded by a group-bypass mux, and the remaining mux budget
+// provides register-level bypasses inside the groups. balanced selects
+// equal group sizes; otherwise group sizes grow geometrically
+// (TreeUnbalanced).
+func buildTreeSIB(name string, regs, ffs, muxes, regsPerModule int, balanced bool) *rsn.Network {
+	nw := rsn.New(name)
+	mod := moduleEvery(nw, regsPerModule)
+	w := widths(regs, ffs)
+	if muxes > regs {
+		muxes = regs
+	}
+	groups := muxes / 2
+	if groups < 1 {
+		groups = 1
+	}
+	inner := muxes - groups // register-level bypass muxes
+
+	// Group sizes.
+	sizes := make([]int, groups)
+	if balanced {
+		for i := range sizes {
+			sizes[i] = regs / groups
+			if i < regs%groups {
+				sizes[i]++
+			}
+		}
+	} else {
+		// Geometric: each group roughly double the previous.
+		total := 0
+		weight := 1
+		wsum := 0
+		weightsArr := make([]int, groups)
+		for i := range weightsArr {
+			weightsArr[i] = weight
+			wsum += weight
+			if weight < regs {
+				weight *= 2
+			}
+		}
+		for i := range sizes {
+			sizes[i] = regs * weightsArr[i] / wsum
+			if sizes[i] < 1 {
+				sizes[i] = 1
+			}
+			total += sizes[i]
+		}
+		// Fix rounding drift on the last group.
+		sizes[groups-1] += regs - total
+		if sizes[groups-1] < 1 {
+			// Redistribute if the correction went negative.
+			deficit := 1 - sizes[groups-1]
+			sizes[groups-1] = 1
+			for i := 0; i < groups-1 && deficit > 0; i++ {
+				take := sizes[i] - 1
+				if take > deficit {
+					take = deficit
+				}
+				sizes[i] -= take
+				deficit -= take
+			}
+		}
+	}
+
+	cur := rsn.ScanIn
+	ri := 0
+	mi := 0
+	innerPlaced := 0
+	for g := 0; g < groups; g++ {
+		groupStart := cur
+		for k := 0; k < sizes[g]; k++ {
+			id := nw.AddRegister(fmt.Sprintf("%s_R%d", name, ri), w[ri], mod())
+			nw.Connect(id, cur)
+			cur = rsn.Reg(id)
+			ri++
+			if innerPlaced < inner {
+				// Register-level bypass (a SIB around one register).
+				m := nw.AddMux(fmt.Sprintf("%s_M%d", name, mi), cur, nw.Registers[id].In)
+				mi++
+				cur = rsn.Mx(m)
+				innerPlaced++
+			}
+		}
+		// Group bypass.
+		m := nw.AddMux(fmt.Sprintf("%s_M%d", name, mi), cur, groupStart)
+		mi++
+		cur = rsn.Mx(m)
+	}
+	nw.ConnectOut(cur)
+	return nw
+}
+
+// buildSerialBypass builds FlexScan's topology: a long serial chain of
+// one-bit registers where every stage of two registers sits behind its
+// own bypass multiplexer, all muxes in series. With x muxes the network
+// has 2x-1 registers; each register belongs to its own module (the
+// paper's FlexScan integration assumption).
+func buildSerialBypass(name string, muxes int) *rsn.Network {
+	nw := rsn.New(name)
+	cur := rsn.ScanIn
+	ri := 0
+	addReg := func() rsn.Ref {
+		m := nw.AddModule(fmt.Sprintf("inst%d", ri))
+		id := nw.AddRegister(fmt.Sprintf("%s_R%d", name, ri), 1, m)
+		nw.Connect(id, cur)
+		ri++
+		return rsn.Reg(id)
+	}
+	for k := 0; k < muxes; k++ {
+		stageStart := cur
+		r := addReg()
+		cur = r
+		if k > 0 { // all stages except the first have two registers
+			cur = addReg()
+		}
+		m := nw.AddMux(fmt.Sprintf("%s_M%d", name, k), cur, stageStart)
+		cur = rsn.Mx(m)
+	}
+	nw.ConnectOut(cur)
+	return nw
+}

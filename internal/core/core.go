@@ -1,0 +1,153 @@
+// Package core orchestrates the complete secure-data-flow method of
+// the paper (Figure 2): the RSN is annotated with the user-given
+// security specification and pure-scan-path violations are detected and
+// resolved (the IOLTS 2018 method); the data-flow analysis computes
+// multi-cycle dependencies over the circuit logic with presetting and
+// bridging; insecure circuit logic is detected; and finally security
+// violations over hybrid scan paths are detected and resolved. The
+// result is a (data-flow) secure RSN that still contains every scan
+// register of the original network.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/dep"
+	"repro/internal/hybrid"
+	"repro/internal/netlist"
+	"repro/internal/pure"
+	"repro/internal/rsn"
+	"repro/internal/secspec"
+)
+
+// Options configures a Secure run.
+type Options struct {
+	// Mode selects exact (SAT-classified) dependencies or the
+	// structural over-approximation of Section IV-C.
+	Mode dep.Mode
+	// Log, when non-nil, receives one line per pipeline stage.
+	Log func(format string, args ...any)
+}
+
+// StageTimes records wall-clock runtimes per pipeline stage, matching
+// the runtime columns of Table I.
+type StageTimes struct {
+	DependencyCalc time.Duration
+	PureStage      time.Duration
+	HybridStage    time.Duration
+	InsecureCheck  time.Duration
+	Total          time.Duration
+}
+
+// Report is the outcome of one Secure run.
+type Report struct {
+	// Secured is true when the returned network is data-flow secure.
+	Secured bool
+	// InsecureLogic is true when the circuit logic itself violates the
+	// specification — no RSN transformation can help (Section III-B).
+	InsecureLogic bool
+	// InsecureModulePairs lists the offending module pairs when
+	// InsecureLogic is set.
+	InsecureModulePairs [][2]int
+	// ViolatingRegsBefore counts the scan registers with at least one
+	// violating flip-flop before the method ran (Table I column 5).
+	ViolatingRegsBefore int
+	// PureChanges and HybridChanges are the applied change counts
+	// (Table I columns 6-8).
+	PureChanges, HybridChanges int
+	// PureChangeList and HybridChangeList detail every change.
+	PureChangeList   []pure.Change
+	HybridChangeList []hybrid.Change
+	// DepStats carries the dependency computation bookkeeping.
+	DepStats dep.Stats
+	// PresetDeps counts preset consecutive-flip-flop dependencies.
+	PresetDeps int
+	// Times records per-stage runtimes.
+	Times StageTimes
+}
+
+// TotalChanges returns the total number of applied changes.
+func (r *Report) TotalChanges() int { return r.PureChanges + r.HybridChanges }
+
+// Secure runs the full pipeline on the network, mutating it into a
+// secure RSN. The circuit's internal flip-flops (not connected to the
+// scan infrastructure) are bridged during the data-flow analysis.
+//
+// If the circuit logic itself is insecure the report's InsecureLogic
+// flag is set, the network is left unchanged, and no error is returned:
+// the condition is a property of the circuit, not a failure of the
+// method (such runs are excluded from the paper's averaged results).
+func Secure(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, spec *secspec.Spec, opts Options) (*Report, error) {
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, fmt.Errorf("core: input network invalid: %w", err)
+	}
+	rep := &Report{}
+	start := time.Now()
+
+	// Data-flow analysis (Section III-A): 1-cycle dependencies,
+	// presetting, bridging, multi-cycle closure. Computed once, without
+	// the reconfigurable RSN connections, and reused across all
+	// structural changes.
+	t0 := time.Now()
+	an := hybrid.NewAnalysis(nw, circuit, internal, spec, opts.Mode)
+	rep.Times.DependencyCalc = time.Since(t0)
+	rep.DepStats = an.DepStats
+	rep.PresetDeps = an.PresetDeps
+	logf("dependency calculation: %d denoted FFs, %d dependencies (%d preset), %d SAT calls",
+		an.DepStats.FFsDenoted, an.DepStats.DepsMultiCycle, an.PresetDeps, an.DepStats.SATCalls)
+
+	// Violating registers of the original network (pure and hybrid).
+	rep.ViolatingRegsBefore = len(an.ViolatingRegisters(nw))
+	logf("registers with security violations: %d", rep.ViolatingRegsBefore)
+
+	// Insecure circuit logic (Section III-B): violations that exist
+	// over the fixed infrastructure alone.
+	t0 = time.Now()
+	pairs := an.InsecureModulePairs()
+	rep.Times.InsecureCheck = time.Since(t0)
+	if len(pairs) > 0 {
+		rep.InsecureLogic = true
+		rep.InsecureModulePairs = pairs
+		rep.Times.Total = time.Since(start)
+		logf("insecure circuit logic: %d module pairs — circuit redesign required", len(pairs))
+		return rep, nil
+	}
+
+	// Pure scan paths (Section III-C first half, the IOLTS 2018 stage).
+	t0 = time.Now()
+	pres, err := pure.Resolve(nw, spec)
+	rep.Times.PureStage = time.Since(t0)
+	if err != nil {
+		return rep, fmt.Errorf("core: pure stage: %w", err)
+	}
+	rep.PureChanges = len(pres.Changes)
+	rep.PureChangeList = pres.Changes
+	logf("pure scan paths: %d violations resolved with %d changes", pres.ViolatingBefore, len(pres.Changes))
+
+	// Hybrid scan paths (Sections III-C/III-D, the novel stage).
+	t0 = time.Now()
+	hres, err := hybrid.Resolve(an, nw)
+	rep.Times.HybridStage = time.Since(t0)
+	if err != nil {
+		return rep, fmt.Errorf("core: hybrid stage: %w", err)
+	}
+	rep.HybridChanges = len(hres.Changes)
+	rep.HybridChangeList = hres.Changes
+	logf("hybrid scan paths: %d violating nodes resolved with %d changes", hres.ViolationsBefore, len(hres.Changes))
+
+	if err := nw.Validate(); err != nil {
+		return rep, fmt.Errorf("core: network invalid after transformation: %w", err)
+	}
+	if v := an.Violations(nw); len(v) != 0 {
+		return rep, fmt.Errorf("core: %d violations remain after the method", len(v))
+	}
+	rep.Secured = true
+	rep.Times.Total = time.Since(start)
+	logf("network is data-flow secure (%d total changes)", rep.TotalChanges())
+	return rep, nil
+}

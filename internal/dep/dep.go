@@ -1,0 +1,429 @@
+// Package dep computes the fine-granular data dependencies over circuit
+// logic that drive the secure-data-flow method (Section III-A of the
+// paper, based on the SAT-based dependency computation of Soeken et al.,
+// HVC 2016).
+//
+// Dependencies are classified on the three-valued lattice
+// none < structural < path:
+//
+//   - a flip-flop b is 1-cycle functionally dependent on a if data can
+//     actually propagate from a to b in one cycle (SAT on the cofactor
+//     miter of b's next-state cone);
+//   - b is only structurally dependent on a if a feeds b's next-state
+//     cone but no value change can propagate (e.g. masked by a
+//     reconvergence);
+//   - b is path-dependent on a if a chain of 1-cycle functional
+//     dependencies leads from a to b (multi-cycle closure).
+//
+// Two feasibility subroutines of the paper are implemented here:
+// bridging over internal flip-flops (eliminating flip-flops not
+// connected to the scan infrastructure before the cubic multi-cycle
+// closure) and, for the scan-register chains themselves, presetting
+// (handled by the hybrid analysis when composing the combined graph).
+package dep
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/netlist"
+)
+
+// Kind is a dependency classification.
+type Kind uint8
+
+// Dependency kinds, ordered none < structural < path.
+const (
+	None Kind = iota
+	Structural
+	Path
+)
+
+func (k Kind) String() string {
+	switch k {
+	case None:
+		return "none"
+	case Structural:
+		return "structural"
+	case Path:
+		return "path"
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Combine composes two dependencies along a path: the result is Path
+// only if both links are Path, None if either is None, and Structural
+// otherwise.
+func Combine(a, b Kind) Kind {
+	if a == None || b == None {
+		return None
+	}
+	if a == Path && b == Path {
+		return Path
+	}
+	return Structural
+}
+
+// Max aggregates two dependencies over alternative paths.
+func Max(a, b Kind) Kind {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mode selects how 1-cycle dependencies are classified.
+type Mode uint8
+
+const (
+	// Exact distinguishes functional from only-structural dependencies
+	// with SAT (the proposed method).
+	Exact Mode = iota
+	// StructuralApprox over-approximates path-dependency by structural
+	// dependency (Section IV-C): no SAT calls, every structural
+	// dependency is treated as functional.
+	StructuralApprox
+)
+
+func (m Mode) String() string {
+	if m == Exact {
+		return "exact"
+	}
+	return "structural-approx"
+}
+
+// Matrix is a dependency relation over flip-flops 0..n-1 with forward
+// and reverse adjacency bit sets. Entry (i, j) means "i depends on j",
+// i.e. data flows from j to i.
+type Matrix struct {
+	n    int
+	path []*bitset.Set // path[i]: j such that i path-depends on j
+	str  []*bitset.Set // str[i] ⊇ path[i]: structural dependency
+	// reverse direction, maintained for efficient bridging
+	rpath []*bitset.Set // rpath[j]: i such that i path-depends on j
+	rstr  []*bitset.Set
+}
+
+// NewMatrix returns an empty dependency matrix over n flip-flops.
+func NewMatrix(n int) *Matrix {
+	m := &Matrix{n: n}
+	m.path = make([]*bitset.Set, n)
+	m.str = make([]*bitset.Set, n)
+	m.rpath = make([]*bitset.Set, n)
+	m.rstr = make([]*bitset.Set, n)
+	for i := 0; i < n; i++ {
+		m.path[i] = bitset.New(n)
+		m.str[i] = bitset.New(n)
+		m.rpath[i] = bitset.New(n)
+		m.rstr[i] = bitset.New(n)
+	}
+	return m
+}
+
+// N returns the number of flip-flops indexed.
+func (m *Matrix) N() int { return m.n }
+
+// Set raises the dependency of i on j to at least k.
+func (m *Matrix) Set(i, j int, k Kind) {
+	switch k {
+	case Path:
+		m.path[i].Set(j)
+		m.rpath[j].Set(i)
+		fallthrough
+	case Structural:
+		m.str[i].Set(j)
+		m.rstr[j].Set(i)
+	}
+}
+
+// Kind returns the dependency of i on j.
+func (m *Matrix) Kind(i, j int) Kind {
+	if m.path[i].Has(j) {
+		return Path
+	}
+	if m.str[i].Has(j) {
+		return Structural
+	}
+	return None
+}
+
+// clearNode removes every dependency entering or leaving node k.
+func (m *Matrix) clearNode(k int) {
+	m.str[k].ForEach(func(j int) {
+		m.rpath[j].Clear(k)
+		m.rstr[j].Clear(k)
+	})
+	m.rstr[k].ForEach(func(i int) {
+		m.path[i].Clear(k)
+		m.str[i].Clear(k)
+	})
+	m.path[k].Reset()
+	m.str[k].Reset()
+	m.rpath[k].Reset()
+	m.rstr[k].Reset()
+}
+
+// CountDeps returns the number of denoted dependencies (non-None
+// entries).
+func (m *Matrix) CountDeps() int {
+	c := 0
+	for i := 0; i < m.n; i++ {
+		c += m.str[i].Count()
+	}
+	return c
+}
+
+// CountPath returns the number of Path entries.
+func (m *Matrix) CountPath() int {
+	c := 0
+	for i := 0; i < m.n; i++ {
+		c += m.path[i].Count()
+	}
+	return c
+}
+
+// Clone returns a deep copy of the matrix.
+func (m *Matrix) Clone() *Matrix {
+	cp := &Matrix{n: m.n}
+	cl := func(rows []*bitset.Set) []*bitset.Set {
+		out := make([]*bitset.Set, len(rows))
+		for i, r := range rows {
+			out[i] = r.Clone()
+		}
+		return out
+	}
+	cp.path = cl(m.path)
+	cp.str = cl(m.str)
+	cp.rpath = cl(m.rpath)
+	cp.rstr = cl(m.rstr)
+	return cp
+}
+
+// DependsOn returns the set of j on which i depends (structurally or
+// more). The returned set is live; do not modify it.
+func (m *Matrix) DependsOn(i int) *bitset.Set { return m.str[i] }
+
+// PathDependsOn returns the set of j on which i path-depends.
+// The returned set is live; do not modify it.
+func (m *Matrix) PathDependsOn(i int) *bitset.Set { return m.path[i] }
+
+// PathDependents returns the set of i that path-depend on j (the
+// reverse adjacency). The returned set is live; do not modify it.
+func (m *Matrix) PathDependents(j int) *bitset.Set { return m.rpath[j] }
+
+// Stats reports the bookkeeping of one dependency computation.
+type Stats struct {
+	Mode             Mode
+	SATCalls         int
+	Functional1Cycle int // 1-cycle dependencies classified functional
+	StructOnly1Cycle int // 1-cycle dependencies classified only structural
+	FFsTotal         int // flip-flops before bridging
+	FFsDenoted       int // flip-flops after bridging (denoted)
+	DepsBeforeBridge int // 1-cycle dependencies before bridging
+	DepsAfterBridge  int // dependencies after bridging, before closure
+	DepsMultiCycle   int // denoted dependencies after the closure
+	ClosurePathDeps  int // path entries after the closure
+	BridgedFFs       int
+}
+
+// Result is the outcome of Compute: the multi-cycle dependency matrix
+// over denoted flip-flops.
+type Result struct {
+	// M is the multi-cycle dependency closure. Rows/columns of bridged
+	// (internal) flip-flops are empty.
+	M *Matrix
+	// OneCycle is the 1-cycle matrix before bridging.
+	OneCycle *Matrix
+	// Denoted[f] reports whether flip-flop f survived bridging.
+	Denoted []bool
+	Stats   Stats
+}
+
+// Kind returns the multi-cycle dependency of flip-flop i on j. Both
+// must be denoted.
+func (r *Result) Kind(i, j netlist.FFID) Kind { return r.M.Kind(int(i), int(j)) }
+
+// OneCycleMatrix builds the 1-cycle dependency matrix of the circuit.
+// In Exact mode every structural dependency is classified with a SAT
+// cofactor query; in StructuralApprox mode structural implies path.
+func OneCycleMatrix(n *netlist.Netlist, mode Mode, stats *Stats) *Matrix {
+	m := NewMatrix(n.NumFFs())
+	FillOneCycle(m, n, mode, stats)
+	return m
+}
+
+// FillOneCycle writes the circuit's 1-cycle dependencies into an
+// existing matrix whose indices 0..NumFFs-1 are the circuit flip-flops.
+// The matrix may be larger than the circuit (a combined index space
+// with scan flip-flops appended, as the hybrid analysis builds).
+func FillOneCycle(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats) {
+	if m.N() < n.NumFFs() {
+		panic("dep: matrix smaller than circuit")
+	}
+	for b := range n.FFs {
+		root := n.FFs[b].D
+		if root == netlist.NoNode {
+			continue
+		}
+		for _, a := range n.SupportFFs(root) {
+			if mode == StructuralApprox {
+				m.Set(b, int(a), Path)
+				continue
+			}
+			stats.SATCalls++
+			if FunctionalDepends(n, root, n.FFs[a].Node) {
+				stats.Functional1Cycle++
+				m.Set(b, int(a), Path)
+			} else {
+				stats.StructOnly1Cycle++
+				m.Set(b, int(a), Structural)
+			}
+		}
+	}
+}
+
+// Bridge eliminates the given internal flip-flops from the matrix, one
+// at a time (Figure 3): for every predecessor j and dependent i of an
+// internal flip-flop k, the dependency of i on j is raised to
+// Combine(dep(i,k), dep(k,j)); afterwards k carries no dependencies.
+// Bridge modifies m in place.
+func Bridge(m *Matrix, internal []netlist.FFID) {
+	for _, kf := range internal {
+		k := int(kf)
+		// Snapshot k's neighbors before clearing.
+		type edge struct {
+			node int
+			kind Kind
+		}
+		var preds, dependents []edge
+		m.str[k].ForEach(func(j int) {
+			if j == k {
+				return // self-loops never strengthen bridged deps
+			}
+			preds = append(preds, edge{j, m.Kind(k, j)})
+		})
+		m.rstr[k].ForEach(func(i int) {
+			if i == k {
+				return
+			}
+			dependents = append(dependents, edge{i, m.Kind(i, k)})
+		})
+		for _, d := range dependents {
+			for _, p := range preds {
+				k2 := Combine(d.kind, p.kind)
+				if k2 != None && m.Kind(d.node, p.node) < k2 {
+					m.Set(d.node, p.node, k2)
+				}
+			}
+		}
+		m.clearNode(k)
+	}
+}
+
+// Closure computes the multi-cycle dependency closure in place: the
+// transitive closure of path edges and, independently, of structural
+// edges (a chain containing any only-structural link is structural).
+// The algorithm is the bit-parallel Warshall closure — cubic in the
+// number of denoted flip-flops, which is why bridging matters.
+func Closure(m *Matrix) {
+	warshall := func(rows []*bitset.Set) {
+		n := len(rows)
+		for k := 0; k < n; k++ {
+			rk := rows[k]
+			if !rk.Any() {
+				continue
+			}
+			for i := 0; i < n; i++ {
+				if i != k && rows[i].Has(k) {
+					rows[i].Or(rk)
+				}
+			}
+		}
+	}
+	warshall(m.path)
+	warshall(m.str)
+	// Rebuild the reverse direction to stay consistent.
+	for i := 0; i < m.n; i++ {
+		m.rpath[i].Reset()
+		m.rstr[i].Reset()
+	}
+	for i := 0; i < m.n; i++ {
+		m.path[i].ForEach(func(j int) { m.rpath[j].Set(i) })
+		m.str[i].ForEach(func(j int) { m.rstr[j].Set(i) })
+	}
+}
+
+// ClosureK computes the k-cycle-bounded dependency relation in place:
+// entry (i, j) is set when a dependency chain of at most k 1-cycle
+// links leads from j to i (the bounded variant of the HVC 2016
+// iterative computation; Closure is the k → ∞ fixpoint). k <= 1 leaves
+// the matrix unchanged.
+func ClosureK(m *Matrix, k int) {
+	if k <= 1 {
+		return
+	}
+	// Relax k-1 times: D_{t+1} = D_t ∪ D_1∘D_t, each step against a
+	// frozen snapshot so chains never exceed t+1 links.
+	base := m.Clone()
+	for step := 1; step < k; step++ {
+		prev := m.Clone()
+		changed := false
+		for i := 0; i < m.n; i++ {
+			base.path[i].ForEach(func(via int) {
+				if m.path[i].Or(prev.path[via]) {
+					changed = true
+				}
+			})
+			base.str[i].ForEach(func(via int) {
+				if m.str[i].Or(prev.str[via]) {
+					changed = true
+				}
+			})
+		}
+		if !changed {
+			break
+		}
+	}
+	// Rebuild reverse adjacency.
+	for i := 0; i < m.n; i++ {
+		m.rpath[i].Reset()
+		m.rstr[i].Reset()
+	}
+	for i := 0; i < m.n; i++ {
+		m.path[i].ForEach(func(j int) { m.rpath[j].Set(i) })
+		m.str[i].ForEach(func(j int) { m.rstr[j].Set(i) })
+	}
+}
+
+// Compute runs the full data-flow analysis of Section III-A over the
+// circuit: 1-cycle dependencies, bridging over the internal flip-flops,
+// and the iterative multi-cycle closure on the reduced (denoted) set.
+func Compute(n *netlist.Netlist, internal []netlist.FFID, mode Mode) *Result {
+	res := &Result{}
+	res.Stats.Mode = mode
+	res.Stats.FFsTotal = n.NumFFs()
+
+	one := OneCycleMatrix(n, mode, &res.Stats)
+	res.OneCycle = one
+	res.Stats.DepsBeforeBridge = one.CountDeps()
+
+	m := one.Clone()
+	Bridge(m, internal)
+	res.Stats.BridgedFFs = len(internal)
+	res.Stats.FFsDenoted = n.NumFFs() - len(internal)
+	res.Stats.DepsAfterBridge = m.CountDeps()
+
+	Closure(m)
+	res.M = m
+	res.Stats.DepsMultiCycle = m.CountDeps()
+	res.Stats.ClosurePathDeps = m.CountPath()
+
+	res.Denoted = make([]bool, n.NumFFs())
+	for i := range res.Denoted {
+		res.Denoted[i] = true
+	}
+	for _, k := range internal {
+		res.Denoted[k] = false
+	}
+	return res
+}

@@ -1,0 +1,88 @@
+package dep
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+)
+
+// FunctionalDepends reports whether the value of node root functionally
+// depends on the leaf node (a flip-flop output or primary input): it
+// encodes root's fan-in cone twice, with leaf pinned to 0 in one copy
+// and 1 in the other while all other leaves are shared, and asks SAT
+// whether the two copies can produce different outputs — the positive
+// Davio cofactor check of the HVC 2016 dependency computation.
+func FunctionalDepends(n *netlist.Netlist, root, leaf netlist.NodeID) bool {
+	gates, leaves := n.Cone(root)
+
+	b := cnf.NewBuilder()
+	shared := make(map[netlist.NodeID]sat.Lit, len(leaves))
+	inCone := false
+	for _, l := range leaves {
+		if l == leaf {
+			inCone = true
+			continue
+		}
+		switch n.Nodes[l].Kind {
+		case netlist.KindConst0:
+			shared[l] = b.Const(false)
+		case netlist.KindConst1:
+			shared[l] = b.Const(true)
+		default:
+			shared[l] = b.NewVar()
+		}
+	}
+	if !inCone {
+		return false // not even structurally dependent
+	}
+
+	encodeCopy := func(leafVal bool) sat.Lit {
+		local := make(map[netlist.NodeID]sat.Lit, len(gates)+1)
+		pinned := b.Const(leafVal)
+		lookup := func(id netlist.NodeID) sat.Lit {
+			if id == leaf {
+				return pinned
+			}
+			if l, ok := local[id]; ok {
+				return l
+			}
+			return shared[id]
+		}
+		for _, g := range gates {
+			nd := &n.Nodes[g]
+			out := b.NewVar()
+			in := make([]sat.Lit, len(nd.Fanin))
+			for i, f := range nd.Fanin {
+				in[i] = lookup(f)
+			}
+			switch nd.Gate {
+			case netlist.And:
+				b.And(out, in...)
+			case netlist.Or:
+				b.Or(out, in...)
+			case netlist.Nand:
+				b.Nand(out, in...)
+			case netlist.Nor:
+				b.Nor(out, in...)
+			case netlist.Xor:
+				b.Xor(out, in...)
+			case netlist.Xnor:
+				b.Xnor(out, in...)
+			case netlist.Not:
+				b.Not(out, in[0])
+			case netlist.Buf:
+				b.Buf(out, in[0])
+			case netlist.Mux:
+				b.Mux(out, in[0], in[1], in[2])
+			case netlist.Maj:
+				b.Majority3(out, in[0], in[1], in[2])
+			}
+			local[g] = out
+		}
+		return lookup(root)
+	}
+
+	o0 := encodeCopy(false)
+	o1 := encodeCopy(true)
+	return b.S.Solve(b.Different(o0, o1)) == sat.Sat
+}

@@ -1,0 +1,145 @@
+package dep
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/netlist"
+	"repro/internal/sat"
+)
+
+// Witness is a satisfying assignment demonstrating that a node's value
+// functionally depends on a leaf: under the given values of the other
+// cone leaves, flipping the leaf flips the node.
+type Witness struct {
+	Root, Leaf netlist.NodeID
+	// Leaves assigns every other (non-constant) leaf of the cone.
+	Leaves map[netlist.NodeID]bool
+}
+
+// FunctionalWitness is FunctionalDepends with evidence: if root
+// functionally depends on leaf it returns a concrete witness
+// assignment, checkable by simulation.
+func FunctionalWitness(n *netlist.Netlist, root, leaf netlist.NodeID) (*Witness, bool) {
+	gates, leaves := n.Cone(root)
+
+	b := cnf.NewBuilder()
+	shared := make(map[netlist.NodeID]sat.Lit, len(leaves))
+	inCone := false
+	for _, l := range leaves {
+		if l == leaf {
+			inCone = true
+			continue
+		}
+		switch n.Nodes[l].Kind {
+		case netlist.KindConst0:
+			shared[l] = b.Const(false)
+		case netlist.KindConst1:
+			shared[l] = b.Const(true)
+		default:
+			shared[l] = b.NewVar()
+		}
+	}
+	if !inCone {
+		return nil, false
+	}
+
+	encodeCopy := func(leafVal bool) sat.Lit {
+		local := make(map[netlist.NodeID]sat.Lit, len(gates)+1)
+		pinned := b.Const(leafVal)
+		lookup := func(id netlist.NodeID) sat.Lit {
+			if id == leaf {
+				return pinned
+			}
+			if l, ok := local[id]; ok {
+				return l
+			}
+			return shared[id]
+		}
+		for _, g := range gates {
+			nd := &n.Nodes[g]
+			out := b.NewVar()
+			in := make([]sat.Lit, len(nd.Fanin))
+			for i, f := range nd.Fanin {
+				in[i] = lookup(f)
+			}
+			switch nd.Gate {
+			case netlist.And:
+				b.And(out, in...)
+			case netlist.Or:
+				b.Or(out, in...)
+			case netlist.Nand:
+				b.Nand(out, in...)
+			case netlist.Nor:
+				b.Nor(out, in...)
+			case netlist.Xor:
+				b.Xor(out, in...)
+			case netlist.Xnor:
+				b.Xnor(out, in...)
+			case netlist.Not:
+				b.Not(out, in[0])
+			case netlist.Buf:
+				b.Buf(out, in[0])
+			case netlist.Mux:
+				b.Mux(out, in[0], in[1], in[2])
+			case netlist.Maj:
+				b.Majority3(out, in[0], in[1], in[2])
+			}
+			local[g] = out
+		}
+		return lookup(root)
+	}
+
+	o0 := encodeCopy(false)
+	o1 := encodeCopy(true)
+	if b.S.Solve(b.Different(o0, o1)) != sat.Sat {
+		return nil, false
+	}
+	w := &Witness{Root: root, Leaf: leaf, Leaves: make(map[netlist.NodeID]bool, len(shared))}
+	for id, lit := range shared {
+		if k := n.Nodes[id].Kind; k == netlist.KindConst0 || k == netlist.KindConst1 {
+			continue
+		}
+		v := b.S.Value(lit.Var())
+		if lit.Neg() {
+			v = !v
+		}
+		w.Leaves[id] = v
+	}
+	return w, true
+}
+
+// CheckWitness verifies a witness by evaluating the cone under both
+// leaf values; it reports whether the root really flips.
+func CheckWitness(n *netlist.Netlist, w *Witness) bool {
+	eval := func(leafVal bool) bool {
+		var rec func(id netlist.NodeID) bool
+		memo := map[netlist.NodeID]bool{}
+		rec = func(id netlist.NodeID) bool {
+			if id == w.Leaf {
+				return leafVal
+			}
+			if v, ok := memo[id]; ok {
+				return v
+			}
+			nd := &n.Nodes[id]
+			var v bool
+			switch nd.Kind {
+			case netlist.KindConst0:
+				v = false
+			case netlist.KindConst1:
+				v = true
+			case netlist.KindGate:
+				in := make([]bool, len(nd.Fanin))
+				for i, f := range nd.Fanin {
+					in[i] = rec(f)
+				}
+				v = netlist.EvalGate(nd.Gate, in)
+			default:
+				v = w.Leaves[id]
+			}
+			memo[id] = v
+			return v
+		}
+		return rec(w.Root)
+	}
+	return eval(false) != eval(true)
+}

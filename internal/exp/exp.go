@@ -1,0 +1,380 @@
+// Package exp drives the paper's experimental protocol (Section IV-A):
+// for every benchmark it generates k random circuits and, per circuit,
+// s random security specifications; runs the full secure-data-flow
+// method on every (circuit, specification) pair where a violation
+// occurs but the circuit logic itself is not insecure; and averages
+// violating-register counts, applied changes (pure/hybrid/total) and
+// per-stage runtimes — the columns of Table I. It also measures the
+// bridging reductions of Section III-A and the structural
+// over-approximation overheads of Section IV-C.
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dep"
+	"repro/internal/hybrid"
+	"repro/internal/pure"
+	"repro/internal/rsn"
+	"repro/internal/secspec"
+)
+
+// RunConfig parameterizes one experimental run.
+type RunConfig struct {
+	// Scale shrinks benchmark structures for bounded hardware; 1 is
+	// full size (the paper's sizes). When 0, a per-benchmark scale is
+	// derived from TargetScanFFs.
+	Scale float64
+	// TargetScanFFs is the per-benchmark scan flip-flop budget used
+	// when Scale is 0: benchmarks below the budget run at full size,
+	// larger ones are scaled down to roughly the budget.
+	TargetScanFFs int
+	// Circuits per benchmark (the paper uses 10).
+	Circuits int
+	// Specs per circuit (the paper uses 16 security requirements).
+	Specs int
+	// Mode selects exact or structurally over-approximated
+	// dependencies.
+	Mode dep.Mode
+	// Seed makes the whole experiment deterministic.
+	Seed int64
+	// Circuit generation parameters.
+	Circuit bench.CircuitConfig
+	// SpecGen parameterizes random specification generation.
+	SpecGen secspec.GenConfig
+	// Parallel bounds the number of circuits analyzed concurrently;
+	// 0 uses GOMAXPROCS. Results are deterministic regardless: partial
+	// sums are aggregated in circuit order.
+	Parallel int
+}
+
+// DefaultRunConfig returns the scaled default protocol: the paper's
+// 10 circuits × 16 specs at a structure scale suitable for a laptop.
+func DefaultRunConfig() RunConfig {
+	return RunConfig{
+		Scale:         0, // auto from TargetScanFFs
+		TargetScanFFs: 350,
+		Circuits:      10,
+		Specs:         16,
+		Mode:          dep.Exact,
+		Seed:          1,
+		Circuit:       bench.DefaultCircuitConfig(),
+		SpecGen:       secspec.DefaultGenConfig(),
+	}
+}
+
+// QuickRunConfig returns a fast smoke-test protocol (3 circuits × 4
+// specs at a small scale) used by unit tests and -short benches.
+func QuickRunConfig() RunConfig {
+	cfg := DefaultRunConfig()
+	cfg.Circuits = 3
+	cfg.Specs = 8
+	cfg.TargetScanFFs = 120
+	return cfg
+}
+
+// Result aggregates one benchmark's measured averages (one Table I
+// row).
+type Result struct {
+	Benchmark bench.Benchmark
+	// FullStats are the full-size structural counts (Table I columns
+	// 2-4); ScaledStats the analyzed structure's counts.
+	FullStats, ScaledStats rsn.Stats
+	// Runs is the number of measured (circuit, spec) pairs;
+	// SkippedNoViolation and SkippedInsecure count excluded pairs.
+	Runs                 int
+	SkippedNoViolation   int
+	SkippedInsecureLogic int
+	Errors               int
+	// Averages over measured runs (Table I columns 5-8).
+	AvgViolatingRegs float64
+	AvgPureChanges   float64
+	AvgHybridChanges float64
+	AvgTotalChanges  float64
+	// Average per-stage runtimes (Table I columns 9-12). Dependency
+	// calculation happens once per circuit and is attributed to each of
+	// its measured runs, as in the paper's accounting.
+	AvgDepTime    time.Duration
+	AvgPureTime   time.Duration
+	AvgHybridTime time.Duration
+	AvgTotalTime  time.Duration
+}
+
+// effectiveScale resolves the scale for one benchmark.
+func (cfg RunConfig) effectiveScale(b bench.Benchmark) float64 {
+	if cfg.Scale > 0 {
+		return cfg.Scale
+	}
+	return b.ScaleForTarget(cfg.TargetScanFFs)
+}
+
+// benchSeed derives a per-benchmark base seed.
+func benchSeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	fmt.Fprint(h, name)
+	return base ^ int64(h.Sum64())
+}
+
+// RunBenchmark executes the protocol for one benchmark.
+func RunBenchmark(b bench.Benchmark, cfg RunConfig) (*Result, error) {
+	if cfg.Circuits <= 0 || cfg.Specs <= 0 {
+		return nil, fmt.Errorf("exp: Circuits and Specs must be positive")
+	}
+	res := &Result{Benchmark: b}
+	res.FullStats = rsn.Stats{Registers: b.Registers, ScanFFs: b.ScanFFs, Muxes: b.Muxes}
+	base := benchSeed(cfg.Seed, b.Name)
+
+	type circuitSums struct {
+		runs, skipNoViol, skipInsecure, errors int
+		stats                                  rsn.Stats
+		sumViol, sumPure, sumHybrid            float64
+		sumDep, sumPureT, sumHybT, sumTotalT   time.Duration
+	}
+	scale := cfg.effectiveScale(b)
+	perCircuit := make([]circuitSums, cfg.Circuits)
+
+	runCircuit := func(c int) {
+		cs := &perCircuit[c]
+		nw := b.Build(scale)
+		cs.stats = nw.Stats()
+		att := bench.AttachCircuit(nw, cfg.Circuit, base+int64(c)*7919)
+
+		t0 := time.Now()
+		an := hybrid.NewAnalysis(nw, att.Circuit, att.Internal, nil, cfg.Mode)
+		depTime := time.Since(t0)
+
+		for s := 0; s < cfg.Specs; s++ {
+			spec := secspec.GenerateWithRoles(len(nw.Modules), att.DataSources, cfg.SpecGen, base+int64(c)*104729+int64(s)*31)
+			a2 := an.WithSpec(spec)
+
+			if len(a2.InsecureModulePairs()) > 0 {
+				cs.skipInsecure++
+				continue
+			}
+			run := nw.Clone()
+			violBefore := len(a2.ViolatingRegisters(run))
+			if violBefore == 0 {
+				cs.skipNoViol++
+				continue
+			}
+
+			t1 := time.Now()
+			pres, err := pure.Resolve(run, spec)
+			pureTime := time.Since(t1)
+			if err != nil {
+				cs.errors++
+				continue
+			}
+			t2 := time.Now()
+			hres, err := hybrid.Resolve(a2, run)
+			hybTime := time.Since(t2)
+			if err != nil {
+				cs.errors++
+				continue
+			}
+
+			cs.runs++
+			cs.sumViol += float64(violBefore)
+			cs.sumPure += float64(len(pres.Changes))
+			cs.sumHybrid += float64(len(hres.Changes))
+			cs.sumDep += depTime
+			cs.sumPureT += pureTime
+			cs.sumHybT += hybTime
+			cs.sumTotalT += depTime + pureTime + hybTime
+		}
+	}
+
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Circuits {
+		workers = cfg.Circuits
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for c := range jobs {
+				runCircuit(c)
+			}
+		}()
+	}
+	for c := 0; c < cfg.Circuits; c++ {
+		jobs <- c
+	}
+	close(jobs)
+	wg.Wait()
+
+	var (
+		sumViol, sumPure, sumHybrid          float64
+		sumDep, sumPureT, sumHybT, sumTotalT time.Duration
+	)
+	res.ScaledStats = perCircuit[0].stats
+	for c := range perCircuit {
+		cs := &perCircuit[c]
+		res.Runs += cs.runs
+		res.SkippedNoViolation += cs.skipNoViol
+		res.SkippedInsecureLogic += cs.skipInsecure
+		res.Errors += cs.errors
+		sumViol += cs.sumViol
+		sumPure += cs.sumPure
+		sumHybrid += cs.sumHybrid
+		sumDep += cs.sumDep
+		sumPureT += cs.sumPureT
+		sumHybT += cs.sumHybT
+		sumTotalT += cs.sumTotalT
+	}
+	if res.Runs > 0 {
+		n := float64(res.Runs)
+		res.AvgViolatingRegs = sumViol / n
+		res.AvgPureChanges = sumPure / n
+		res.AvgHybridChanges = sumHybrid / n
+		res.AvgTotalChanges = (sumPure + sumHybrid) / n
+		res.AvgDepTime = sumDep / time.Duration(res.Runs)
+		res.AvgPureTime = sumPureT / time.Duration(res.Runs)
+		res.AvgHybridTime = sumHybT / time.Duration(res.Runs)
+		res.AvgTotalTime = sumTotalT / time.Duration(res.Runs)
+	}
+	return res, nil
+}
+
+// BridgingResult measures experiment E4: the reductions achieved by
+// bridging over internal flip-flops (the paper reports −41.72% denoted
+// flip-flops and −65.37% denoted dependencies on average).
+type BridgingResult struct {
+	Benchmark    bench.Benchmark
+	FFsTotal     int // denoted flip-flops without bridging
+	FFsBridged   int // denoted flip-flops with bridging
+	DepsNoBridge int // multi-cycle dependencies without bridging
+	DepsBridge   int // multi-cycle dependencies with bridging
+}
+
+// FFReduction returns the fractional reduction in denoted flip-flops.
+func (r BridgingResult) FFReduction() float64 {
+	if r.FFsTotal == 0 {
+		return 0
+	}
+	return 1 - float64(r.FFsBridged)/float64(r.FFsTotal)
+}
+
+// DepReduction returns the fractional reduction in denoted
+// dependencies.
+func (r BridgingResult) DepReduction() float64 {
+	if r.DepsNoBridge == 0 {
+		return 0
+	}
+	return 1 - float64(r.DepsBridge)/float64(r.DepsNoBridge)
+}
+
+// RunBridging computes the bridging reductions for one benchmark by
+// running the dependency analysis with and without bridging on the
+// same generated circuit.
+func RunBridging(b bench.Benchmark, cfg RunConfig) (*BridgingResult, error) {
+	nw := b.Build(cfg.effectiveScale(b))
+	att := bench.AttachCircuit(nw, cfg.Circuit, benchSeed(cfg.Seed, b.Name))
+	with := hybrid.NewAnalysis(nw, att.Circuit, att.Internal, nil, cfg.Mode)
+	without := hybrid.NewAnalysis(nw, att.Circuit, nil, nil, cfg.Mode)
+	return &BridgingResult{
+		Benchmark:    b,
+		FFsTotal:     without.DepStats.FFsDenoted,
+		FFsBridged:   with.DepStats.FFsDenoted,
+		DepsNoBridge: without.DepStats.DepsMultiCycle,
+		DepsBridge:   with.DepStats.DepsMultiCycle,
+	}, nil
+}
+
+// ApproxResult measures experiment E5: the cost of over-approximating
+// path-dependency with structural dependency (Section IV-C: +61%
+// applied changes on average; 6.21% of runs falsely classify the
+// circuit logic as insecure).
+type ApproxResult struct {
+	Benchmark bench.Benchmark
+	// Runs measured under both modes.
+	Runs int
+	// ExactChanges and ApproxChanges are total applied changes summed
+	// over common runs.
+	ExactChanges, ApproxChanges float64
+	// FalseInsecure counts runs the approximation classified as
+	// insecure circuit logic although exact analysis did not.
+	FalseInsecure int
+	// TotalSpecRuns counts all (circuit, spec) pairs examined.
+	TotalSpecRuns int
+}
+
+// ChangeOverhead returns the relative increase in applied changes.
+func (r ApproxResult) ChangeOverhead() float64 {
+	if r.ExactChanges == 0 {
+		return 0
+	}
+	return r.ApproxChanges/r.ExactChanges - 1
+}
+
+// FalseInsecureRate returns the fraction of examined pairs falsely
+// classified insecure.
+func (r ApproxResult) FalseInsecureRate() float64 {
+	if r.TotalSpecRuns == 0 {
+		return 0
+	}
+	return float64(r.FalseInsecure) / float64(r.TotalSpecRuns)
+}
+
+// RunApprox executes the IV-C comparison for one benchmark: the same
+// circuits and specifications under exact and structural dependencies.
+func RunApprox(b bench.Benchmark, cfg RunConfig) (*ApproxResult, error) {
+	res := &ApproxResult{Benchmark: b}
+	base := benchSeed(cfg.Seed, b.Name)
+	scale := cfg.effectiveScale(b)
+	for c := 0; c < cfg.Circuits; c++ {
+		nw := b.Build(scale)
+		att := bench.AttachCircuit(nw, cfg.Circuit, base+int64(c)*7919)
+		exact := hybrid.NewAnalysis(nw, att.Circuit, att.Internal, nil, dep.Exact)
+		approx := hybrid.NewAnalysis(nw, att.Circuit, att.Internal, nil, dep.StructuralApprox)
+		for s := 0; s < cfg.Specs; s++ {
+			spec := secspec.GenerateWithRoles(len(nw.Modules), att.DataSources, cfg.SpecGen, base+int64(c)*104729+int64(s)*31)
+			res.TotalSpecRuns++
+			ea := exact.WithSpec(spec)
+			aa := approx.WithSpec(spec)
+			exactInsecure := len(ea.InsecureModulePairs()) > 0
+			approxInsecure := len(aa.InsecureModulePairs()) > 0
+			if !exactInsecure && approxInsecure {
+				res.FalseInsecure++
+			}
+			if exactInsecure || approxInsecure {
+				continue
+			}
+			runE := nw.Clone()
+			if len(ea.ViolatingRegisters(runE)) == 0 && len(aa.ViolatingRegisters(runE)) == 0 {
+				continue
+			}
+			pe, err := pure.Resolve(runE, spec)
+			if err != nil {
+				continue
+			}
+			he, err := hybrid.Resolve(ea, runE)
+			if err != nil {
+				continue
+			}
+			runA := nw.Clone()
+			pa, err := pure.Resolve(runA, spec)
+			if err != nil {
+				continue
+			}
+			ha, err := hybrid.Resolve(aa, runA)
+			if err != nil {
+				continue
+			}
+			res.Runs++
+			res.ExactChanges += float64(len(pe.Changes) + len(he.Changes))
+			res.ApproxChanges += float64(len(pa.Changes) + len(ha.Changes))
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package hybrid
+
+import (
+	"repro/internal/rsn"
+	"repro/internal/secspec"
+)
+
+// RegisterAttr is the flip-flop-granular attribute storage of Section
+// III-C: instead of one attribute per scan flip-flop, a register stores
+// the propagated security attribute of its first flip-flop and the
+// first flip-flop position where the attribute changes.
+//
+// When the attribute changes at most once along the register the
+// representation is exact; with further changes Rest conservatively
+// intersects everything from the change position on, so At never
+// claims an accepted category the exact attribute lacks (a sound
+// under-approximation for violation detection).
+type RegisterAttr struct {
+	// First is the attribute of scan flip-flop 0.
+	First secspec.CatSet
+	// ChangeAt is the first position whose attribute differs from
+	// First, or -1 if the attribute is uniform.
+	ChangeAt int
+	// Rest is the intersection of the attributes at and after ChangeAt.
+	Rest secspec.CatSet
+}
+
+// CompressRegister builds the compressed representation from per-bit
+// attributes.
+func CompressRegister(attrs []secspec.CatSet) RegisterAttr {
+	ra := RegisterAttr{ChangeAt: -1}
+	if len(attrs) == 0 {
+		return ra
+	}
+	ra.First = attrs[0]
+	for i := 1; i < len(attrs); i++ {
+		if attrs[i] != ra.First {
+			ra.ChangeAt = i
+			ra.Rest = attrs[i]
+			for _, a := range attrs[i+1:] {
+				ra.Rest &= a
+			}
+			break
+		}
+	}
+	return ra
+}
+
+// At returns the (possibly conservative) attribute of bit i.
+func (ra RegisterAttr) At(i int) secspec.CatSet {
+	if ra.ChangeAt < 0 || i < ra.ChangeAt {
+		return ra.First
+	}
+	return ra.Rest
+}
+
+// RegisterAttrs runs the attribute propagation and compresses the
+// incoming attributes of every register into the III-C representation.
+func (a *Analysis) RegisterAttrs(nw *rsn.Network) []RegisterAttr {
+	p := a.propagate(nw)
+	out := make([]RegisterAttr, len(nw.Registers))
+	for r := range nw.Registers {
+		attrs := make([]secspec.CatSet, a.regLen[r])
+		for b := range attrs {
+			attrs[b] = p.attrIn[a.ScanIndex(r, b)]
+		}
+		out[r] = CompressRegister(attrs)
+	}
+	return out
+}

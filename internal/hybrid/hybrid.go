@@ -1,0 +1,390 @@
+// Package hybrid implements the novel contribution of the paper:
+// detection and resolution of security violations over hybrid scan
+// paths — data paths that use both the reconfigurable scan
+// infrastructure and the underlying circuit logic — at scan flip-flop
+// granularity (Sections III-B to III-D).
+//
+// The analysis builds a combined dependency space over circuit
+// flip-flops and scan flip-flops. Its fixed part — circuit 1-cycle
+// dependencies, the preset register-chain dependencies, and the
+// capture/update links — is computed once, with internal flip-flops
+// bridged away, and reused across every structural change to the RSN
+// (the paper's rationale for calculating dependencies "omitting the
+// RSN"). Only the reconfigurable inter-register wiring is re-derived
+// after each change. Security attributes are propagated
+// omnidirectionally over the combined graph to a fixed point; the
+// finitely many attribute values guarantee termination even on the
+// cyclic flows hybrid paths create.
+package hybrid
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dep"
+	"repro/internal/netlist"
+	"repro/internal/rsn"
+	"repro/internal/secspec"
+)
+
+// Analysis is the fixed-infrastructure dependency analysis of one
+// circuit + scan register structure. It is valid across arbitrary
+// re-wiring of the network's inter-register connections.
+type Analysis struct {
+	Circuit *netlist.Netlist
+	Spec    *secspec.Spec
+	Mode    dep.Mode
+
+	// Base is the bridged 1-cycle dependency matrix over the combined
+	// index space: circuit flip-flops first, then scan flip-flops.
+	Base *dep.Matrix
+	// Clo is the multi-cycle closure of Base.
+	Clo *dep.Matrix
+	// Denoted marks combined indices that survived bridging.
+	Denoted []bool
+	// DepStats carries the dependency computation bookkeeping.
+	DepStats dep.Stats
+	// PresetDeps counts dependencies preset for consecutive scan
+	// flip-flops instead of being computed (Section III-A subroutine 1).
+	PresetDeps int
+
+	nCirc     int
+	total     int
+	regOffset []int // per register: first combined index of its scan FFs
+	regLen    []int
+	regModule []int
+	// nodeModule maps every combined index to its module.
+	nodeModule []int
+}
+
+// NewAnalysis computes the fixed part of the hybrid data-flow analysis:
+// circuit 1-cycle dependencies (SAT-classified in Exact mode), preset
+// register chains, capture/update links, bridging over the internal
+// flip-flops, and the multi-cycle closure.
+func NewAnalysis(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, spec *secspec.Spec, mode dep.Mode) *Analysis {
+	a := &Analysis{Circuit: circuit, Spec: spec, Mode: mode}
+	a.nCirc = circuit.NumFFs()
+	a.regOffset = make([]int, len(nw.Registers))
+	a.regLen = make([]int, len(nw.Registers))
+	a.regModule = make([]int, len(nw.Registers))
+	idx := a.nCirc
+	for r := range nw.Registers {
+		a.regOffset[r] = idx
+		a.regLen[r] = nw.Registers[r].Len
+		a.regModule[r] = nw.Registers[r].Module
+		idx += nw.Registers[r].Len
+	}
+	a.total = idx
+	a.nodeModule = make([]int, a.total)
+	for f := 0; f < a.nCirc; f++ {
+		a.nodeModule[f] = circuit.FFs[f].Module
+	}
+	for r := range nw.Registers {
+		for i := 0; i < a.regLen[r]; i++ {
+			a.nodeModule[a.regOffset[r]+i] = a.regModule[r]
+		}
+	}
+
+	a.DepStats.Mode = mode
+	a.DepStats.FFsTotal = a.total
+	m := dep.NewMatrix(a.total)
+	dep.FillOneCycle(m, circuit, mode, &a.DepStats)
+
+	// Preset the dependencies of consecutive flip-flops inside each
+	// scan register: the latter path-depends on every former one.
+	for r := range nw.Registers {
+		for j := 1; j < a.regLen[r]; j++ {
+			for i := 0; i < j; i++ {
+				m.Set(a.regOffset[r]+j, a.regOffset[r]+i, dep.Path)
+				a.PresetDeps++
+			}
+		}
+	}
+	// Capture and update links couple scan and circuit flip-flops.
+	for r := range nw.Registers {
+		reg := &nw.Registers[r]
+		for i := 0; i < reg.Len; i++ {
+			if g := reg.Capture[i]; g != netlist.NoFF {
+				m.Set(a.regOffset[r]+i, int(g), dep.Path)
+			}
+			if f := reg.Update[i]; f != netlist.NoFF {
+				m.Set(int(f), a.regOffset[r]+i, dep.Path)
+			}
+		}
+	}
+	a.DepStats.DepsBeforeBridge = m.CountDeps()
+
+	dep.Bridge(m, internal)
+	a.DepStats.BridgedFFs = len(internal)
+	a.DepStats.FFsDenoted = a.total - len(internal)
+	a.DepStats.DepsAfterBridge = m.CountDeps()
+	a.Base = m
+
+	a.Clo = m.Clone()
+	dep.Closure(a.Clo)
+	a.DepStats.DepsMultiCycle = a.Clo.CountDeps()
+	a.DepStats.ClosurePathDeps = a.Clo.CountPath()
+
+	a.Denoted = make([]bool, a.total)
+	for i := range a.Denoted {
+		a.Denoted[i] = true
+	}
+	for _, k := range internal {
+		a.Denoted[k] = false
+	}
+	return a
+}
+
+// WithSpec returns a shallow copy of the analysis evaluating a
+// different security specification. The dependency matrices do not
+// depend on the specification, so one analysis can be reused across
+// many specs (the experimental protocol evaluates 16 specifications per
+// generated circuit).
+func (a *Analysis) WithSpec(spec *secspec.Spec) *Analysis {
+	cp := *a
+	cp.Spec = spec
+	return &cp
+}
+
+// Total returns the size of the combined index space.
+func (a *Analysis) Total() int { return a.total }
+
+// NumCircuitFFs returns the number of circuit flip-flop indices.
+func (a *Analysis) NumCircuitFFs() int { return a.nCirc }
+
+// ScanIndex returns the combined index of scan flip-flop bit of
+// register reg.
+func (a *Analysis) ScanIndex(reg, bit int) int { return a.regOffset[reg] + bit }
+
+// NodeModule returns the module of a combined index.
+func (a *Analysis) NodeModule(n int) int { return a.nodeModule[n] }
+
+// IsScanNode reports whether the combined index is a scan flip-flop,
+// and if so of which register and bit.
+func (a *Analysis) IsScanNode(n int) (reg, bit int, ok bool) {
+	if n < a.nCirc {
+		return 0, 0, false
+	}
+	// regOffset ascending: binary search for the register.
+	r := sort.Search(len(a.regOffset), func(i int) bool { return a.regOffset[i] > n }) - 1
+	return r, n - a.regOffset[r], true
+}
+
+// NodeName renders a combined index for diagnostics.
+func (a *Analysis) NodeName(n int) string {
+	if r, b, ok := a.IsScanNode(n); ok {
+		return fmt.Sprintf("R%d.SF%d", r, b)
+	}
+	return fmt.Sprintf("ff:%s", a.Circuit.FFs[n].Name)
+}
+
+// InsecurePair is a fixed-infrastructure data flow that violates the
+// specification independently of the reconfigurable scan wiring.
+type InsecurePair struct {
+	Src, Dst int // combined indices; data flows Src -> Dst
+}
+
+// InsecureLogic returns the security violations that exist over the
+// fixed infrastructure alone (circuit logic, register chains and
+// capture/update links) — violations that no re-wiring of the RSN can
+// resolve and that require a redesign of the circuit (Section III-B).
+func (a *Analysis) InsecureLogic() []InsecurePair {
+	var out []InsecurePair
+	for i := 0; i < a.total; i++ {
+		if !a.Denoted[i] {
+			continue
+		}
+		mi := a.nodeModule[i]
+		a.Clo.PathDependsOn(i).ForEach(func(j int) {
+			if !a.Denoted[j] {
+				return
+			}
+			if a.Spec.Violates(a.nodeModule[j], mi) {
+				out = append(out, InsecurePair{Src: j, Dst: i})
+			}
+		})
+	}
+	return out
+}
+
+// InsecureModulePairs deduplicates InsecureLogic to module pairs.
+func (a *Analysis) InsecureModulePairs() [][2]int {
+	seen := map[[2]int]bool{}
+	var out [][2]int
+	for _, p := range a.InsecureLogic() {
+		mp := [2]int{a.nodeModule[p.Src], a.nodeModule[p.Dst]}
+		if !seen[mp] {
+			seen[mp] = true
+			out = append(out, mp)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i][0] != out[j][0] {
+			return out[i][0] < out[j][0]
+		}
+		return out[i][1] < out[j][1]
+	})
+	return out
+}
+
+// Violation is a detected security violation: confidential data flows
+// functionally into node Node (a scan flip-flop or a denoted circuit
+// flip-flop) whose module may not hold it.
+type Violation struct {
+	Node int
+	// Missing is the trust category of Node's module, absent from the
+	// arriving attribute.
+	Missing secspec.Category
+}
+
+// propagation holds the fixed-point attribute state for one wiring.
+type propagation struct {
+	attrIn  []secspec.CatSet
+	attrOut []secspec.CatSet
+}
+
+// lastIndex returns the combined index of the last scan flip-flop of a
+// register.
+func (a *Analysis) lastIndex(reg int) int { return a.regOffset[reg] + a.regLen[reg] - 1 }
+
+// propagate computes the omnidirectional fixed point of security
+// attributes over the combined graph: fixed Base edges plus the
+// network's current inter-register wiring. Scan multiplexers are
+// transparent pseudo-nodes (indices a.total..a.total+muxes-1) so the
+// wiring contributes O(edges) work instead of flattening mux chains,
+// and a worklist re-evaluates only nodes whose inputs changed.
+func (a *Analysis) propagate(nw *rsn.Network) *propagation {
+	all := secspec.AllCats(a.Spec.NumCategories)
+	nMux := len(nw.Muxes)
+	size := a.total + nMux
+	p := &propagation{
+		attrIn:  make([]secspec.CatSet, size),
+		attrOut: make([]secspec.CatSet, size),
+	}
+	for i := 0; i < a.total; i++ {
+		p.attrIn[i] = all
+		p.attrOut[i] = all & a.Spec.Accepts[a.nodeModule[i]]
+	}
+	for i := a.total; i < size; i++ {
+		p.attrIn[i] = all
+		p.attrOut[i] = all
+	}
+	muxNode := func(id int32) int { return a.total + int(id) }
+	// srcIdx maps a wiring source reference to its propagation node,
+	// or -1 for the scan-in port (no constraint).
+	srcIdx := func(ref rsn.Ref) int {
+		switch ref.Kind {
+		case rsn.KRegister:
+			return a.lastIndex(int(ref.ID))
+		case rsn.KMux:
+			return muxNode(ref.ID)
+		}
+		return -1
+	}
+	// Reverse wiring adjacency: node -> nodes to re-evaluate when its
+	// out-attribute changes.
+	wdep := make([][]int32, size)
+	addDep := func(src rsn.Ref, sink int) {
+		if s := srcIdx(src); s >= 0 {
+			wdep[s] = append(wdep[s], int32(sink))
+		}
+	}
+	for r := range nw.Registers {
+		addDep(nw.Registers[r].In, a.ScanIndex(r, 0))
+	}
+	for m := range nw.Muxes {
+		for _, in := range nw.Muxes[m].Inputs {
+			addDep(in, muxNode(int32(m)))
+		}
+	}
+
+	active := func(n int) bool { return n >= a.total || a.Denoted[n] }
+	inQueue := make([]bool, size)
+	queue := make([]int32, 0, size)
+	for n := 0; n < size; n++ {
+		if active(n) {
+			queue = append(queue, int32(n))
+			inQueue[n] = true
+		}
+	}
+	push := func(n int32) {
+		if active(int(n)) && !inQueue[n] {
+			inQueue[n] = true
+			queue = append(queue, n)
+		}
+	}
+	for len(queue) > 0 {
+		n := int(queue[0])
+		queue = queue[1:]
+		inQueue[n] = false
+
+		in := all
+		var out secspec.CatSet
+		if n >= a.total {
+			// Transparent mux node: intersection of its inputs.
+			for _, ref := range nw.Muxes[n-a.total].Inputs {
+				if s := srcIdx(ref); s >= 0 {
+					in &= p.attrOut[s]
+				}
+			}
+			out = in
+		} else {
+			a.Base.PathDependsOn(n).ForEach(func(u int) {
+				if a.Denoted[u] {
+					in &= p.attrOut[u]
+				}
+			})
+			if r, bit, ok := a.IsScanNode(n); ok && bit == 0 {
+				if s := srcIdx(nw.Registers[r].In); s >= 0 {
+					in &= p.attrOut[s]
+				}
+			}
+			out = in & a.Spec.Accepts[a.nodeModule[n]]
+		}
+		p.attrIn[n] = in
+		if out == p.attrOut[n] {
+			continue
+		}
+		p.attrOut[n] = out
+		// Re-evaluate everything fed by n.
+		if n < a.total {
+			a.Base.PathDependents(n).ForEach(func(d int) { push(int32(d)) })
+		}
+		for _, d := range wdep[n] {
+			push(d)
+		}
+	}
+	return p
+}
+
+// Violations returns the security violations of the network's current
+// wiring, ordered by combined index.
+func (a *Analysis) Violations(nw *rsn.Network) []Violation {
+	p := a.propagate(nw)
+	var out []Violation
+	for n := 0; n < a.total; n++ {
+		if !a.Denoted[n] {
+			continue
+		}
+		trust := a.Spec.Trust[a.nodeModule[n]]
+		if !p.attrIn[n].Has(trust) {
+			out = append(out, Violation{Node: n, Missing: trust})
+		}
+	}
+	return out
+}
+
+// ViolatingRegisters returns the registers containing at least one
+// violating scan flip-flop, ascending.
+func (a *Analysis) ViolatingRegisters(nw *rsn.Network) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, v := range a.Violations(nw) {
+		if r, _, ok := a.IsScanNode(v.Node); ok && !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,257 @@
+package hybrid
+
+import (
+	"fmt"
+
+	"repro/internal/rsn"
+)
+
+// Change records one applied structural modification bundle.
+type Change struct {
+	// Cut is the input pin that was disconnected.
+	Cut rsn.Sink
+	// OldSrc and NewSrc are the pin's sources before and after.
+	OldSrc, NewSrc rsn.Ref
+	// NewMuxes counts multiplexers inserted while re-attaching
+	// separated segments.
+	NewMuxes int
+	// Culprit and Target are the combined indices of the flow the
+	// change severed.
+	Culprit, Target int
+}
+
+// Cost is the structural cost minimized by the candidate selection.
+func (c Change) Cost() int { return 1 + c.NewMuxes }
+
+func (c Change) String() string {
+	return fmt.Sprintf("cut %v<-%v, reconnect to %v (+%d mux)", c.Cut.Elem, c.OldSrc, c.NewSrc, c.NewMuxes)
+}
+
+// Result summarizes a hybrid resolution run.
+type Result struct {
+	Changes []Change
+	// ViolationsBefore is the number of violating nodes before any
+	// change.
+	ViolationsBefore int
+}
+
+// hop is one reconfigurable wiring edge on a violating flow: the last
+// scan flip-flop of register From feeds the first of register To.
+type hop struct {
+	From, To int
+}
+
+// ErrInsecureLogic reports a violating flow that uses no reconfigurable
+// wiring: it cannot be resolved by transforming the RSN.
+type ErrInsecureLogic struct {
+	Src, Dst int
+	Name     string
+}
+
+func (e *ErrInsecureLogic) Error() string {
+	return fmt.Sprintf("hybrid: flow %s is carried by circuit logic and fixed scan structure alone; resolving it requires a circuit redesign", e.Name)
+}
+
+// culpritPath searches backward from the violating node v for a source
+// node u whose module data must not reach v, returning u and the wiring
+// hops on the u-to-v flow.
+func (a *Analysis) culpritPath(nw *rsn.Network, v int) (int, []hop, error) {
+	u, _, hops, err := a.flowChain(nw, v)
+	return u, hops, err
+}
+
+// flowChain is culpritPath plus the full node chain from culprit to
+// target (used by Explain).
+func (a *Analysis) flowChain(nw *rsn.Network, v int) (int, []int, []hop, error) {
+	type edge struct {
+		next   int  // node this one flows into (toward v)
+		wiring *hop // non-nil if the edge is a wiring hop
+	}
+	parent := make(map[int]edge, 64)
+	visited := make(map[int]bool, 64)
+	visited[v] = true
+	queue := []int{v}
+	vmod := a.nodeModule[v]
+	wiring := make([][]rsn.Ref, len(nw.Registers))
+	for r := range nw.Registers {
+		wiring[r] = nw.EffectiveSources(r)
+	}
+	var culprit = -1
+	for len(queue) > 0 && culprit < 0 {
+		y := queue[0]
+		queue = queue[1:]
+		expand := func(x int, w *hop) {
+			if visited[x] || !a.Denoted[x] {
+				return
+			}
+			visited[x] = true
+			parent[x] = edge{next: y, wiring: w}
+			if a.Spec.Violates(a.nodeModule[x], vmod) {
+				culprit = x
+			}
+			queue = append(queue, x)
+		}
+		a.Base.PathDependsOn(y).ForEach(func(x int) {
+			if culprit < 0 {
+				expand(x, nil)
+			}
+		})
+		if culprit >= 0 {
+			break
+		}
+		if r, bit, ok := a.IsScanNode(y); ok && bit == 0 {
+			for _, src := range wiring[r] {
+				if src.Kind != rsn.KRegister {
+					continue
+				}
+				h := hop{From: int(src.ID), To: r}
+				expand(a.lastIndex(int(src.ID)), &h)
+				if culprit >= 0 {
+					break
+				}
+			}
+		}
+	}
+	if culprit < 0 {
+		return -1, nil, nil, fmt.Errorf("hybrid: node %s violates but no culprit flow found", a.NodeName(v))
+	}
+	var hops []hop
+	chain := []int{culprit}
+	for n := culprit; n != v; {
+		e := parent[n]
+		if e.wiring != nil {
+			hops = append(hops, *e.wiring)
+		}
+		n = e.next
+		chain = append(chain, n)
+	}
+	if len(hops) == 0 {
+		return culprit, chain, nil, &ErrInsecureLogic{Src: culprit, Dst: v,
+			Name: fmt.Sprintf("%s -> %s", a.NodeName(culprit), a.NodeName(v))}
+	}
+	return culprit, chain, hops, nil
+}
+
+// maxChanges bounds the resolve loop against pathological oscillation.
+func maxChanges(nw *rsn.Network) int { return 8*len(nw.Registers) + 64 }
+
+// Resolve repeatedly detects and repairs hybrid-path violations until
+// the network is secure. It mutates nw and returns the applied changes.
+// Security attributes are propagated anew after every change (the
+// paper's III-D choice over a root-cause analysis).
+func Resolve(a *Analysis, nw *rsn.Network) (*Result, error) {
+	res := &Result{}
+	res.ViolationsBefore = len(a.Violations(nw))
+	for {
+		viols := a.Violations(nw)
+		if len(viols) == 0 {
+			return res, nil
+		}
+		if len(res.Changes) >= maxChanges(nw) {
+			return res, fmt.Errorf("hybrid: resolution did not converge after %d changes (%d violations left)", len(res.Changes), len(viols))
+		}
+		v := viols[0].Node
+		u, hops, err := a.culpritPath(nw, v)
+		if err != nil {
+			return res, err
+		}
+		ch, err := a.resolveOne(nw, u, v, hops, len(viols))
+		if err != nil {
+			return res, err
+		}
+		res.Changes = append(res.Changes, ch)
+	}
+}
+
+// resolveOne cuts one wiring hop of the violating flow and re-connects
+// the separated segments, evaluating candidates on clones and applying
+// the lowest-cost acceptable one.
+func (a *Analysis) resolveOne(nw *rsn.Network, u, v int, hops []hop, before int) (Change, error) {
+	type candidate struct {
+		pin    rsn.Sink
+		newSrc rsn.Ref
+	}
+	var cands []candidate
+	p := a.propagate(nw)
+	for _, h := range hops {
+		pin := rsn.Sink{Elem: rsn.Reg(h.To), Idx: 0}
+		// Compatible pure-path predecessors of the segment being cut
+		// free, cheapest first; then the always-available scan-in port.
+		smod := a.regModule[h.To]
+		taken := 0
+		for _, pr := range nw.PurePredecessors(h.To) {
+			if pr == h.From {
+				continue
+			}
+			if !p.attrOut[a.lastIndex(pr)].Has(a.Spec.Trust[smod]) {
+				continue
+			}
+			cands = append(cands, candidate{pin, rsn.Reg(pr)})
+			if taken++; taken >= 4 {
+				break
+			}
+		}
+		cands = append(cands, candidate{pin, rsn.ScanIn})
+	}
+
+	type scored struct {
+		c       candidate
+		muxes   int
+		removed bool
+		after   int
+	}
+	var best *scored
+	betterThan := func(s, t *scored) bool {
+		if t == nil {
+			return true
+		}
+		if s.removed != t.removed {
+			return s.removed
+		}
+		if s.after != t.after {
+			return s.after < t.after
+		}
+		return s.muxes < t.muxes
+	}
+	for _, c := range cands {
+		trial := nw.Clone()
+		muxes, err := trial.CutAndReconnect(c.pin, c.newSrc)
+		if err != nil || trial.Validate() != nil {
+			continue
+		}
+		after := a.Violations(trial)
+		if len(after) > before {
+			continue
+		}
+		s := scored{c: c, muxes: muxes, removed: !violatesNode(after, v), after: len(after)}
+		if betterThan(&s, best) {
+			cp := s
+			best = &cp
+		}
+	}
+	if best == nil {
+		return Change{}, fmt.Errorf("hybrid: no valid candidate to sever flow %s -> %s", a.NodeName(u), a.NodeName(v))
+	}
+	oldSrc := nw.SinkSource(best.c.pin)
+	muxes, err := nw.CutAndReconnect(best.c.pin, best.c.newSrc)
+	if err != nil {
+		return Change{}, err
+	}
+	return Change{
+		Cut:      best.c.pin,
+		OldSrc:   oldSrc,
+		NewSrc:   best.c.newSrc,
+		NewMuxes: muxes,
+		Culprit:  u,
+		Target:   v,
+	}, nil
+}
+
+func violatesNode(vs []Violation, n int) bool {
+	for _, v := range vs {
+		if v.Node == n {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,299 @@
+package netlist
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// This file implements the classic ISCAS-89 ".bench" netlist format so
+// generated circuits can be persisted and exchanged:
+//
+//	# comment
+//	# @module crypto          <- extension: module of following DFFs
+//	INPUT(pi0)
+//	OUTPUT(g7)
+//	f1 = DFF(d1)
+//	d1 = AND(pi0, f1)
+//	g7 = NAND(f1, pi0)
+//
+// Supported functions: AND, OR, NAND, NOR, XOR, XNOR, NOT, BUFF, MUX,
+// MAJ (extensions), CONST0, CONST1, DFF. Signals may be declared in any
+// order.
+
+var gateByName = map[string]GateType{
+	"AND": And, "OR": Or, "NAND": Nand, "NOR": Nor,
+	"XOR": Xor, "XNOR": Xnor, "NOT": Not, "BUFF": Buf, "BUF": Buf,
+	"MUX": Mux, "MAJ": Maj,
+}
+
+var nameByGate = map[GateType]string{
+	And: "AND", Or: "OR", Nand: "NAND", Nor: "NOR",
+	Xor: "XOR", Xnor: "XNOR", Not: "NOT", Buf: "BUFF",
+	Mux: "MUX", Maj: "MAJ",
+}
+
+// WriteBench renders the netlist in .bench format. Flip-flop and input
+// names are preserved; gate nodes get synthetic names. Module
+// membership is recorded with "# @module" pragmas.
+func WriteBench(w io.Writer, n *Netlist) error {
+	bw := bufio.NewWriter(w)
+	name := make([]string, len(n.Nodes))
+	used := map[string]bool{}
+	uniq := func(base string, id NodeID) string {
+		cand := base
+		if cand == "" || used[cand] {
+			cand = fmt.Sprintf("n%d", id)
+			for used[cand] {
+				cand = "x" + cand
+			}
+		}
+		used[cand] = true
+		return cand
+	}
+	for _, id := range n.Inputs {
+		name[id] = uniq(n.Nodes[id].Name, id)
+		fmt.Fprintf(bw, "INPUT(%s)\n", name[id])
+	}
+	for i := range n.FFs {
+		id := n.FFs[i].Node
+		name[id] = uniq(n.FFs[i].Name, id)
+	}
+	// Name the remaining nodes.
+	for id := range n.Nodes {
+		if name[id] == "" {
+			name[id] = uniq("", NodeID(id))
+		}
+	}
+	// Constants.
+	for id := range n.Nodes {
+		switch n.Nodes[id].Kind {
+		case KindConst0:
+			fmt.Fprintf(bw, "%s = CONST0()\n", name[id])
+		case KindConst1:
+			fmt.Fprintf(bw, "%s = CONST1()\n", name[id])
+		}
+	}
+	// Gates in topological order.
+	for _, id := range n.TopoOrder() {
+		nd := &n.Nodes[id]
+		ins := make([]string, len(nd.Fanin))
+		for i, f := range nd.Fanin {
+			ins[i] = name[f]
+		}
+		fmt.Fprintf(bw, "%s = %s(%s)\n", name[id], nameByGate[nd.Gate], strings.Join(ins, ", "))
+	}
+	// Flip-flops, grouped by module for compact pragmas.
+	order := make([]int, len(n.FFs))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return n.FFs[order[a]].Module < n.FFs[order[b]].Module })
+	lastModule := -1
+	for _, i := range order {
+		ff := &n.FFs[i]
+		if ff.Module != lastModule {
+			mod := "default"
+			if ff.Module >= 0 && ff.Module < len(n.Modules) {
+				mod = n.Modules[ff.Module]
+			}
+			fmt.Fprintf(bw, "# @module %s\n", mod)
+			lastModule = ff.Module
+		}
+		if ff.D == NoNode {
+			return fmt.Errorf("netlist: flip-flop %q unwired; cannot serialize", ff.Name)
+		}
+		fmt.Fprintf(bw, "%s = DFF(%s)\n", name[ff.Node], name[ff.D])
+	}
+	return bw.Flush()
+}
+
+// ParseBench reads a .bench description into a netlist.
+func ParseBench(r io.Reader) (*Netlist, error) {
+	type rawGate struct {
+		out  string
+		fn   string
+		ins  []string
+		line int
+	}
+	type rawFF struct {
+		out    string
+		d      string
+		module string
+		line   int
+	}
+	var (
+		inputs []string
+		gates  []rawGate
+		ffs    []rawFF
+	)
+	curModule := "default"
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			rest := strings.TrimSpace(strings.TrimPrefix(line, "#"))
+			if strings.HasPrefix(rest, "@module") {
+				m := strings.TrimSpace(strings.TrimPrefix(rest, "@module"))
+				if m != "" {
+					curModule = m
+				}
+			}
+			continue
+		}
+		upper := strings.ToUpper(line)
+		switch {
+		case strings.HasPrefix(upper, "INPUT(") && strings.HasSuffix(line, ")"):
+			inputs = append(inputs, strings.TrimSpace(line[len("INPUT("):len(line)-1]))
+		case strings.HasPrefix(upper, "OUTPUT(") && strings.HasSuffix(line, ")"):
+			// Outputs carry no structure in this model; accepted and
+			// ignored for compatibility.
+		default:
+			eq := strings.Index(line, "=")
+			if eq < 0 {
+				return nil, fmt.Errorf("bench: line %d: expected assignment, got %q", lineNo, line)
+			}
+			out := strings.TrimSpace(line[:eq])
+			rhs := strings.TrimSpace(line[eq+1:])
+			open := strings.Index(rhs, "(")
+			if open < 0 || !strings.HasSuffix(rhs, ")") {
+				return nil, fmt.Errorf("bench: line %d: malformed function %q", lineNo, rhs)
+			}
+			fn := strings.ToUpper(strings.TrimSpace(rhs[:open]))
+			argStr := strings.TrimSpace(rhs[open+1 : len(rhs)-1])
+			var ins []string
+			if argStr != "" {
+				for _, a := range strings.Split(argStr, ",") {
+					ins = append(ins, strings.TrimSpace(a))
+				}
+			}
+			if fn == "DFF" {
+				if len(ins) != 1 {
+					return nil, fmt.Errorf("bench: line %d: DFF takes one input", lineNo)
+				}
+				ffs = append(ffs, rawFF{out: out, d: ins[0], module: curModule, line: lineNo})
+			} else {
+				gates = append(gates, rawGate{out: out, fn: fn, ins: ins, line: lineNo})
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+
+	n := New()
+	modIdx := map[string]int{}
+	moduleOf := func(name string) int {
+		if i, ok := modIdx[name]; ok {
+			return i
+		}
+		i := n.AddModule(name)
+		modIdx[name] = i
+		return i
+	}
+	nodeOf := map[string]NodeID{}
+	declare := func(name string, id NodeID, line int) error {
+		if _, dup := nodeOf[name]; dup {
+			return fmt.Errorf("bench: line %d: signal %q declared twice", line, name)
+		}
+		nodeOf[name] = id
+		return nil
+	}
+	for _, in := range inputs {
+		if err := declare(in, n.AddInput(in), 0); err != nil {
+			return nil, err
+		}
+	}
+	for _, ff := range ffs {
+		id := n.AddFF(ff.out, moduleOf(ff.module))
+		if err := declare(ff.out, n.FFs[id].Node, ff.line); err != nil {
+			return nil, err
+		}
+	}
+	// Gates may reference later gates; resolve iteratively. Constants
+	// first (no inputs), then repeat passes until all gates placed.
+	placed := make([]bool, len(gates))
+	remaining := len(gates)
+	for remaining > 0 {
+		progress := false
+		for gi := range gates {
+			if placed[gi] {
+				continue
+			}
+			g := &gates[gi]
+			switch g.fn {
+			case "CONST0", "CONST1":
+				if err := declare(g.out, n.AddConst(g.fn == "CONST1"), g.line); err != nil {
+					return nil, err
+				}
+				placed[gi] = true
+				remaining--
+				progress = true
+				continue
+			}
+			gt, ok := gateByName[g.fn]
+			if !ok {
+				return nil, fmt.Errorf("bench: line %d: unknown function %q", g.line, g.fn)
+			}
+			ready := true
+			fanin := make([]NodeID, len(g.ins))
+			for i, in := range g.ins {
+				id, ok := nodeOf[in]
+				if !ok {
+					ready = false
+					break
+				}
+				fanin[i] = id
+			}
+			if !ready {
+				continue
+			}
+			var id NodeID
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						id = NoNode
+					}
+				}()
+				id = n.AddGate(gt, fanin...)
+			}()
+			if id == NoNode {
+				return nil, fmt.Errorf("bench: line %d: invalid arity for %s", g.line, g.fn)
+			}
+			if err := declare(g.out, id, g.line); err != nil {
+				return nil, err
+			}
+			placed[gi] = true
+			remaining--
+			progress = true
+		}
+		if !progress {
+			// Some gate references an undefined signal or a
+			// combinational cycle exists.
+			for gi := range gates {
+				if !placed[gi] {
+					return nil, fmt.Errorf("bench: line %d: unresolved signals in %q (undefined input or combinational cycle)", gates[gi].line, gates[gi].out)
+				}
+			}
+		}
+	}
+	for i := range ffs {
+		d, ok := nodeOf[ffs[i].d]
+		if !ok {
+			return nil, fmt.Errorf("bench: line %d: DFF %q references undefined signal %q", ffs[i].line, ffs[i].out, ffs[i].d)
+		}
+		n.SetFFInput(FFID(i), d)
+	}
+	if err := n.Validate(); err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	return n, nil
+}

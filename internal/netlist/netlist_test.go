@@ -1,0 +1,400 @@
+package netlist
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildToy returns a 2-FF circuit: f1' = f1 XOR in0, f2' = f1 AND f2.
+func buildToy() (*Netlist, FFID, FFID, NodeID) {
+	n := New()
+	m := n.AddModule("toy")
+	in0 := n.AddInput("in0")
+	f1 := n.AddFF("f1", m)
+	f2 := n.AddFF("f2", m)
+	x := n.AddGate(Xor, n.FFs[f1].Node, in0)
+	a := n.AddGate(And, n.FFs[f1].Node, n.FFs[f2].Node)
+	n.SetFFInput(f1, x)
+	n.SetFFInput(f2, a)
+	return n, f1, f2, in0
+}
+
+func TestValidateOK(t *testing.T) {
+	n, _, _, _ := buildToy()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestValidateUnwiredFF(t *testing.T) {
+	n := New()
+	m := n.AddModule("m")
+	n.AddFF("f", m)
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected error for unwired FF")
+	}
+}
+
+func TestValidateCombinationalCycle(t *testing.T) {
+	n := New()
+	m := n.AddModule("m")
+	f := n.AddFF("f", m)
+	// Build a <- b, b <- a combinational cycle by patching fanin.
+	a := n.AddGate(Buf, n.FFs[f].Node)
+	b := n.AddGate(Buf, a)
+	n.Nodes[a].Fanin[0] = b
+	n.SetFFInput(f, a)
+	if err := n.Validate(); err == nil {
+		t.Fatal("expected combinational cycle error")
+	}
+}
+
+func TestSequentialLoopAllowed(t *testing.T) {
+	// f1 -> f2 -> f1 through gates is fine (cycle crosses FFs).
+	n := New()
+	m := n.AddModule("m")
+	f1 := n.AddFF("f1", m)
+	f2 := n.AddFF("f2", m)
+	n.SetFFInput(f1, n.AddGate(Not, n.FFs[f2].Node))
+	n.SetFFInput(f2, n.AddGate(Buf, n.FFs[f1].Node))
+	if err := n.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}
+
+func TestEvalGateTruth(t *testing.T) {
+	cases := []struct {
+		g    GateType
+		in   []bool
+		want bool
+	}{
+		{And, []bool{true, true}, true},
+		{And, []bool{true, false}, false},
+		{Or, []bool{false, false}, false},
+		{Or, []bool{false, true}, true},
+		{Nand, []bool{true, true}, false},
+		{Nor, []bool{false, false}, true},
+		{Xor, []bool{true, true}, false},
+		{Xor, []bool{true, false, false}, true},
+		{Xnor, []bool{true, false}, false},
+		{Not, []bool{true}, false},
+		{Buf, []bool{true}, true},
+		{Mux, []bool{false, true, false}, true}, // sel=0 -> lo
+		{Mux, []bool{true, true, false}, false}, // sel=1 -> hi
+		{Maj, []bool{true, true, false}, true},
+		{Maj, []bool{true, false, false}, false},
+	}
+	for _, c := range cases {
+		if got := EvalGate(c.g, c.in); got != c.want {
+			t.Errorf("EvalGate(%v, %v) = %v, want %v", c.g, c.in, got, c.want)
+		}
+	}
+}
+
+func TestGateTypeString(t *testing.T) {
+	if And.String() != "AND" || Mux.String() != "MUX" {
+		t.Fatal("GateType.String mismatch")
+	}
+}
+
+func TestAddGateArityPanics(t *testing.T) {
+	n := New()
+	in := n.AddInput("i")
+	for _, f := range []func(){
+		func() { n.AddGate(Not, in, in) },
+		func() { n.AddGate(Mux, in, in) },
+		func() { n.AddGate(And) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSimulatorToy(t *testing.T) {
+	n, f1, f2, _ := buildToy()
+	s := NewSimulator(n)
+	s.SetFF(f1, true)
+	s.SetFF(f2, true)
+	s.SetInput(0, false)
+	s.Step()
+	// f1' = 1 xor 0 = 1; f2' = 1 and 1 = 1
+	if !s.FFValue(f1) || !s.FFValue(f2) {
+		t.Fatalf("step1: f1=%v f2=%v", s.FFValue(f1), s.FFValue(f2))
+	}
+	s.SetInput(0, true)
+	s.Step()
+	// f1' = 1 xor 1 = 0; f2' = 1 and 1 = 1
+	if s.FFValue(f1) || !s.FFValue(f2) {
+		t.Fatalf("step2: f1=%v f2=%v", s.FFValue(f1), s.FFValue(f2))
+	}
+	s.Step()
+	// f1' = 0 xor 1 = 1; f2' = 0 and 1 = 0
+	if !s.FFValue(f1) || s.FFValue(f2) {
+		t.Fatalf("step3: f1=%v f2=%v", s.FFValue(f1), s.FFValue(f2))
+	}
+}
+
+func TestSimulatorShiftRegister(t *testing.T) {
+	n := New()
+	m := n.AddModule("sr")
+	in := n.AddInput("si")
+	const depth = 5
+	ffs := make([]FFID, depth)
+	for i := range ffs {
+		ffs[i] = n.AddFF("sr", m)
+	}
+	n.SetFFInput(ffs[0], in)
+	for i := 1; i < depth; i++ {
+		n.SetFFInput(ffs[i], n.FFs[ffs[i-1]].Node)
+	}
+	s := NewSimulator(n)
+	pattern := []bool{true, false, true, true, false}
+	for _, b := range pattern {
+		s.SetInput(0, b)
+		s.Step()
+	}
+	// After len(pattern) steps, ffs[i] holds pattern[len-1-i].
+	for i := 0; i < depth; i++ {
+		want := pattern[len(pattern)-1-i]
+		if got := s.FFValue(ffs[i]); got != want {
+			t.Fatalf("ff[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestTopoOrderProperty(t *testing.T) {
+	g := Generate(DefaultGenConfig([]string{"a", "b", "c"}, 4), 11)
+	n := g.N
+	order := n.TopoOrder()
+	pos := make(map[NodeID]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	seen := 0
+	for _, id := range order {
+		for _, f := range n.Nodes[id].Fanin {
+			if n.Nodes[f].Kind == KindGate {
+				if pos[f] >= pos[id] {
+					t.Fatalf("fanin %d not before gate %d", f, id)
+				}
+				seen++
+			}
+		}
+	}
+	if seen == 0 {
+		t.Fatal("degenerate generated circuit: no gate-to-gate edges")
+	}
+	if len(order) != n.NumGates() {
+		t.Fatalf("topo order covers %d of %d gates", len(order), n.NumGates())
+	}
+}
+
+func TestConeAndSupport(t *testing.T) {
+	n, f1, f2, in0 := buildToy()
+	// Support of f2.D is {f1, f2}; support of f1.D is {f1} plus input.
+	sup2 := n.SupportFFs(n.FFs[f2].D)
+	if len(sup2) != 2 {
+		t.Fatalf("support of f2.D: %v", sup2)
+	}
+	sup1 := n.SupportFFs(n.FFs[f1].D)
+	if len(sup1) != 1 || sup1[0] != f1 {
+		t.Fatalf("support of f1.D: %v", sup1)
+	}
+	gates, leaves := n.Cone(n.FFs[f1].D)
+	if len(gates) != 1 {
+		t.Fatalf("cone gates: %v", gates)
+	}
+	foundInput := false
+	for _, l := range leaves {
+		if l == in0 {
+			foundInput = true
+		}
+	}
+	if !foundInput {
+		t.Fatalf("cone leaves missing input: %v", leaves)
+	}
+}
+
+func TestFFOfNode(t *testing.T) {
+	n, f1, _, in0 := buildToy()
+	if got := n.FFOfNode(n.FFs[f1].Node); got != f1 {
+		t.Fatalf("FFOfNode = %v, want %v", got, f1)
+	}
+	if got := n.FFOfNode(in0); got != NoFF {
+		t.Fatalf("FFOfNode(input) = %v, want NoFF", got)
+	}
+	if got := n.FFOfNode(NoNode); got != NoFF {
+		t.Fatalf("FFOfNode(NoNode) = %v, want NoFF", got)
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGenConfig([]string{"m0", "m1"}, 3)
+	a := Generate(cfg, 42)
+	b := Generate(cfg, 42)
+	if a.N.NumNodes() != b.N.NumNodes() || a.N.NumFFs() != b.N.NumFFs() {
+		t.Fatal("same seed must generate identical sizes")
+	}
+	for i := range a.N.Nodes {
+		na, nb := a.N.Nodes[i], b.N.Nodes[i]
+		if na.Kind != nb.Kind || na.Gate != nb.Gate || len(na.Fanin) != len(nb.Fanin) {
+			t.Fatalf("node %d differs between same-seed runs", i)
+		}
+	}
+	c := Generate(cfg, 43)
+	if c.N.NumNodes() == a.N.NumNodes() && c.N.NumGates() == a.N.NumGates() {
+		// Extremely unlikely but not impossible; only sizes equal is
+		// acceptable, identical structure is suspicious.
+		same := true
+		for i := range a.N.Nodes {
+			if len(a.N.Nodes[i].Fanin) != len(c.N.Nodes[i].Fanin) {
+				same = false
+				break
+			}
+			for j := range a.N.Nodes[i].Fanin {
+				if a.N.Nodes[i].Fanin[j] != c.N.Nodes[i].Fanin[j] {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Fatal("different seeds generated identical circuits")
+		}
+	}
+}
+
+func TestGeneratePartitioning(t *testing.T) {
+	cfg := DefaultGenConfig([]string{"a", "b", "c"}, 5)
+	cfg.InternalFFs = 3
+	g := Generate(cfg, 7)
+	if len(g.PortFFs) != 3 {
+		t.Fatalf("PortFFs modules = %d", len(g.PortFFs))
+	}
+	total := 0
+	for _, p := range g.PortFFs {
+		if len(p) != 5 {
+			t.Fatalf("module port FFs = %d, want 5", len(p))
+		}
+		total += len(p)
+	}
+	if len(g.InternalFFs) != 9 {
+		t.Fatalf("internal FFs = %d, want 9", len(g.InternalFFs))
+	}
+	if g.N.NumFFs() != total+len(g.InternalFFs) {
+		t.Fatalf("FF count %d != ports %d + internals %d", g.N.NumFFs(), total, len(g.InternalFFs))
+	}
+	// Port and internal sets must be disjoint.
+	seen := map[FFID]bool{}
+	for _, p := range g.PortFFs {
+		for _, f := range p {
+			seen[f] = true
+		}
+	}
+	for _, f := range g.InternalFFs {
+		if seen[f] {
+			t.Fatalf("FF %d is both port and internal", f)
+		}
+	}
+}
+
+func TestGenerateValid(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := Generate(DefaultGenConfig([]string{"x", "y"}, 4), seed)
+		if err := g.N.Validate(); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+func TestMaskedPathIsNotFunctionalInSimulation(t *testing.T) {
+	// Build XOR(s, XOR(s, t)) explicitly and verify it always equals t.
+	n := New()
+	m := n.AddModule("m")
+	s := n.AddFF("s", m)
+	c := n.AddFF("c", m)
+	o := n.AddFF("o", m)
+	inner := n.AddGate(Xor, n.FFs[s].Node, n.FFs[c].Node)
+	outer := n.AddGate(Xor, n.FFs[s].Node, inner)
+	n.SetFFInput(o, outer)
+	n.SetFFInput(s, n.FFs[s].Node)
+	n.SetFFInput(c, n.FFs[c].Node)
+	sim := NewSimulator(n)
+	for _, sv := range []bool{false, true} {
+		for _, cv := range []bool{false, true} {
+			sim.SetFF(s, sv)
+			sim.SetFF(c, cv)
+			sim.Eval()
+			if got := sim.NodeValue(outer); got != cv {
+				t.Fatalf("masked value: s=%v c=%v got %v want %v", sv, cv, got, cv)
+			}
+		}
+	}
+}
+
+func BenchmarkSimulateGenerated(b *testing.B) {
+	g := Generate(DefaultGenConfig([]string{"a", "b", "c", "d"}, 16), 3)
+	sim := NewSimulator(g.N)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.Step()
+	}
+}
+
+func TestGateDualityProperties(t *testing.T) {
+	check := func(in []bool) bool {
+		return EvalGate(Nand, in) == !EvalGate(And, in) &&
+			EvalGate(Nor, in) == !EvalGate(Or, in) &&
+			EvalGate(Xnor, in) == !EvalGate(Xor, in)
+	}
+	for m := 0; m < 16; m++ {
+		in := []bool{m&1 == 1, m&2 == 2, m&4 == 4, m&8 == 8}
+		for k := 1; k <= 4; k++ {
+			if !check(in[:k]) {
+				t.Fatalf("duality violated for %v", in[:k])
+			}
+		}
+	}
+}
+
+func TestMuxMajIdentities(t *testing.T) {
+	for m := 0; m < 8; m++ {
+		s, a, b := m&1 == 1, m&2 == 2, m&4 == 4
+		// MUX(s, a, a) == a
+		if EvalGate(Mux, []bool{s, a, a}) != a {
+			t.Fatal("mux identity")
+		}
+		// MAJ(a, a, b) == a
+		if EvalGate(Maj, []bool{a, a, b}) != a {
+			t.Fatal("maj absorption")
+		}
+		_ = b
+	}
+}
+
+func TestSimulatorDeterminism(t *testing.T) {
+	g := Generate(DefaultGenConfig([]string{"x", "y"}, 5), 31)
+	s1 := NewSimulator(g.N)
+	s2 := NewSimulator(g.N)
+	rng1 := rand.New(rand.NewSource(9))
+	rng2 := rand.New(rand.NewSource(9))
+	for step := 0; step < 50; step++ {
+		for i := range g.N.Inputs {
+			s1.SetInput(i, rng1.Intn(2) == 1)
+			s2.SetInput(i, rng2.Intn(2) == 1)
+		}
+		s1.Step()
+		s2.Step()
+	}
+	for f := 0; f < g.N.NumFFs(); f++ {
+		if s1.FFValue(FFID(f)) != s2.FFValue(FFID(f)) {
+			t.Fatal("simulation not deterministic")
+		}
+	}
+}

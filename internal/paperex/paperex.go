@@ -1,0 +1,136 @@
+// Package paperex builds the paper's running example (Figures 1, 4 and
+// 5): a circuit with a crypto module holding confidential data, an
+// untrusted module, internal flip-flops forming a hybrid leak path with
+// an XOR reconvergence, and a 5-register/14-scan-flip-flop/2-mux
+// reconfigurable scan network on top.
+package paperex
+
+import (
+	"repro/internal/netlist"
+	"repro/internal/rsn"
+	"repro/internal/secspec"
+)
+
+// Example bundles the running example's parts.
+type Example struct {
+	Circuit  *netlist.Netlist
+	Network  *rsn.Network
+	Spec     *secspec.Spec
+	Internal []netlist.FFID
+
+	// Modules.
+	Crypto, Plain, Untrusted, Misc int
+
+	// Circuit flip-flops F1..F10 (indices 0..9) and IF1, IF2.
+	F        [10]netlist.FFID
+	IF1, IF2 netlist.FFID
+
+	// Scan registers SR1..SR5 (ids 0..4).
+	SR [5]int
+	// Muxes M1, M2.
+	M1, M2 int
+}
+
+// New constructs the running example.
+//
+// Circuit: F2 holds the crypto module's confidential data. The plain
+// module's F5 feeds the internal flip-flop IF1 through an XOR
+// reconvergence with F6 (IF1 functionally depends on F5 but only
+// structurally on F6), IF1 feeds IF2, and IF2 feeds the untrusted
+// module's F7 and F9 — the circuit half of the hybrid scan path.
+//
+// RSN: SI -> SR1(crypto) -> SR2(plain) ; M1{SR1,SR2} -> SR3(plain) ;
+// M2{SR3,SR1} -> SR4(untrusted) -> SR5(misc) -> SO. Confidential data
+// can reach the untrusted SR4 purely (shift SR1 -> M2 -> SR4) and
+// hybridly (shift SR1 -> M1 -> SR3, update F5, circuit to F7, capture).
+//
+// Specification: crypto data accepts only trust categories {2,3};
+// the untrusted module has trust 0.
+func New() *Example {
+	e := &Example{}
+	c := netlist.New()
+	e.Circuit = c
+	e.Crypto = c.AddModule("crypto")
+	e.Plain = c.AddModule("plain")
+	e.Untrusted = c.AddModule("untrusted")
+	e.Misc = c.AddModule("misc")
+
+	mods := [10]int{e.Crypto, e.Crypto, e.Plain, e.Plain, e.Plain, e.Plain, e.Untrusted, e.Untrusted, e.Untrusted, e.Untrusted}
+	names := [10]string{"F1", "F2", "F3", "F4", "F5", "F6", "F7", "F8", "F9", "F10"}
+	for i := range e.F {
+		e.F[i] = c.AddFF(names[i], mods[i])
+	}
+	e.IF1 = c.AddFF("IF1", e.Plain)
+	e.IF2 = c.AddFF("IF2", e.Plain)
+	e.Internal = []netlist.FFID{e.IF1, e.IF2}
+
+	node := func(f netlist.FFID) netlist.NodeID { return c.FFs[f].Node }
+	hold := func(f netlist.FFID) { c.SetFFInput(f, node(f)) }
+	// Crypto and plain state holds its value between scan operations.
+	for _, i := range []int{0, 1, 2, 3, 4, 5, 7, 9} {
+		hold(e.F[i])
+	}
+	// IF1 = XOR(F6, XOR(F6, F5)): the reconvergence of Figure 5 — the
+	// structural path over F6 cancels, only F5's data propagates.
+	inner := c.AddGate(netlist.Xor, node(e.F[5]), node(e.F[4]))
+	c.SetFFInput(e.IF1, c.AddGate(netlist.Xor, node(e.F[5]), inner))
+	c.SetFFInput(e.IF2, node(e.IF1))
+	// The untrusted module observes IF2 (Figure 3: F9 depends on IF2).
+	c.SetFFInput(e.F[6], c.AddGate(netlist.Or, node(e.F[6]), node(e.IF2))) // F7
+	c.SetFFInput(e.F[8], node(e.IF2))                                      // F9
+	if err := c.Validate(); err != nil {
+		panic("paperex: circuit invalid: " + err.Error())
+	}
+
+	nw := rsn.New("running-example")
+	e.Network = nw
+	// Mirror the circuit's module table on the network.
+	for _, m := range c.Modules {
+		nw.AddModule(m)
+	}
+	e.SR[0] = nw.AddRegister("SR1", 2, e.Crypto)
+	e.SR[1] = nw.AddRegister("SR2", 2, e.Plain)
+	e.SR[2] = nw.AddRegister("SR3", 2, e.Plain)
+	e.SR[3] = nw.AddRegister("SR4", 4, e.Untrusted)
+	e.SR[4] = nw.AddRegister("SR5", 4, e.Misc)
+
+	link := func(reg, bit int, f netlist.FFID) {
+		nw.SetCapture(reg, bit, f)
+		nw.SetUpdate(reg, bit, f)
+	}
+	link(e.SR[0], 0, e.F[0]) // SF1 <-> F1
+	link(e.SR[0], 1, e.F[1]) // SF2 <-> F2 (confidential)
+	link(e.SR[1], 0, e.F[2])
+	link(e.SR[1], 1, e.F[3])
+	link(e.SR[2], 0, e.F[4]) // SF5 <-> F5: the hybrid update point
+	link(e.SR[2], 1, e.F[5])
+	link(e.SR[3], 0, e.F[6]) // SF7 <-> F7: the untrusted capture point
+	link(e.SR[3], 1, e.F[7])
+	link(e.SR[3], 2, e.F[8])
+	link(e.SR[3], 3, e.F[9])
+	// SR5 has no instrument links.
+
+	nw.Connect(e.SR[0], rsn.ScanIn)
+	nw.Connect(e.SR[1], rsn.Reg(e.SR[0]))
+	e.M1 = nw.AddMux("M1", rsn.Reg(e.SR[0]), rsn.Reg(e.SR[1]))
+	nw.Connect(e.SR[2], rsn.Mx(e.M1))
+	e.M2 = nw.AddMux("M2", rsn.Reg(e.SR[2]), rsn.Reg(e.SR[0]))
+	nw.Connect(e.SR[3], rsn.Mx(e.M2))
+	nw.Connect(e.SR[4], rsn.Reg(e.SR[3]))
+	nw.ConnectOut(rsn.Reg(e.SR[4]))
+	if err := nw.Validate(); err != nil {
+		panic("paperex: network invalid: " + err.Error())
+	}
+
+	s := secspec.New(len(c.Modules), 4)
+	s.SetTrust(e.Crypto, 3)
+	s.SetAccepts(e.Crypto, secspec.NewCatSet(2, 3))
+	s.SetTrust(e.Plain, 2)
+	s.SetAccepts(e.Plain, secspec.AllCats(4))
+	s.SetTrust(e.Untrusted, 0)
+	s.SetAccepts(e.Untrusted, secspec.AllCats(4))
+	s.SetTrust(e.Misc, 2)
+	s.SetAccepts(e.Misc, secspec.AllCats(4))
+	e.Spec = s
+	return e
+}

@@ -1,0 +1,85 @@
+package paperex
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestExampleStructureMatchesFigure1(t *testing.T) {
+	e := New()
+	st := e.Network.Stats()
+	// Figure 1: 14 scan flip-flops in 5 scan registers, 2 scan muxes;
+	// 10 RSN-connected circuit flip-flops plus IF1 and IF2.
+	if st.Registers != 5 || st.ScanFFs != 14 || st.Muxes != 2 {
+		t.Fatalf("network stats = %+v", st)
+	}
+	if e.Circuit.NumFFs() != 12 || len(e.Internal) != 2 {
+		t.Fatalf("circuit: %d FFs, %d internal", e.Circuit.NumFFs(), len(e.Internal))
+	}
+	if err := e.Network.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Circuit.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExampleSpec(t *testing.T) {
+	e := New()
+	if !e.Spec.Violates(e.Crypto, e.Untrusted) {
+		t.Fatal("crypto data must not enter the untrusted module")
+	}
+	if e.Spec.Violates(e.Crypto, e.Plain) || e.Spec.Violates(e.Crypto, e.Misc) {
+		t.Fatal("crypto data may traverse trusted segments")
+	}
+	if e.Spec.Violates(e.Plain, e.Untrusted) {
+		t.Fatal("plain data is unrestricted")
+	}
+}
+
+// TestReconvergenceMasksF6 simulates the circuit to confirm the Figure 5
+// property: IF1's next state equals F5 regardless of F6.
+func TestReconvergenceMasksF6(t *testing.T) {
+	e := New()
+	sim := netlist.NewSimulator(e.Circuit)
+	for _, f5 := range []bool{false, true} {
+		for _, f6 := range []bool{false, true} {
+			sim.SetFF(e.F[4], f5)
+			sim.SetFF(e.F[5], f6)
+			sim.Eval()
+			if got := sim.NodeValue(e.Circuit.FFs[e.IF1].D); got != f5 {
+				t.Fatalf("IF1' = %v with F5=%v F6=%v; must equal F5", got, f5, f6)
+			}
+		}
+	}
+}
+
+// TestHybridCircuitPath: F5's value reaches F7 and F9 after three clock
+// cycles (F5 -> IF1 -> IF2 -> F7/F9).
+func TestHybridCircuitPath(t *testing.T) {
+	e := New()
+	sim := netlist.NewSimulator(e.Circuit)
+	sim.SetFF(e.F[4], true)
+	for i := 0; i < 3; i++ {
+		sim.Step()
+	}
+	if !sim.FFValue(e.F[6]) {
+		t.Fatal("F7 did not receive F5's data")
+	}
+	if !sim.FFValue(e.F[8]) {
+		t.Fatal("F9 did not receive F5's data")
+	}
+}
+
+func TestCaptureUpdateLinksAreSymmetric(t *testing.T) {
+	e := New()
+	for r := range e.Network.Registers {
+		reg := &e.Network.Registers[r]
+		for b := 0; b < reg.Len; b++ {
+			if reg.Capture[b] != reg.Update[b] {
+				t.Fatalf("register %d bit %d: capture %v != update %v", r, b, reg.Capture[b], reg.Update[b])
+			}
+		}
+	}
+}

@@ -1,0 +1,250 @@
+// Package pure detects and resolves security violations over pure scan
+// paths — paths that use only the scan infrastructure — implementing
+// the method of Raiola et al. (IOLTS 2018) that the secure-data-flow
+// paper applies as its first stage (Figure 2).
+//
+// Security attributes are propagated once, forward, from the scan-in
+// port over every scan segment toward the scan-out port: the attribute
+// arriving at a segment is the intersection of the accepted-category
+// masks of everything upstream. A segment whose own trust category is
+// missing from its incoming attribute sits on a configurable scan path
+// downstream of data that must not traverse it — a violation. Found
+// violations are resolved by cutting the offending connection and
+// re-connecting the separated segments, choosing the lowest-cost
+// candidate that keeps the network acyclic and every register
+// accessible.
+package pure
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rsn"
+	"repro/internal/secspec"
+)
+
+// Propagation holds the forward-propagated security attributes of one
+// network under one specification.
+type Propagation struct {
+	// In and Out map elements to the attribute (accepted-category mask)
+	// arriving at and leaving them.
+	In, Out map[rsn.Ref]secspec.CatSet
+	// Violating lists the registers whose trust category is missing
+	// from their incoming attribute, ascending.
+	Violating []int
+}
+
+// Propagate computes security attributes over all pure scan paths with
+// a single forward traversal in topological order.
+func Propagate(nw *rsn.Network, spec *secspec.Spec) *Propagation {
+	all := secspec.AllCats(spec.NumCategories)
+	p := &Propagation{
+		In:  make(map[rsn.Ref]secspec.CatSet, len(nw.Registers)+len(nw.Muxes)+2),
+		Out: make(map[rsn.Ref]secspec.CatSet, len(nw.Registers)+len(nw.Muxes)+2),
+	}
+	for _, r := range nw.ElementTopoOrder() {
+		switch r.Kind {
+		case rsn.KScanIn:
+			p.In[r] = all
+			p.Out[r] = all
+		case rsn.KRegister, rsn.KMux, rsn.KScanOut:
+			in := all
+			for _, src := range nw.InputsOf(r) {
+				in &= p.Out[src]
+			}
+			p.In[r] = in
+			out := in
+			if r.Kind == rsn.KRegister {
+				reg := &nw.Registers[r.ID]
+				if !in.Has(spec.Trust[reg.Module]) {
+					p.Violating = append(p.Violating, int(r.ID))
+				}
+				out &= spec.Accepts[reg.Module]
+			}
+			p.Out[r] = out
+		}
+	}
+	sort.Ints(p.Violating)
+	return p
+}
+
+// ViolatingRegisters returns the registers with a pure-path violation,
+// ascending.
+func ViolatingRegisters(nw *rsn.Network, spec *secspec.Spec) []int {
+	return Propagate(nw, spec).Violating
+}
+
+// FindCulprit returns a register upstream of y whose data must not
+// traverse y, if any.
+func FindCulprit(nw *rsn.Network, spec *secspec.Spec, y int) (int, bool) {
+	ymod := nw.Registers[y].Module
+	for _, x := range nw.PurePredecessors(y) {
+		if spec.Violates(nw.Registers[x].Module, ymod) {
+			return x, true
+		}
+	}
+	return 0, false
+}
+
+// Change records one applied structural modification bundle.
+type Change struct {
+	// Cut is the input pin that was disconnected.
+	Cut rsn.Sink
+	// OldSrc is the source the pin was disconnected from.
+	OldSrc rsn.Ref
+	// NewSrc is the source the pin was re-connected to.
+	NewSrc rsn.Ref
+	// NewMuxes counts scan multiplexers inserted while re-attaching
+	// separated segments.
+	NewMuxes int
+	// Violation is the (source register, violating register) pair the
+	// change resolved.
+	Violation [2]int
+}
+
+// Cost is the structural cost of the change: one for the re-route plus
+// one per inserted multiplexer, the metric minimized by the candidate
+// selection.
+func (c Change) Cost() int { return 1 + c.NewMuxes }
+
+func (c Change) String() string {
+	return fmt.Sprintf("cut %v<-%v, reconnect to %v (+%d mux)", c.Cut.Elem, c.OldSrc, c.NewSrc, c.NewMuxes)
+}
+
+// Result summarizes a resolution run.
+type Result struct {
+	Changes []Change
+	// ViolatingBefore is the number of violating registers before any
+	// change was applied.
+	ViolatingBefore int
+}
+
+// maxRounds bounds the resolve loop; beyond it only the provably
+// terminating scan-in fallback candidate is used.
+func maxRounds(nw *rsn.Network) int { return 4*len(nw.Registers) + 16 }
+
+// Resolve repeatedly finds and repairs pure-path violations until the
+// network is pure-path secure. It mutates nw and returns the applied
+// changes.
+func Resolve(nw *rsn.Network, spec *secspec.Spec) (*Result, error) {
+	res := &Result{}
+	res.ViolatingBefore = len(Propagate(nw, spec).Violating)
+	for round := 0; ; round++ {
+		p := Propagate(nw, spec)
+		if len(p.Violating) == 0 {
+			return res, nil
+		}
+		y := p.Violating[0]
+		x, ok := FindCulprit(nw, spec, y)
+		if !ok {
+			return res, fmt.Errorf("pure: register R%d violates but no culprit found", y)
+		}
+		ch, err := resolveOne(nw, spec, x, y, round >= maxRounds(nw))
+		if err != nil {
+			return res, err
+		}
+		res.Changes = append(res.Changes, ch)
+	}
+}
+
+// resolveOne repairs the flow from register x into register y by
+// cutting a connection on the way and re-connecting the separated
+// segments. With fallbackOnly set, only the always-valid candidate
+// (connect y to the scan-in port) is considered.
+func resolveOne(nw *rsn.Network, spec *secspec.Spec, x, y int, fallbackOnly bool) (Change, error) {
+	type candidate struct {
+		pin    rsn.Sink
+		newSrc rsn.Ref
+	}
+	pin := rsn.Sink{Elem: rsn.Reg(y), Idx: 0}
+	oldSrc := nw.Registers[y].In
+
+	var cands []candidate
+	if !fallbackOnly {
+		// Re-connecting y to a pure-path predecessor keeps y deep in the
+		// network; acceptable when the predecessor's data is compatible.
+		// The candidate count is capped: evaluating every predecessor of
+		// a deep chain position costs a clone and a re-propagation each.
+		const maxPredCandidates = 6
+		p := Propagate(nw, spec)
+		preds := nw.PurePredecessors(y)
+		ymod := nw.Registers[y].Module
+		for _, pr := range preds {
+			src := rsn.Reg(pr)
+			if src == oldSrc {
+				continue
+			}
+			if p.Out[src].Has(spec.Trust[ymod]) {
+				cands = append(cands, candidate{pin, src})
+				if len(cands) >= maxPredCandidates {
+					break
+				}
+			}
+		}
+	}
+	// The scan-in fallback is always valid and provably terminating.
+	cands = append(cands, candidate{pin, rsn.ScanIn})
+
+	before := len(Propagate(nw, spec).Violating)
+	type scored struct {
+		c     candidate
+		cost  int
+		after int
+	}
+	var best *scored
+	for _, c := range cands {
+		trial := nw.Clone()
+		muxes, err := trial.CutAndReconnect(c.pin, c.newSrc)
+		if err != nil {
+			continue
+		}
+		if trial.Validate() != nil {
+			continue
+		}
+		tp := Propagate(trial, spec)
+		// The targeted violation must be gone and the overall number of
+		// violating registers must not grow.
+		if containsInt(tp.Violating, y) && stillFlows(trial, x, y) {
+			continue
+		}
+		if len(tp.Violating) > before {
+			continue
+		}
+		s := scored{c, 1 + muxes, len(tp.Violating)}
+		if best == nil || s.cost < best.cost || (s.cost == best.cost && s.after < best.after) {
+			v := s
+			best = &v
+		}
+	}
+	if best == nil {
+		// The fallback candidate cannot fail validation; reaching this
+		// point indicates an internal inconsistency.
+		return Change{}, fmt.Errorf("pure: no valid candidate to separate R%d from R%d", x, y)
+	}
+	muxes, err := nw.CutAndReconnect(best.c.pin, best.c.newSrc)
+	if err != nil {
+		return Change{}, err
+	}
+	return Change{
+		Cut:       best.c.pin,
+		OldSrc:    oldSrc,
+		NewSrc:    best.c.newSrc,
+		NewMuxes:  muxes,
+		Violation: [2]int{x, y},
+	}, nil
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// stillFlows reports whether data from register x can still reach
+// register y over pure paths.
+func stillFlows(nw *rsn.Network, x, y int) bool {
+	return nw.PureReaches(rsn.Reg(x), rsn.Reg(y))
+}

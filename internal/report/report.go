@@ -1,0 +1,113 @@
+// Package report renders fixed-width text tables for the experiment
+// harness, in the style of the paper's Table I.
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+	aligns  []bool // true = right-aligned
+}
+
+// New returns a table with the given column headers. Headers prefixed
+// with '>' are right-aligned (the prefix is stripped).
+func New(title string, headers ...string) *Table {
+	t := &Table{Title: title}
+	for _, h := range headers {
+		right := strings.HasPrefix(h, ">")
+		t.headers = append(t.headers, strings.TrimPrefix(h, ">"))
+		t.aligns = append(t.aligns, right)
+	}
+	return t
+}
+
+// Add appends a row; missing cells render empty, extra cells panic.
+func (t *Table) Add(cells ...string) {
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("report: row has %d cells, table %d columns", len(cells), len(t.headers)))
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// WriteTo renders the table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&sb, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			if t.aligns[i] {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+				sb.WriteString(c)
+			} else {
+				sb.WriteString(c)
+				if i != len(cells)-1 {
+					sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+				}
+			}
+		}
+		sb.WriteString("\n")
+	}
+	line(t.headers)
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	sb.WriteString(strings.Repeat("-", total+2*(len(widths)-1)))
+	sb.WriteString("\n")
+	for _, r := range t.rows {
+		line(r)
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if _, err := t.WriteTo(&sb); err != nil {
+		panic(err) // strings.Builder writes cannot fail
+	}
+	return sb.String()
+}
+
+// Int formats an integer cell.
+func Int(v int) string { return fmt.Sprintf("%d", v) }
+
+// F1 formats a float with one decimal (the paper's change columns).
+func F1(v float64) string { return fmt.Sprintf("%.1f", v) }
+
+// F2 formats a float with two decimals (the paper's violation column).
+func F2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// Pct formats a fraction as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// Secs formats a duration in seconds with two decimals (the paper's
+// runtime columns).
+func Secs(d time.Duration) string { return fmt.Sprintf("%.2f", d.Seconds()) }

@@ -1,0 +1,72 @@
+package report
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := New("Demo", "Benchmark", ">#Regs", ">Runtime")
+	tb.Add("BasicSCB", "21", "0.13")
+	tb.Add("MBIST_20_20_20", "26222", "9433.54")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Right-aligned numeric column: "21" must end at the same offset as
+	// "26222".
+	if !strings.Contains(lines[2], "---") {
+		t.Error("separator missing")
+	}
+	r1 := strings.Index(lines[3], "21")
+	r2 := strings.Index(lines[4], "26222")
+	if r1+2 != r2+5 {
+		t.Errorf("right alignment broken:\n%s", out)
+	}
+}
+
+func TestAddPanicsOnExtraCells(t *testing.T) {
+	tb := New("", "a")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	tb.Add("1", "2")
+}
+
+func TestAddPadsMissingCells(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.Add("x")
+	if !strings.Contains(tb.String(), "x") {
+		t.Fatal("row lost")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Int(5) != "5" || F1(1.25) != "1.2" && F1(1.25) != "1.3" {
+		t.Error("Int/F1")
+	}
+	if F2(3.14159) != "3.14" {
+		t.Errorf("F2 = %s", F2(3.14159))
+	}
+	if Pct(0.4172) != "41.72%" {
+		t.Errorf("Pct = %s", Pct(0.4172))
+	}
+	if Secs(1500*time.Millisecond) != "1.50" {
+		t.Errorf("Secs = %s", Secs(1500*time.Millisecond))
+	}
+}
+
+func TestNoTitle(t *testing.T) {
+	tb := New("", "h")
+	tb.Add("v")
+	if strings.HasPrefix(tb.String(), "\n") {
+		t.Fatal("leading blank line")
+	}
+}

@@ -1,0 +1,137 @@
+package rsn
+
+import "fmt"
+
+// AccessPlan describes how to read or write one scan register: the mux
+// configuration establishing an active path through it, the position of
+// its flip-flops on that path, and the path length. It is the pattern
+// generation half of the eda1687-style substrate: after the
+// secure-data-flow method transforms a network, plans prove that every
+// register is still accessible.
+type AccessPlan struct {
+	Register int
+	Config   Config
+	// Offset is the position of the register's first flip-flop on the
+	// active path (0 = right after the scan-in port).
+	Offset int
+	// PathLen is the total length of the active path in flip-flops.
+	PathLen int
+}
+
+// ShiftsToWrite returns the number of shift cycles after which data
+// presented at the scan-in port occupies the register: the bits must
+// travel past the Offset flip-flops in front of the register plus its
+// own length.
+func (p AccessPlan) ShiftsToWrite(regLen int) int { return p.Offset + regLen }
+
+// ShiftsToRead returns the number of shift cycles until the register's
+// content has fully appeared at the scan-out port.
+func (p AccessPlan) ShiftsToRead(regLen int) int { return p.PathLen - p.Offset }
+
+// PlanAccess computes an access plan for register id, or an error if no
+// configuration routes an active path through it (a well-formed network
+// always has one; Validate guarantees reachability).
+func (nw *Network) PlanAccess(id int) (AccessPlan, error) {
+	cfg, ok := nw.ConfigsThrough(id)
+	if !ok {
+		return AccessPlan{}, fmt.Errorf("rsn: no configuration reaches register R%d", id)
+	}
+	path, err := nw.ActivePath(cfg)
+	if err != nil {
+		return AccessPlan{}, err
+	}
+	offset := -1
+	for i, pe := range path {
+		if pe.Register == id && pe.FF == 0 {
+			offset = i
+			break
+		}
+	}
+	if offset < 0 {
+		return AccessPlan{}, fmt.Errorf("rsn: register R%d missing from its own active path", id)
+	}
+	return AccessPlan{Register: id, Config: cfg, Offset: offset, PathLen: len(path)}, nil
+}
+
+// PlanAllAccesses computes plans for every register. The secure
+// transformation guarantees all registers stay accessible; this
+// verifies it constructively.
+func (nw *Network) PlanAllAccesses() ([]AccessPlan, error) {
+	plans := make([]AccessPlan, len(nw.Registers))
+	for i := range nw.Registers {
+		p, err := nw.PlanAccess(i)
+		if err != nil {
+			return nil, err
+		}
+		plans[i] = p
+	}
+	return plans, nil
+}
+
+// WriteRegister shifts the given bits into the register using its
+// access plan. bits[0] ends up in the register's first flip-flop. Other
+// registers on the active path are disturbed, as in real scan access.
+func (s *Simulator) WriteRegister(plan AccessPlan, bits []bool) error {
+	reg := &s.nw.Registers[plan.Register]
+	if len(bits) != reg.Len {
+		return fmt.Errorf("rsn: register R%d needs %d bits, got %d", plan.Register, reg.Len, len(bits))
+	}
+	// The bit destined for the LAST flip-flop of the register must be
+	// shifted in first; after Offset+Len cycles bits[0] sits at the
+	// register's first flip-flop.
+	total := plan.ShiftsToWrite(reg.Len)
+	for k := 0; k < total; k++ {
+		var in bool
+		// The first Len cycles feed the register's data, last bit first.
+		if k < reg.Len {
+			in = bits[reg.Len-1-k]
+		}
+		if _, err := s.Shift(plan.Config, in); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadRegister shifts the register's current content out and returns
+// it, first flip-flop first. The register's content is replaced by
+// whatever was upstream, as in real scan access.
+func (s *Simulator) ReadRegister(plan AccessPlan) ([]bool, error) {
+	reg := &s.nw.Registers[plan.Register]
+	// The register's last flip-flop is ShiftsToRead - Len cycles away
+	// from the scan-out port; its bits then appear last-FF-first over
+	// the following Len cycles.
+	lead := plan.ShiftsToRead(reg.Len) - reg.Len
+	for k := 0; k < lead; k++ {
+		if _, err := s.Shift(plan.Config, false); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]bool, reg.Len)
+	for k := 0; k < reg.Len; k++ {
+		b, err := s.Shift(plan.Config, false)
+		if err != nil {
+			return nil, err
+		}
+		out[reg.Len-1-k] = b
+	}
+	return out, nil
+}
+
+// ReadInstrument captures the register's instrument data and shifts it
+// out: a complete capture-shift read access.
+func (s *Simulator) ReadInstrument(plan AccessPlan) ([]bool, error) {
+	if err := s.Capture(plan.Config); err != nil {
+		return nil, err
+	}
+	return s.ReadRegister(plan)
+}
+
+// WriteInstrument shifts data into the register and updates it into the
+// instrument: a complete shift-update write access.
+func (s *Simulator) WriteInstrument(plan AccessPlan, bits []bool) error {
+	if err := s.WriteRegister(plan, bits); err != nil {
+		return err
+	}
+	return s.Update(plan.Config)
+}

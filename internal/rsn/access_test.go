@@ -1,0 +1,212 @@
+package rsn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+func TestPlanAccessDiamond(t *testing.T) {
+	nw := buildDiamond()
+	plans, err := nw.PlanAllAccesses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != 3 {
+		t.Fatalf("plans = %d", len(plans))
+	}
+	for _, p := range plans {
+		path, err := nw.ActivePath(p.Config)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.PathLen != len(path) {
+			t.Fatalf("R%d: PathLen %d != %d", p.Register, p.PathLen, len(path))
+		}
+		if path[p.Offset].Register != p.Register || path[p.Offset].FF != 0 {
+			t.Fatalf("R%d: offset %d points at %v", p.Register, p.Offset, path[p.Offset])
+		}
+	}
+}
+
+func TestWriteThenReadRegister(t *testing.T) {
+	nw := buildDiamond()
+	for id := 0; id < 3; id++ {
+		plan, err := nw.PlanAccess(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim := NewSimulator(nw, nil)
+		regLen := nw.Registers[id].Len
+		bits := make([]bool, regLen)
+		for i := range bits {
+			bits[i] = i%2 == 0
+		}
+		if err := sim.WriteRegister(plan, bits); err != nil {
+			t.Fatal(err)
+		}
+		for i := range bits {
+			if sim.ScanFF(id, i) != bits[i] {
+				t.Fatalf("R%d bit %d: wrote %v, holds %v", id, i, bits[i], sim.ScanFF(id, i))
+			}
+		}
+		got, err := sim.ReadRegister(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("R%d bit %d: read %v, want %v", id, i, got[i], bits[i])
+			}
+		}
+	}
+}
+
+func TestWriteRegisterLengthCheck(t *testing.T) {
+	nw := buildDiamond()
+	plan, _ := nw.PlanAccess(0)
+	sim := NewSimulator(nw, nil)
+	if err := sim.WriteRegister(plan, []bool{true}); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+func TestInstrumentAccessRoundTrip(t *testing.T) {
+	// Circuit: 3-bit instrument register.
+	cn := netlist.New()
+	m := cn.AddModule("inst")
+	ffs := make([]netlist.FFID, 3)
+	for i := range ffs {
+		ffs[i] = cn.AddFF("f", m)
+		cn.SetFFInput(ffs[i], cn.FFs[ffs[i]].Node)
+	}
+	nw := New("acc")
+	nw.AddModule("inst")
+	r := nw.AddRegister("R", 3, 0)
+	nw.Connect(r, ScanIn)
+	nw.ConnectOut(Reg(r))
+	for i := range ffs {
+		nw.SetCapture(r, i, ffs[i])
+		nw.SetUpdate(r, i, ffs[i])
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	plan, err := nw.PlanAccess(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csim := netlist.NewSimulator(cn)
+	sim := NewSimulator(nw, csim)
+
+	want := []bool{true, false, true}
+	if err := sim.WriteInstrument(plan, want); err != nil {
+		t.Fatal(err)
+	}
+	for i, f := range ffs {
+		if csim.FFValue(f) != want[i] {
+			t.Fatalf("instrument bit %d = %v, want %v", i, csim.FFValue(f), want[i])
+		}
+	}
+	got, err := sim.ReadInstrument(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("read bit %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestAccessPlansOnRandomNetworks checks write-then-read across random
+// topologies and register positions.
+func TestAccessPlansOnRandomNetworks(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	for iter := 0; iter < 20; iter++ {
+		nw := randomAccessNetwork(rng, 3+rng.Intn(8))
+		if err := nw.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		plans, err := nw.PlanAllAccesses()
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		for _, plan := range plans {
+			sim := NewSimulator(nw, nil)
+			regLen := nw.Registers[plan.Register].Len
+			bits := make([]bool, regLen)
+			for i := range bits {
+				bits[i] = rng.Intn(2) == 1
+			}
+			if err := sim.WriteRegister(plan, bits); err != nil {
+				t.Fatal(err)
+			}
+			got, err := sim.ReadRegister(plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range bits {
+				if got[i] != bits[i] {
+					t.Fatalf("iter %d R%d bit %d: %v != %v", iter, plan.Register, i, got[i], bits[i])
+				}
+			}
+		}
+	}
+}
+
+// randomAccessNetwork mirrors the generator used in the pure tests but
+// lives here to keep packages decoupled.
+func randomAccessNetwork(rng *rand.Rand, nRegs int) *Network {
+	nw := New("racc")
+	for i := 0; i < nRegs; i++ {
+		m := nw.AddModule("m")
+		nw.AddRegister("R", 1+rng.Intn(4), m)
+	}
+	for i := 0; i < nRegs; i++ {
+		pick := func() Ref {
+			if i == 0 || rng.Intn(4) == 0 {
+				return ScanIn
+			}
+			return Reg(rng.Intn(i))
+		}
+		if i > 1 && rng.Intn(3) == 0 {
+			a, b := pick(), pick()
+			if a == b {
+				nw.Connect(i, a)
+				continue
+			}
+			m := nw.AddMux("mx", a, b)
+			nw.Connect(i, Mx(m))
+		} else {
+			nw.Connect(i, pick())
+		}
+	}
+	var dangling []Ref
+	for i := 0; i < nRegs; i++ {
+		if len(nw.Sinks(Reg(i))) == 0 {
+			dangling = append(dangling, Reg(i))
+		}
+	}
+	switch len(dangling) {
+	case 0:
+		nw.ConnectOut(Reg(nRegs - 1))
+	case 1:
+		nw.ConnectOut(dangling[0])
+	default:
+		m := nw.AddMux("mout", dangling...)
+		nw.ConnectOut(Mx(m))
+	}
+	return nw
+}
+
+func TestShiftCountHelpers(t *testing.T) {
+	p := AccessPlan{Offset: 3, PathLen: 10}
+	if p.ShiftsToWrite(2) != 5 {
+		t.Fatalf("ShiftsToWrite = %d", p.ShiftsToWrite(2))
+	}
+	if p.ShiftsToRead(2) != 7 {
+		t.Fatalf("ShiftsToRead = %d", p.ShiftsToRead(2))
+	}
+}

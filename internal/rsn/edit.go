@@ -1,0 +1,75 @@
+package rsn
+
+import "fmt"
+
+// CutAndReconnect rewires the input pin to a new source and, if the cut
+// left the old source without any consumer, re-attaches it so that no
+// scan segment dangles (Section III-D of the paper: separated segments
+// are connected to multi-cycle predecessors/successors over pure scan
+// paths, or to the scan-in/scan-out port when none exists). It returns
+// the number of multiplexers inserted.
+func (nw *Network) CutAndReconnect(pin Sink, newSrc Ref) (int, error) {
+	oldSrc := nw.SinkSource(pin)
+	if oldSrc == newSrc {
+		return 0, fmt.Errorf("rsn: cut would not change pin of %v", pin.Elem)
+	}
+	nw.SetSink(pin, newSrc)
+	muxes := 0
+	if (oldSrc.Kind == KRegister || oldSrc.Kind == KMux) && len(nw.Sinks(oldSrc)) == 0 {
+		muxes += nw.reattach(oldSrc)
+	}
+	return muxes, nil
+}
+
+// reattach gives a dangling source a consumer: it feeds the separated
+// segment into a pure-path successor through a new multiplexer, or into
+// the scan-out port if no successor exists. Attachment points are
+// checked against post-cut reachability so no cycle can be created and
+// no new data-flow pairs appear. It returns the number of multiplexers
+// inserted.
+func (nw *Network) reattach(src Ref) int {
+	up := nw.reachableBackward(src)  // everything upstream of src
+	down := nw.reachableForward(src) // everything downstream of src
+	for i := range nw.Registers {
+		r := Reg(i)
+		if r == src || up.has(r) {
+			continue // upstream of src: attaching would create a cycle
+		}
+		if down.has(r) {
+			old := nw.Registers[i].In
+			m := nw.AddMux(fmt.Sprintf("m_reattach_%d", len(nw.Muxes)), old, src)
+			nw.Connect(i, Mx(m))
+			return 1
+		}
+	}
+	old := nw.OutSrc
+	m := nw.AddMux(fmt.Sprintf("m_reattach_%d", len(nw.Muxes)), old, src)
+	nw.ConnectOut(Mx(m))
+	return 1
+}
+
+// EffectiveSources returns the registers (and possibly the scan-in
+// port) whose scan output can feed register id, looking through
+// multiplexers: the inter-register connectivity of the reconfigurable
+// wiring.
+func (nw *Network) EffectiveSources(id int) []Ref {
+	var out []Ref
+	seen := map[Ref]bool{}
+	var walk func(r Ref)
+	walk = func(r Ref) {
+		if seen[r] {
+			return
+		}
+		seen[r] = true
+		switch r.Kind {
+		case KScanIn, KRegister:
+			out = append(out, r)
+		case KMux:
+			for _, in := range nw.Muxes[r.ID].Inputs {
+				walk(in)
+			}
+		}
+	}
+	walk(nw.Registers[id].In)
+	return out
+}

@@ -1,0 +1,124 @@
+package rsn
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// Simulator executes capture, shift and update phases of a network,
+// optionally coupled to a gate-level circuit simulator. It is used to
+// demonstrate attacks (shifting confidential data into an untrusted
+// module) and to verify that secured networks no longer admit them.
+type Simulator struct {
+	nw      *Network
+	circuit *netlist.Simulator // may be nil
+	scan    [][]bool           // per register, per scan FF
+}
+
+// NewSimulator returns a simulator with all scan flip-flops at 0.
+// circuit may be nil for a pure scan network simulation.
+func NewSimulator(nw *Network, circuit *netlist.Simulator) *Simulator {
+	scan := make([][]bool, len(nw.Registers))
+	for i := range scan {
+		scan[i] = make([]bool, nw.Registers[i].Len)
+	}
+	return &Simulator{nw: nw, circuit: circuit, scan: scan}
+}
+
+// ScanFF returns the current value of scan FF i of register reg.
+func (s *Simulator) ScanFF(reg, i int) bool { return s.scan[reg][i] }
+
+// SetScanFF sets the value of scan FF i of register reg.
+func (s *Simulator) SetScanFF(reg, i int, v bool) { s.scan[reg][i] = v }
+
+// Circuit returns the attached circuit simulator (or nil).
+func (s *Simulator) Circuit() *netlist.Simulator { return s.circuit }
+
+// Capture runs one capture phase: every scan flip-flop on the active
+// path with a capture source loads the current value of its circuit
+// flip-flop.
+func (s *Simulator) Capture(cfg Config) error {
+	path, err := s.nw.ActivePath(cfg)
+	if err != nil {
+		return fmt.Errorf("capture: %w", err)
+	}
+	if s.circuit == nil {
+		return nil
+	}
+	for _, pe := range path {
+		src := s.nw.Registers[pe.Register].Capture[pe.FF]
+		if src != netlist.NoFF {
+			s.scan[pe.Register][pe.FF] = s.circuit.FFValue(src)
+		}
+	}
+	return nil
+}
+
+// Shift runs one shift cycle along the active path: scan-in data enters
+// the first flip-flop, every flip-flop takes its predecessor's value,
+// and the last flip-flop's previous value appears at scan-out.
+func (s *Simulator) Shift(cfg Config, in bool) (out bool, err error) {
+	path, err := s.nw.ActivePath(cfg)
+	if err != nil {
+		return false, fmt.Errorf("shift: %w", err)
+	}
+	if len(path) == 0 {
+		return in, nil
+	}
+	last := path[len(path)-1]
+	out = s.scan[last.Register][last.FF]
+	for k := len(path) - 1; k >= 1; k-- {
+		prev := path[k-1]
+		s.scan[path[k].Register][path[k].FF] = s.scan[prev.Register][prev.FF]
+	}
+	s.scan[path[0].Register][path[0].FF] = in
+	return out, nil
+}
+
+// ShiftN performs n shift cycles feeding the given bits (padded with
+// zeros) and returns the bits observed at scan-out.
+func (s *Simulator) ShiftN(cfg Config, bits []bool, n int) ([]bool, error) {
+	out := make([]bool, 0, n)
+	for k := 0; k < n; k++ {
+		in := false
+		if k < len(bits) {
+			in = bits[k]
+		}
+		o, err := s.Shift(cfg, in)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, o)
+	}
+	return out, nil
+}
+
+// Update runs one update phase: every scan flip-flop on the active path
+// with an update sink writes its value into its circuit flip-flop.
+func (s *Simulator) Update(cfg Config) error {
+	path, err := s.nw.ActivePath(cfg)
+	if err != nil {
+		return fmt.Errorf("update: %w", err)
+	}
+	if s.circuit == nil {
+		return nil
+	}
+	for _, pe := range path {
+		dst := s.nw.Registers[pe.Register].Update[pe.FF]
+		if dst != netlist.NoFF {
+			s.circuit.SetFF(dst, s.scan[pe.Register][pe.FF])
+		}
+	}
+	return nil
+}
+
+// ClockCircuit advances the functional circuit by n clock cycles.
+func (s *Simulator) ClockCircuit(n int) {
+	if s.circuit == nil {
+		return
+	}
+	for i := 0; i < n; i++ {
+		s.circuit.Step()
+	}
+}

@@ -1,0 +1,102 @@
+package sat
+
+// varHeap is a binary max-heap of variables ordered by activity, with
+// an index map for decrease/increase-key updates. It is the solver's
+// VSIDS-style decision order.
+type varHeap struct {
+	s       *Solver
+	heap    []Var
+	indices []int32 // position of var in heap, -1 if absent
+}
+
+func newVarHeap(s *Solver) *varHeap {
+	return &varHeap{s: s}
+}
+
+func (h *varHeap) less(a, b Var) bool {
+	return h.s.vars[a].activity > h.s.vars[b].activity
+}
+
+func (h *varHeap) ensure(v Var) {
+	for Var(len(h.indices)) <= v {
+		h.indices = append(h.indices, -1)
+	}
+}
+
+func (h *varHeap) contains(v Var) bool {
+	return int(v) < len(h.indices) && h.indices[v] >= 0
+}
+
+// push inserts v if absent.
+func (h *varHeap) push(v Var) {
+	h.ensure(v)
+	if h.indices[v] >= 0 {
+		return
+	}
+	h.heap = append(h.heap, v)
+	h.indices[v] = int32(len(h.heap) - 1)
+	h.up(len(h.heap) - 1)
+}
+
+// pop removes and returns the variable with the highest activity.
+func (h *varHeap) pop() (Var, bool) {
+	if len(h.heap) == 0 {
+		return 0, false
+	}
+	top := h.heap[0]
+	last := len(h.heap) - 1
+	h.heap[0] = h.heap[last]
+	h.indices[h.heap[0]] = 0
+	h.heap = h.heap[:last]
+	h.indices[top] = -1
+	if len(h.heap) > 0 {
+		h.down(0)
+	}
+	return top, true
+}
+
+// update restores the heap property after v's activity increased.
+func (h *varHeap) update(v Var) {
+	if h.contains(v) {
+		h.up(int(h.indices[v]))
+	}
+}
+
+func (h *varHeap) up(i int) {
+	v := h.heap[i]
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(v, h.heap[parent]) {
+			break
+		}
+		h.heap[i] = h.heap[parent]
+		h.indices[h.heap[i]] = int32(i)
+		i = parent
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i)
+}
+
+func (h *varHeap) down(i int) {
+	v := h.heap[i]
+	n := len(h.heap)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if child+1 < n && h.less(h.heap[child+1], h.heap[child]) {
+			child++
+		}
+		if !h.less(h.heap[child], v) {
+			break
+		}
+		h.heap[i] = h.heap[child]
+		h.indices[h.heap[i]] = int32(i)
+		i = child
+	}
+	h.heap[i] = v
+	h.indices[v] = int32(i)
+}
+
+func (h *varHeap) size() int { return len(h.heap) }

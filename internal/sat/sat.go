@@ -1,0 +1,727 @@
+// Package sat implements a small conflict-driven clause-learning (CDCL)
+// satisfiability solver.
+//
+// The solver is the substrate for the SAT-based dependency computation of
+// Soeken et al. (HVC 2016), which the secure-data-flow method uses to
+// distinguish functional from only-structural dependencies in circuit
+// logic. It supports incremental solving under assumptions, two-watched
+// literal propagation, first-UIP clause learning, activity-based
+// branching with phase saving, and Luby restarts.
+package sat
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Var is a propositional variable. Valid variables are >= 1.
+type Var int32
+
+// Lit is a literal: a variable or its negation.
+// The encoding is 2*v for the positive literal of v and 2*v+1 for the
+// negative literal. The zero Lit is invalid and used as a sentinel.
+type Lit int32
+
+// PosLit returns the positive literal of v.
+func PosLit(v Var) Lit { return Lit(v << 1) }
+
+// NegLit returns the negative literal of v.
+func NegLit(v Var) Lit { return Lit(v<<1 | 1) }
+
+// MkLit returns the literal of v with the given sign. A true sign means
+// the negative literal, matching the MiniSat convention.
+func MkLit(v Var, neg bool) Lit {
+	if neg {
+		return NegLit(v)
+	}
+	return PosLit(v)
+}
+
+// Var returns the variable of the literal.
+func (l Lit) Var() Var { return Var(l >> 1) }
+
+// Neg reports whether the literal is negative.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not returns the negation of the literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+// String renders the literal as "v3" or "~v3".
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("~v%d", l.Var())
+	}
+	return fmt.Sprintf("v%d", l.Var())
+}
+
+// Status is the result of a Solve call.
+type Status int
+
+const (
+	// Unknown means the solver has not produced a result.
+	Unknown Status = iota
+	// Sat means the formula is satisfiable.
+	Sat
+	// Unsat means the formula is unsatisfiable.
+	Unsat
+)
+
+func (s Status) String() string {
+	switch s {
+	case Sat:
+		return "SAT"
+	case Unsat:
+		return "UNSAT"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// value of a variable during search.
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+type clause struct {
+	lits    []Lit
+	learnt  bool
+	act     float64
+	deleted bool
+}
+
+type watcher struct {
+	cref    int // index into clauses
+	blocker Lit // a literal whose truth satisfies the clause cheaply
+}
+
+type varData struct {
+	assign   lbool
+	level    int32
+	reason   int // clause reference or -1
+	activity float64
+	phase    bool // saved phase: true = last assigned false (negative)
+	seen     bool
+}
+
+// Solver is a CDCL SAT solver. The zero value is not usable; create
+// solvers with New.
+type Solver struct {
+	vars    []varData // index 0 unused
+	clauses []clause
+	watches [][]watcher // indexed by Lit
+
+	trail    []Lit
+	trailLim []int
+	qhead    int
+
+	varInc    float64
+	clauseInc float64
+
+	order *varHeap
+
+	ok    bool   // false once a top-level conflict is found
+	model []bool // last satisfying assignment, indexed by Var
+
+	// learned-clause database reduction
+	numLearnt  int
+	maxLearnts int
+
+	// statistics
+	Stats Statistics
+
+	budget int64 // max conflicts; <=0 means unlimited
+}
+
+// Statistics accumulates solver counters across Solve calls.
+type Statistics struct {
+	Decisions    int64
+	Propagations int64
+	Conflicts    int64
+	Learnt       int64
+	Deleted      int64
+	Restarts     int64
+}
+
+// ErrBudget is returned by SolveLimited when the conflict budget is
+// exhausted before a result is established.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
+
+// New returns an empty solver.
+func New() *Solver {
+	s := &Solver{
+		varInc:    1.0,
+		clauseInc: 1.0,
+		ok:        true,
+	}
+	s.vars = make([]varData, 1) // index 0 unused
+	s.watches = make([][]watcher, 2)
+	s.order = newVarHeap(s)
+	return s
+}
+
+// NewVar introduces a fresh variable and returns it.
+func (s *Solver) NewVar() Var {
+	v := Var(len(s.vars))
+	s.vars = append(s.vars, varData{assign: lUndef, reason: -1})
+	s.watches = append(s.watches, nil, nil)
+	s.order.push(v)
+	return v
+}
+
+// NumVars returns the number of variables created so far.
+func (s *Solver) NumVars() int { return len(s.vars) - 1 }
+
+// NumClauses returns the number of problem (non-learnt) clauses.
+func (s *Solver) NumClauses() int {
+	n := 0
+	for i := range s.clauses {
+		if !s.clauses[i].learnt && !s.clauses[i].deleted {
+			n++
+		}
+	}
+	return n
+}
+
+// ensureVar grows the variable tables so that v is valid.
+func (s *Solver) ensureVar(v Var) {
+	for Var(len(s.vars)) <= v {
+		s.NewVar()
+	}
+}
+
+func (s *Solver) litValue(l Lit) lbool {
+	a := s.vars[l.Var()].assign
+	if a == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if a == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return a
+}
+
+// AddClause adds a clause over the given literals. It returns false if
+// the solver is already in an unsatisfiable state (including the case
+// where the new clause is empty after simplification at level 0).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	if !s.ok {
+		return false
+	}
+	if s.decisionLevel() != 0 {
+		panic("sat: AddClause called during search")
+	}
+	// Normalize: sort-free dedup, drop false lits, detect tautology.
+	out := make([]Lit, 0, len(lits))
+	for _, l := range lits {
+		if l <= 1 {
+			panic("sat: invalid literal")
+		}
+		s.ensureVar(l.Var())
+		switch s.litValue(l) {
+		case lTrue:
+			return true // clause already satisfied at level 0
+		case lFalse:
+			continue // literal cannot help
+		}
+		dup := false
+		for _, o := range out {
+			if o == l {
+				dup = true
+				break
+			}
+			if o == l.Not() {
+				return true // tautology
+			}
+		}
+		if !dup {
+			out = append(out, l)
+		}
+	}
+	switch len(out) {
+	case 0:
+		s.ok = false
+		return false
+	case 1:
+		if !s.enqueue(out[0], -1) {
+			s.ok = false
+			return false
+		}
+		if conf := s.propagate(); conf != -1 {
+			s.ok = false
+			return false
+		}
+		return true
+	}
+	cref := len(s.clauses)
+	s.clauses = append(s.clauses, clause{lits: out})
+	s.watchClause(cref)
+	return true
+}
+
+func (s *Solver) watchClause(cref int) {
+	c := &s.clauses[cref]
+	s.watches[c.lits[0].Not()] = append(s.watches[c.lits[0].Not()], watcher{cref, c.lits[1]})
+	s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{cref, c.lits[0]})
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// enqueue assigns literal l to true with the given reason clause.
+// It returns false on an immediate conflict with an existing assignment.
+func (s *Solver) enqueue(l Lit, reason int) bool {
+	switch s.litValue(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	vd := &s.vars[l.Var()]
+	if l.Neg() {
+		vd.assign = lFalse
+	} else {
+		vd.assign = lTrue
+	}
+	vd.level = int32(s.decisionLevel())
+	vd.reason = reason
+	s.trail = append(s.trail, l)
+	return true
+}
+
+// propagate performs unit propagation. It returns the reference of a
+// conflicting clause, or -1 if no conflict occurred.
+func (s *Solver) propagate() int {
+	for s.qhead < len(s.trail) {
+		p := s.trail[s.qhead]
+		s.qhead++
+		s.Stats.Propagations++
+		ws := s.watches[p]
+		n := 0
+	nextWatcher:
+		for i := 0; i < len(ws); i++ {
+			w := ws[i]
+			c := &s.clauses[w.cref]
+			if c.deleted {
+				continue // drop the watcher of a reduced clause
+			}
+			if s.litValue(w.blocker) == lTrue {
+				ws[n] = w
+				n++
+				continue
+			}
+			// Ensure the false literal (p.Not()) is lits[1].
+			if c.lits[0] == p.Not() {
+				c.lits[0], c.lits[1] = c.lits[1], c.lits[0]
+			}
+			first := c.lits[0]
+			if first != w.blocker && s.litValue(first) == lTrue {
+				ws[n] = watcher{w.cref, first}
+				n++
+				continue
+			}
+			// Look for a new literal to watch.
+			for k := 2; k < len(c.lits); k++ {
+				if s.litValue(c.lits[k]) != lFalse {
+					c.lits[1], c.lits[k] = c.lits[k], c.lits[1]
+					s.watches[c.lits[1].Not()] = append(s.watches[c.lits[1].Not()], watcher{w.cref, first})
+					continue nextWatcher
+				}
+			}
+			// Clause is unit or conflicting.
+			ws[n] = watcher{w.cref, first}
+			n++
+			if s.litValue(first) == lFalse {
+				// Conflict: copy back remaining watchers and bail.
+				for i++; i < len(ws); i++ {
+					ws[n] = ws[i]
+					n++
+				}
+				s.watches[p] = ws[:n]
+				s.qhead = len(s.trail)
+				return w.cref
+			}
+			s.enqueue(first, w.cref)
+		}
+		s.watches[p] = ws[:n]
+	}
+	return -1
+}
+
+// analyze performs first-UIP conflict analysis. It returns the learnt
+// clause (with the asserting literal first) and the backtrack level.
+func (s *Solver) analyze(confl int) ([]Lit, int) {
+	learnt := []Lit{0} // placeholder for asserting literal
+	seenCount := 0
+	p := Lit(0)
+	idx := len(s.trail) - 1
+	var toClear []Var
+
+	for {
+		c := &s.clauses[confl]
+		if c.learnt {
+			s.bumpClause(confl)
+		}
+		start := 0
+		if p != 0 {
+			start = 1
+		}
+		for _, q := range c.lits[start:] {
+			v := q.Var()
+			vd := &s.vars[v]
+			if !vd.seen && vd.level > 0 {
+				vd.seen = true
+				toClear = append(toClear, v)
+				s.bumpVar(v)
+				if int(vd.level) >= s.decisionLevel() {
+					seenCount++
+				} else {
+					learnt = append(learnt, q)
+				}
+			}
+		}
+		// Select next literal to look at.
+		for !s.vars[s.trail[idx].Var()].seen {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		confl = s.vars[p.Var()].reason
+		s.vars[p.Var()].seen = false
+		seenCount--
+		if seenCount == 0 {
+			break
+		}
+	}
+	learnt[0] = p.Not()
+
+	// Minimize: remove literals implied by the rest of the clause.
+	out := learnt[:1]
+	for _, l := range learnt[1:] {
+		if !s.redundant(l) {
+			out = append(out, l)
+		}
+	}
+	learnt = out
+
+	// Find backtrack level: max level among lits[1:].
+	btLevel := 0
+	if len(learnt) > 1 {
+		maxI := 1
+		for i := 2; i < len(learnt); i++ {
+			if s.vars[learnt[i].Var()].level > s.vars[learnt[maxI].Var()].level {
+				maxI = i
+			}
+		}
+		learnt[1], learnt[maxI] = learnt[maxI], learnt[1]
+		btLevel = int(s.vars[learnt[1].Var()].level)
+	}
+	for _, v := range toClear {
+		s.vars[v].seen = false
+	}
+	return learnt, btLevel
+}
+
+// redundant reports whether literal l in a learnt clause is implied by
+// the remaining seen literals (simple local minimization: every literal
+// of its reason clause must be seen or at level 0).
+func (s *Solver) redundant(l Lit) bool {
+	r := s.vars[l.Var()].reason
+	if r < 0 {
+		return false
+	}
+	for _, q := range s.clauses[r].lits {
+		if q.Var() == l.Var() {
+			continue
+		}
+		vd := &s.vars[q.Var()]
+		if !vd.seen && vd.level > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *Solver) bumpVar(v Var) {
+	s.vars[v].activity += s.varInc
+	if s.vars[v].activity > 1e100 {
+		for i := 1; i < len(s.vars); i++ {
+			s.vars[i].activity *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+	s.order.update(v)
+}
+
+func (s *Solver) bumpClause(cref int) {
+	c := &s.clauses[cref]
+	c.act += s.clauseInc
+	if c.act > 1e20 {
+		for i := range s.clauses {
+			if s.clauses[i].learnt {
+				s.clauses[i].act *= 1e-20
+			}
+		}
+		s.clauseInc *= 1e-20
+	}
+}
+
+func (s *Solver) decayActivities() {
+	s.varInc /= 0.95
+	s.clauseInc /= 0.999
+}
+
+// backtrackTo undoes assignments above the given decision level.
+func (s *Solver) backtrackTo(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		l := s.trail[i]
+		vd := &s.vars[l.Var()]
+		vd.phase = l.Neg()
+		vd.assign = lUndef
+		vd.reason = -1
+		s.order.push(l.Var())
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+	s.qhead = limit
+}
+
+// pickBranchLit selects the next decision literal, or 0 if all variables
+// are assigned.
+func (s *Solver) pickBranchLit() Lit {
+	for {
+		v, ok := s.order.pop()
+		if !ok {
+			return 0
+		}
+		if s.vars[v].assign == lUndef {
+			return MkLit(v, s.vars[v].phase)
+		}
+	}
+}
+
+// luby computes the Luby restart sequence value for index i (1-based).
+func luby(i int64) int64 {
+	for k := int64(1); ; k++ {
+		if i == (1<<uint(k))-1 {
+			return 1 << uint(k-1)
+		}
+		if i < (1<<uint(k))-1 {
+			return luby(i - (1 << uint(k-1)) + 1)
+		}
+	}
+}
+
+// SetConflictBudget limits subsequent Solve calls to approximately n
+// conflicts; n <= 0 removes the limit.
+func (s *Solver) SetConflictBudget(n int64) { s.budget = n }
+
+// Solve determines satisfiability under the given assumptions. The
+// assumptions hold only for this call.
+func (s *Solver) Solve(assumptions ...Lit) Status {
+	st, _ := s.SolveLimited(assumptions...)
+	return st
+}
+
+// SolveLimited is Solve with support for conflict budgets: it returns
+// ErrBudget if the budget set via SetConflictBudget was exhausted
+// before a result could be established.
+//
+// After every backtrack the main loop re-establishes the assumption
+// prefix, one assumption per decision level; a falsified assumption
+// means unsatisfiability under the assumptions.
+func (s *Solver) SolveLimited(assumptions ...Lit) (Status, error) {
+	if !s.ok {
+		return Unsat, nil
+	}
+	for _, a := range assumptions {
+		s.ensureVar(a.Var())
+	}
+	defer s.backtrackTo(0)
+
+	conflictsAtStart := s.Stats.Conflicts
+	restartIdx := int64(1)
+	restartLimit := int64(100) * luby(restartIdx)
+
+	for {
+		confl := s.propagate()
+		if confl != -1 {
+			s.Stats.Conflicts++
+			if s.decisionLevel() == 0 {
+				s.ok = false
+				return Unsat, nil
+			}
+			learnt, btLevel := s.analyze(confl)
+			s.backtrackTo(btLevel)
+			if len(learnt) == 1 {
+				if btLevel != 0 {
+					s.backtrackTo(0)
+				}
+				if !s.enqueue(learnt[0], -1) {
+					s.ok = false
+					return Unsat, nil
+				}
+			} else {
+				cref := s.learnClause(learnt)
+				s.enqueue(learnt[0], cref)
+			}
+			s.decayActivities()
+			if s.maxLearnts == 0 {
+				s.maxLearnts = s.NumClauses()/3 + 2000
+			}
+			if s.numLearnt > s.maxLearnts {
+				s.reduceDB()
+				s.maxLearnts += s.maxLearnts / 10
+			}
+			if s.budget > 0 && s.Stats.Conflicts-conflictsAtStart >= s.budget {
+				return Unknown, ErrBudget
+			}
+			if s.Stats.Conflicts-conflictsAtStart >= restartLimit {
+				s.Stats.Restarts++
+				restartIdx++
+				restartLimit = s.Stats.Conflicts - conflictsAtStart + 100*luby(restartIdx)
+				s.backtrackTo(0)
+			}
+			continue
+		}
+		// No conflict: establish the assumption prefix, then decide.
+		if lvl := s.decisionLevel(); lvl < len(assumptions) {
+			a := assumptions[lvl]
+			switch s.litValue(a) {
+			case lTrue:
+				// Already implied; open a dummy level to keep the
+				// level-to-assumption correspondence.
+				s.trailLim = append(s.trailLim, len(s.trail))
+				continue
+			case lFalse:
+				return Unsat, nil
+			}
+			s.trailLim = append(s.trailLim, len(s.trail))
+			s.enqueue(a, -1)
+			continue
+		}
+		next := s.pickBranchLit()
+		if next == 0 {
+			s.captureModel()
+			return Sat, nil
+		}
+		s.Stats.Decisions++
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(next, -1)
+	}
+}
+
+// captureModel snapshots the current complete assignment.
+func (s *Solver) captureModel() {
+	if cap(s.model) < len(s.vars) {
+		s.model = make([]bool, len(s.vars))
+	}
+	s.model = s.model[:len(s.vars)]
+	for v := 1; v < len(s.vars); v++ {
+		s.model[v] = s.vars[v].assign == lTrue
+	}
+}
+
+func (s *Solver) learnClause(lits []Lit) int {
+	s.Stats.Learnt++
+	s.numLearnt++
+	cref := len(s.clauses)
+	cp := make([]Lit, len(lits))
+	copy(cp, lits)
+	s.clauses = append(s.clauses, clause{lits: cp, learnt: true, act: s.clauseInc})
+	s.watchClause(cref)
+	return cref
+}
+
+// reduceDB deletes roughly half of the learned clauses — the
+// low-activity ones — keeping binary clauses and clauses currently
+// acting as reasons. Deleted clauses are skipped lazily by propagate.
+func (s *Solver) reduceDB() {
+	locked := make(map[int]bool)
+	for v := 1; v < len(s.vars); v++ {
+		if s.vars[v].assign != lUndef && s.vars[v].reason >= 0 {
+			locked[s.vars[v].reason] = true
+		}
+	}
+	var acts []float64
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		if c.learnt && !c.deleted && len(c.lits) > 2 && !locked[i] {
+			acts = append(acts, c.act)
+		}
+	}
+	if len(acts) == 0 {
+		return
+	}
+	// Median activity as the deletion threshold.
+	threshold := medianOf(acts)
+	removed := 0
+	for i := range s.clauses {
+		c := &s.clauses[i]
+		if c.learnt && !c.deleted && len(c.lits) > 2 && !locked[i] && c.act <= threshold {
+			c.deleted = true
+			c.lits = nil
+			removed++
+			s.numLearnt--
+		}
+	}
+	s.Stats.Deleted += int64(removed)
+}
+
+// medianOf returns an approximate median via quickselect on a copy.
+func medianOf(xs []float64) float64 {
+	cp := append([]float64(nil), xs...)
+	k := len(cp) / 2
+	lo, hi := 0, len(cp)-1
+	for lo < hi {
+		pivot := cp[(lo+hi)/2]
+		i, j := lo, hi
+		for i <= j {
+			for cp[i] < pivot {
+				i++
+			}
+			for cp[j] > pivot {
+				j--
+			}
+			if i <= j {
+				cp[i], cp[j] = cp[j], cp[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			break
+		}
+	}
+	return cp[k]
+}
+
+// Value returns the value of v in the most recent satisfying
+// assignment. It is only meaningful after Solve has returned Sat.
+func (s *Solver) Value(v Var) bool {
+	if int(v) >= len(s.model) {
+		return false
+	}
+	return s.model[v]
+}
+
+// Model returns a copy of the last satisfying assignment, indexed by
+// variable (index 0 unused).
+func (s *Solver) Model() []bool {
+	out := make([]bool, len(s.model))
+	copy(out, s.model)
+	return out
+}

@@ -1,0 +1,259 @@
+// Package secspec implements the security specification of Kochte et
+// al. (ETS 2017) / Raiola et al. (IOLTS 2018) used by the
+// secure-data-flow method: every scan segment is annotated with a trust
+// category (the trustworthiness of the segment or its surrounding core)
+// and a set of accepted trust categories (the sensitivity of the data it
+// holds).
+//
+// The specification is violated when data stored in a segment x can
+// flow into or through a segment y whose trust category is not accepted
+// by x — e.g. confidential data from a crypto core traversing an
+// untrusted instrument. Annotations live at module granularity; scan
+// segments and circuit flip-flops inherit them from their module.
+package secspec
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+)
+
+// Category is a trust category. Valid categories are 0..MaxCategories-1.
+type Category uint8
+
+// MaxCategories bounds the category universe so that category sets fit
+// a machine word. The paper's propagation argument relies on the set of
+// security attributes being small and finite.
+const MaxCategories = 32
+
+// CatSet is a set of trust categories, one bit per category.
+type CatSet uint32
+
+// NewCatSet builds a set from the listed categories.
+func NewCatSet(cats ...Category) CatSet {
+	var s CatSet
+	for _, c := range cats {
+		s |= 1 << c
+	}
+	return s
+}
+
+// AllCats returns the set of all categories below n.
+func AllCats(n int) CatSet {
+	if n >= MaxCategories {
+		return ^CatSet(0)
+	}
+	return CatSet(1)<<uint(n) - 1
+}
+
+// Has reports whether the set contains c.
+func (s CatSet) Has(c Category) bool { return s&(1<<c) != 0 }
+
+// With returns the set extended by c.
+func (s CatSet) With(c Category) CatSet { return s | 1<<c }
+
+// Without returns the set with c removed.
+func (s CatSet) Without(c Category) CatSet { return s &^ (1 << c) }
+
+// Len returns the number of categories in the set.
+func (s CatSet) Len() int { return bits.OnesCount32(uint32(s)) }
+
+// String renders the set as "{0,3,5}".
+func (s CatSet) String() string {
+	out := "{"
+	first := true
+	for c := Category(0); c < MaxCategories; c++ {
+		if s.Has(c) {
+			if !first {
+				out += ","
+			}
+			out += fmt.Sprint(c)
+			first = false
+		}
+	}
+	return out + "}"
+}
+
+// Spec is a security specification over a fixed set of modules.
+type Spec struct {
+	NumCategories int
+	// Trust[m] is the trust category of module m.
+	Trust []Category
+	// Accepts[m] is the set of trust categories that data stored in
+	// module m's segments accepts on its scan paths.
+	Accepts []CatSet
+}
+
+// New returns a specification for numModules modules over numCategories
+// categories. Initially every module has trust 0 and accepts all
+// categories (no restrictions).
+func New(numModules, numCategories int) *Spec {
+	if numCategories <= 0 || numCategories > MaxCategories {
+		panic(fmt.Sprintf("secspec: numCategories %d out of range (1..%d)", numCategories, MaxCategories))
+	}
+	s := &Spec{
+		NumCategories: numCategories,
+		Trust:         make([]Category, numModules),
+		Accepts:       make([]CatSet, numModules),
+	}
+	for m := range s.Accepts {
+		s.Accepts[m] = AllCats(numCategories)
+	}
+	return s
+}
+
+// SetTrust assigns the trust category of module m.
+func (s *Spec) SetTrust(m int, c Category) {
+	if int(c) >= s.NumCategories {
+		panic(fmt.Sprintf("secspec: category %d out of range", c))
+	}
+	s.Trust[m] = c
+}
+
+// SetAccepts assigns the accepted-category set of module m. The set is
+// forced to contain the module's own trust category (data may always
+// stay in its own segment).
+func (s *Spec) SetAccepts(m int, cs CatSet) {
+	s.Accepts[m] = cs.With(s.Trust[m])
+}
+
+// NumModules returns the number of annotated modules.
+func (s *Spec) NumModules() int { return len(s.Trust) }
+
+// Violates reports whether data originating in module src may not flow
+// into or through module dst.
+func (s *Spec) Violates(src, dst int) bool {
+	if src == dst {
+		return false
+	}
+	return !s.Accepts[src].Has(s.Trust[dst])
+}
+
+// AnyViolationPossible reports whether some ordered module pair
+// violates the specification at all (otherwise every network is
+// trivially secure under this spec).
+func (s *Spec) AnyViolationPossible() bool {
+	for a := range s.Trust {
+		for b := range s.Trust {
+			if s.Violates(a, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Clone returns a deep copy.
+func (s *Spec) Clone() *Spec {
+	cp := &Spec{NumCategories: s.NumCategories}
+	cp.Trust = append([]Category{}, s.Trust...)
+	cp.Accepts = append([]CatSet{}, s.Accepts...)
+	return cp
+}
+
+// GenConfig controls random specification generation.
+type GenConfig struct {
+	// NumCategories is the size of the trust-category universe.
+	NumCategories int
+	// ConfidentialFrac is the fraction of modules holding sensitive
+	// data (small accept sets).
+	ConfidentialFrac float64
+	// UntrustedFrac is the fraction of modules with the lowest trust
+	// category (candidate leak targets).
+	UntrustedFrac float64
+}
+
+// DefaultGenConfig mirrors the experimental setup of Section IV-A:
+// random specifications over a small category universe with a mix of
+// confidential and untrusted instruments.
+func DefaultGenConfig() GenConfig {
+	return GenConfig{NumCategories: 4, ConfidentialFrac: 0.25, UntrustedFrac: 0.25}
+}
+
+// GenerateWithRoles builds a random specification aligned with circuit
+// roles: confidential annotations are assigned only to dataSource
+// modules (modules whose circuit data never leaves over functional
+// logic — e.g. crypto cores), and untrusted annotations only to the
+// remaining modules. This mirrors real designs, where sensitive cores
+// do not broadcast their state into other instruments; their data can
+// leave only over the scan infrastructure, which is exactly the threat
+// the secure-data-flow method addresses.
+func GenerateWithRoles(numModules int, dataSource []bool, cfg GenConfig, seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	s := New(numModules, cfg.NumCategories)
+	hi := Category(cfg.NumCategories - 1)
+	for m := 0; m < numModules; m++ {
+		isSource := m < len(dataSource) && dataSource[m]
+		r := rng.Float64()
+		switch {
+		case isSource && r < 0.6:
+			// Confidential source: its data accepts only the upper half
+			// of the category universe.
+			s.SetTrust(m, hi)
+			acc := CatSet(0)
+			for c := Category(cfg.NumCategories / 2); int(c) < cfg.NumCategories; c++ {
+				acc = acc.With(c)
+			}
+			s.SetAccepts(m, acc)
+		case !isSource && r < 0.35:
+			// Untrusted instrument: lowest trust, accepts anything.
+			s.SetTrust(m, 0)
+			s.SetAccepts(m, AllCats(cfg.NumCategories))
+		default:
+			// Ordinary instrument with reasonably high trust so benign
+			// paths stay legal.
+			c := Category(cfg.NumCategories/2 + rng.Intn(cfg.NumCategories-cfg.NumCategories/2))
+			s.SetTrust(m, c)
+			s.SetAccepts(m, AllCats(cfg.NumCategories))
+		}
+	}
+	// Occasionally restrict a single ordinary module's accept set so
+	// the insecure-circuit-logic check stays exercised; one module per
+	// spec keeps the exclusion rate independent of the module count.
+	if numModules > 0 && rng.Float64() < 0.5 {
+		m := rng.Intn(numModules)
+		if !(m < len(dataSource) && dataSource[m]) {
+			s.Accepts[m] = s.Accepts[m].Without(Category(rng.Intn(cfg.NumCategories))).With(s.Trust[m])
+		}
+	}
+	return s
+}
+
+// Generate builds a random specification for numModules modules.
+// Category 0 is the lowest trust ("untrusted"); category
+// NumCategories-1 the highest. Confidential modules accept only high
+// categories; ordinary modules accept everything.
+func Generate(numModules int, cfg GenConfig, seed int64) *Spec {
+	rng := rand.New(rand.NewSource(seed))
+	s := New(numModules, cfg.NumCategories)
+	hi := Category(cfg.NumCategories - 1)
+	for m := 0; m < numModules; m++ {
+		r := rng.Float64()
+		switch {
+		case r < cfg.UntrustedFrac:
+			// Untrusted instrument: lowest trust, accepts anything.
+			s.SetTrust(m, 0)
+			s.SetAccepts(m, AllCats(cfg.NumCategories))
+		case r < cfg.UntrustedFrac+cfg.ConfidentialFrac:
+			// Confidential instrument: high trust, accepts only the
+			// upper half of the category universe.
+			s.SetTrust(m, hi)
+			acc := CatSet(0)
+			for c := Category(cfg.NumCategories / 2); int(c) < cfg.NumCategories; c++ {
+				acc = acc.With(c)
+			}
+			s.SetAccepts(m, acc)
+		default:
+			// Ordinary instrument: random mid trust, accepts most
+			// categories with occasional random restrictions.
+			c := Category(rng.Intn(cfg.NumCategories))
+			s.SetTrust(m, c)
+			acc := AllCats(cfg.NumCategories)
+			if rng.Float64() < 0.2 {
+				acc = acc.Without(Category(rng.Intn(cfg.NumCategories)))
+			}
+			s.SetAccepts(m, acc)
+		}
+	}
+	return s
+}

@@ -1,0 +1,177 @@
+package secspec
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCatSetBasics(t *testing.T) {
+	s := NewCatSet(0, 3, 5)
+	if !s.Has(0) || !s.Has(3) || !s.Has(5) {
+		t.Fatal("missing members")
+	}
+	if s.Has(1) || s.Has(4) {
+		t.Fatal("spurious members")
+	}
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if s.String() != "{0,3,5}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	s = s.With(4)
+	if !s.Has(4) || s.Len() != 4 {
+		t.Fatal("With failed")
+	}
+	s = s.Without(0)
+	if s.Has(0) || s.Len() != 3 {
+		t.Fatal("Without failed")
+	}
+}
+
+func TestAllCats(t *testing.T) {
+	if AllCats(4) != NewCatSet(0, 1, 2, 3) {
+		t.Fatalf("AllCats(4) = %v", AllCats(4))
+	}
+	if AllCats(1) != NewCatSet(0) {
+		t.Fatalf("AllCats(1) = %v", AllCats(1))
+	}
+	if AllCats(32) != ^CatSet(0) {
+		t.Fatal("AllCats(32) must be the full set")
+	}
+}
+
+func TestCatSetProperties(t *testing.T) {
+	withHas := func(s uint32, c uint8) bool {
+		cat := Category(c % MaxCategories)
+		return CatSet(s).With(cat).Has(cat)
+	}
+	if err := quick.Check(withHas, nil); err != nil {
+		t.Error(err)
+	}
+	withoutHas := func(s uint32, c uint8) bool {
+		cat := Category(c % MaxCategories)
+		return !CatSet(s).Without(cat).Has(cat)
+	}
+	if err := quick.Check(withoutHas, nil); err != nil {
+		t.Error(err)
+	}
+	lenMonotone := func(s uint32, c uint8) bool {
+		cat := Category(c % MaxCategories)
+		cs := CatSet(s)
+		return cs.With(cat).Len() >= cs.Len() && cs.Without(cat).Len() <= cs.Len()
+	}
+	if err := quick.Check(lenMonotone, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSpecViolates(t *testing.T) {
+	s := New(3, 4)
+	// Module 0: crypto, trust 3, accepts only {2,3}.
+	s.SetTrust(0, 3)
+	s.SetAccepts(0, NewCatSet(2, 3))
+	// Module 1: untrusted sensor, trust 0.
+	s.SetTrust(1, 0)
+	s.SetAccepts(1, AllCats(4))
+	// Module 2: ordinary, trust 2.
+	s.SetTrust(2, 2)
+	s.SetAccepts(2, AllCats(4))
+
+	if !s.Violates(0, 1) {
+		t.Error("crypto data through untrusted must violate")
+	}
+	if s.Violates(0, 2) {
+		t.Error("crypto data through trust-2 module accepted")
+	}
+	if s.Violates(1, 0) {
+		t.Error("untrusted data through crypto is allowed by this spec")
+	}
+	if s.Violates(0, 0) {
+		t.Error("module never violates with itself")
+	}
+	if !s.AnyViolationPossible() {
+		t.Error("violations are possible")
+	}
+}
+
+func TestSetAcceptsKeepsOwnTrust(t *testing.T) {
+	s := New(1, 4)
+	s.SetTrust(0, 2)
+	s.SetAccepts(0, NewCatSet(3))
+	if !s.Accepts[0].Has(2) {
+		t.Fatal("accept set must contain own trust category")
+	}
+}
+
+func TestNoViolationPossible(t *testing.T) {
+	s := New(2, 4)
+	if s.AnyViolationPossible() {
+		t.Fatal("default spec is unrestricted")
+	}
+}
+
+func TestSpecClone(t *testing.T) {
+	s := New(2, 4)
+	s.SetTrust(0, 3)
+	cp := s.Clone()
+	cp.SetTrust(0, 1)
+	cp.SetAccepts(1, NewCatSet(0))
+	if s.Trust[0] != 3 {
+		t.Fatal("clone shares trust")
+	}
+	if s.Accepts[1] != AllCats(4) {
+		t.Fatal("clone shares accepts")
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := Generate(50, DefaultGenConfig(), 9)
+	b := Generate(50, DefaultGenConfig(), 9)
+	for m := 0; m < 50; m++ {
+		if a.Trust[m] != b.Trust[m] || a.Accepts[m] != b.Accepts[m] {
+			t.Fatalf("module %d differs between same-seed specs", m)
+		}
+	}
+}
+
+func TestGenerateWellFormed(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		s := Generate(30, DefaultGenConfig(), seed)
+		for m := 0; m < 30; m++ {
+			if int(s.Trust[m]) >= s.NumCategories {
+				t.Fatalf("seed %d: trust out of range", seed)
+			}
+			if !s.Accepts[m].Has(s.Trust[m]) {
+				t.Fatalf("seed %d: module %d does not accept own trust", seed, m)
+			}
+		}
+	}
+}
+
+func TestGenerateProducesViolatingSpecs(t *testing.T) {
+	// Over several seeds at default config, a healthy fraction of specs
+	// must admit violations at all (the experiments filter on this).
+	n := 0
+	for seed := int64(0); seed < 32; seed++ {
+		if Generate(20, DefaultGenConfig(), seed).AnyViolationPossible() {
+			n++
+		}
+	}
+	if n < 16 {
+		t.Fatalf("only %d/32 random specs admit violations", n)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	for _, bad := range []int{0, -1, 33} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New with %d categories must panic", bad)
+				}
+			}()
+			New(1, bad)
+		}()
+	}
+}

@@ -1,0 +1,325 @@
+// Package rsnsec analyzes and transforms reconfigurable scan networks
+// (RSNs, IEEE Std 1687) so that no pure or hybrid scan path can move
+// confidential data into untrusted instruments — a from-scratch
+// reproduction of "On Secure Data Flow in Reconfigurable Scan
+// Networks" (Raiola et al., DATE 2019).
+//
+// The library bundles everything the method needs, built on the
+// standard library alone:
+//
+//   - a scan network model with capture/shift/update semantics,
+//     active-path configuration and structural transformation
+//     (NewNetwork, Simulate via NewNetworkSimulator);
+//   - a gate-level circuit model with simulation and seeded random
+//     generation (NewNetlist, GenerateCircuit);
+//   - a CDCL SAT solver driving the exact functional-vs-structural
+//     dependency classification;
+//   - the security specification of trust categories and accepted
+//     sets (NewSpec, GenerateSpec);
+//   - the full secure-data-flow pipeline (Secure): pure-path
+//     detection/resolution, SAT-based multi-cycle dependency analysis
+//     with presetting and bridging, insecure-circuit-logic detection,
+//     and hybrid-path detection/resolution at flip-flop granularity;
+//   - an ICL-dialect parser and writer (ParseICL, WriteICL);
+//   - the 22 benchmark networks of the paper's Table I (Catalog) and
+//     the experimental protocol that regenerates the paper's results
+//     (RunBenchmark, RunBridging, RunApprox).
+//
+// Quickstart:
+//
+//	ex := rsnsec.RunningExample()
+//	rep, err := rsnsec.Secure(ex.Network, ex.Circuit, ex.Internal, ex.Spec, rsnsec.Options{})
+//	// rep.PureChanges, rep.HybridChanges, rep.Secured ...
+package rsnsec
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/exp"
+	"repro/internal/hybrid"
+	"repro/internal/icl"
+	"repro/internal/netlist"
+	"repro/internal/paperex"
+	"repro/internal/pure"
+	"repro/internal/rsn"
+	"repro/internal/secspec"
+	"repro/internal/verify"
+)
+
+// Scan network model.
+type (
+	// Network is a reconfigurable scan network.
+	Network = rsn.Network
+	// Ref references a network element (register, mux, or port).
+	Ref = rsn.Ref
+	// Sink is one rewirable input pin of a network element.
+	Sink = rsn.Sink
+	// ScanConfig selects one input per scan multiplexer.
+	ScanConfig = rsn.Config
+	// NetworkSimulator executes capture/shift/update phases.
+	NetworkSimulator = rsn.Simulator
+	// NetworkStats summarizes a network's structure.
+	NetworkStats = rsn.Stats
+)
+
+// Port references and element constructors, re-exported.
+var (
+	ScanIn  = rsn.ScanIn
+	ScanOut = rsn.ScanOut
+)
+
+// NewNetwork returns an empty scan network.
+func NewNetwork(name string) *Network { return rsn.New(name) }
+
+// RegRef returns a reference to register id.
+func RegRef(id int) Ref { return rsn.Reg(id) }
+
+// MuxRef returns a reference to mux id.
+func MuxRef(id int) Ref { return rsn.Mx(id) }
+
+// NewNetworkSimulator returns a simulator for the network, optionally
+// coupled to a circuit simulator (may be nil).
+func NewNetworkSimulator(nw *Network, circuit *CircuitSimulator) *NetworkSimulator {
+	return rsn.NewSimulator(nw, circuit)
+}
+
+// Circuit model.
+type (
+	// Netlist is a gate-level sequential circuit.
+	Netlist = netlist.Netlist
+	// FFID identifies a circuit flip-flop.
+	FFID = netlist.FFID
+	// NodeID identifies a netlist node.
+	NodeID = netlist.NodeID
+	// GateType enumerates combinational gate functions.
+	GateType = netlist.GateType
+	// CircuitSimulator evaluates a netlist cycle by cycle.
+	CircuitSimulator = netlist.Simulator
+	// CircuitGenConfig parameterizes random circuit generation.
+	CircuitGenConfig = netlist.GenConfig
+	// GeneratedCircuit is a random circuit with its RSN-facing and
+	// internal flip-flops identified.
+	GeneratedCircuit = netlist.Generated
+)
+
+// Gate types, re-exported.
+const (
+	And  = netlist.And
+	Or   = netlist.Or
+	Nand = netlist.Nand
+	Nor  = netlist.Nor
+	Xor  = netlist.Xor
+	Xnor = netlist.Xnor
+	Not  = netlist.Not
+	Buf  = netlist.Buf
+	Mux  = netlist.Mux
+	Maj  = netlist.Maj
+)
+
+// NoFF marks the absence of a circuit flip-flop link.
+const NoFF = netlist.NoFF
+
+// NewNetlist returns an empty circuit.
+func NewNetlist() *Netlist { return netlist.New() }
+
+// NewCircuitSimulator returns a simulator over the circuit.
+func NewCircuitSimulator(n *Netlist) *CircuitSimulator { return netlist.NewSimulator(n) }
+
+// GenerateCircuit builds a seeded random reconvergent circuit.
+func GenerateCircuit(cfg CircuitGenConfig, seed int64) *GeneratedCircuit {
+	return netlist.Generate(cfg, seed)
+}
+
+// Security specification.
+type (
+	// Spec annotates modules with trust categories and accepted sets.
+	Spec = secspec.Spec
+	// Category is a trust category.
+	Category = secspec.Category
+	// CatSet is a set of trust categories.
+	CatSet = secspec.CatSet
+	// SpecGenConfig parameterizes random specification generation.
+	SpecGenConfig = secspec.GenConfig
+)
+
+// NewSpec returns an unrestricted specification over the given module
+// and category counts.
+func NewSpec(numModules, numCategories int) *Spec { return secspec.New(numModules, numCategories) }
+
+// NewCatSet builds a category set.
+func NewCatSet(cats ...Category) CatSet { return secspec.NewCatSet(cats...) }
+
+// AllCats returns the set of all categories below n.
+func AllCats(n int) CatSet { return secspec.AllCats(n) }
+
+// GenerateSpec builds a seeded random specification.
+func GenerateSpec(numModules int, cfg SpecGenConfig, seed int64) *Spec {
+	return secspec.Generate(numModules, cfg, seed)
+}
+
+// DefaultSpecGenConfig mirrors the paper's random specifications.
+func DefaultSpecGenConfig() SpecGenConfig { return secspec.DefaultGenConfig() }
+
+// GenerateSpecWithRoles builds a random specification whose
+// confidential annotations align with the circuit's data-source modules
+// (see Attachment.DataSources) — the experimental protocol's generator.
+func GenerateSpecWithRoles(numModules int, dataSources []bool, cfg SpecGenConfig, seed int64) *Spec {
+	return secspec.GenerateWithRoles(numModules, dataSources, cfg, seed)
+}
+
+// The method.
+type (
+	// Options configures Secure.
+	Options = core.Options
+	// Report is the outcome of Secure.
+	Report = core.Report
+	// Mode selects exact or structurally over-approximated
+	// dependencies.
+	Mode = dep.Mode
+	// Analysis is the reusable fixed-infrastructure data-flow analysis.
+	Analysis = hybrid.Analysis
+	// PureChange and HybridChange describe applied transformations.
+	PureChange = pure.Change
+	// HybridChange describes one hybrid-stage transformation.
+	HybridChange = hybrid.Change
+)
+
+// Dependency modes, re-exported.
+const (
+	Exact            = dep.Exact
+	StructuralApprox = dep.StructuralApprox
+)
+
+// Secure runs the complete pipeline of the paper (Figure 2) on the
+// network, transforming it into a data-flow secure RSN. internal lists
+// the circuit's flip-flops that are not connected to the scan
+// infrastructure (they are bridged during the dependency analysis).
+func Secure(nw *Network, circuit *Netlist, internal []FFID, spec *Spec, opts Options) (*Report, error) {
+	return core.Secure(nw, circuit, internal, spec, opts)
+}
+
+// NewAnalysis exposes the underlying data-flow analysis for callers
+// that detect violations without transforming the network.
+func NewAnalysis(nw *Network, circuit *Netlist, internal []FFID, spec *Spec, mode Mode) *Analysis {
+	return hybrid.NewAnalysis(nw, circuit, internal, spec, mode)
+}
+
+// Explanation is a human-readable account of one security violation.
+type Explanation = hybrid.Explanation
+
+// ICL round trip.
+
+// ParseICL reads a network from its ICL-dialect description. lookupFF
+// resolves circuit flip-flop names in CaptureSource/UpdateSink items
+// and may be nil for networks without instrument links.
+func ParseICL(src string, lookupFF func(string) (FFID, bool)) (*Network, error) {
+	return icl.ParseNetwork(src, lookupFF)
+}
+
+// WriteICL renders a network in the ICL dialect.
+func WriteICL(w io.Writer, nw *Network, ffName func(FFID) string) error {
+	return icl.Write(w, nw, ffName)
+}
+
+// ParseICLWithSpec additionally extracts the security specification
+// from the file's module annotations (nil when unannotated).
+func ParseICLWithSpec(src string, lookupFF func(string) (FFID, bool)) (*Network, *Spec, error) {
+	return icl.ParseNetworkAndSpec(src, lookupFF)
+}
+
+// WriteICLWithSpec renders a network together with its security
+// specification as module Trust/Accepts annotations.
+func WriteICLWithSpec(w io.Writer, nw *Network, spec *Spec, ffName func(FFID) string) error {
+	return icl.WriteWithSpec(w, nw, spec, ffName)
+}
+
+// WriteBench renders a circuit in the classic ISCAS-89 .bench format
+// (with "# @module" pragmas carrying module membership).
+func WriteBench(w io.Writer, n *Netlist) error { return netlist.WriteBench(w, n) }
+
+// ParseBench reads a circuit from .bench format.
+func ParseBench(r io.Reader) (*Netlist, error) { return netlist.ParseBench(r) }
+
+// Benchmarks and experiments.
+type (
+	// Benchmark describes one reconstructable Table I network.
+	Benchmark = bench.Benchmark
+	// BenchmarkFamily distinguishes BASTION from industrial networks.
+	BenchmarkFamily = bench.Family
+	// CircuitConfig controls random circuit attachment.
+	CircuitConfig = bench.CircuitConfig
+	// Attachment is a circuit wired to a benchmark network.
+	Attachment = bench.Attachment
+	// RunConfig parameterizes the experimental protocol.
+	RunConfig = exp.RunConfig
+	// RunResult is one Table I row of measured averages.
+	RunResult = exp.Result
+	// BridgingResult measures the Section III-A bridging reductions.
+	BridgingResult = exp.BridgingResult
+	// ApproxResult measures the Section IV-C approximation overheads.
+	ApproxResult = exp.ApproxResult
+)
+
+// Benchmark families, re-exported.
+const (
+	BastionFamily    = bench.Bastion
+	IndustrialFamily = bench.Industrial
+)
+
+// Catalog returns the 22 benchmarks of Table I.
+func Catalog() []Benchmark { return bench.Catalog() }
+
+// BenchmarkByName finds a benchmark in the catalog.
+func BenchmarkByName(name string) (Benchmark, bool) { return bench.ByName(name) }
+
+// DefaultCircuitConfig returns the default circuit attachment
+// parameters.
+func DefaultCircuitConfig() CircuitConfig { return bench.DefaultCircuitConfig() }
+
+// AttachCircuit generates and links a random circuit to the network.
+func AttachCircuit(nw *Network, cfg CircuitConfig, seed int64) *Attachment {
+	return bench.AttachCircuit(nw, cfg, seed)
+}
+
+// DefaultRunConfig returns the scaled default experimental protocol.
+func DefaultRunConfig() RunConfig { return exp.DefaultRunConfig() }
+
+// QuickRunConfig returns a fast smoke-test protocol.
+func QuickRunConfig() RunConfig { return exp.QuickRunConfig() }
+
+// RunBenchmark executes the Table I protocol for one benchmark.
+func RunBenchmark(b Benchmark, cfg RunConfig) (*RunResult, error) { return exp.RunBenchmark(b, cfg) }
+
+// RunBridging measures the bridging reductions for one benchmark.
+func RunBridging(b Benchmark, cfg RunConfig) (*BridgingResult, error) {
+	return exp.RunBridging(b, cfg)
+}
+
+// RunApprox compares exact against structurally over-approximated
+// dependencies for one benchmark.
+func RunApprox(b Benchmark, cfg RunConfig) (*ApproxResult, error) { return exp.RunApprox(b, cfg) }
+
+// Verification.
+type (
+	// VerifyResult is the outcome of the independent security check.
+	VerifyResult = verify.Result
+	// CounterexampleFlow is a concrete leaking data path.
+	CounterexampleFlow = verify.Flow
+)
+
+// Verify independently checks the network against the specification
+// with a direct reachability analysis over exhaustively-validated
+// functional edges — a second implementation cross-validating Secure.
+func Verify(nw *Network, circuit *Netlist, spec *Spec) *VerifyResult {
+	return verify.Check(nw, circuit, spec)
+}
+
+// RunningExample builds the paper's running example (Figures 1/4/5).
+type RunningExampleParts = paperex.Example
+
+// RunningExample returns the running example's circuit, network,
+// specification and internal flip-flops.
+func RunningExample() *RunningExampleParts { return paperex.New() }
