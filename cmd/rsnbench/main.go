@@ -12,14 +12,21 @@
 // runtimes are machine-bound; the reproduced claims are the relative
 // ones (pure-vs-hybrid change split, bridging reductions,
 // approximation overhead).
+//
+// Engine flags: -workers bounds the circuit worker pool (inner SAT
+// pools divide the remaining CPUs), -timeout cancels the experiments
+// after a duration, and -v streams per-circuit progress to stderr and
+// prints an engine stats table at the end.
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	rsnsec "repro"
 	"repro/internal/report"
@@ -36,9 +43,12 @@ func main() {
 		only     = flag.String("benchmarks", "", "comma-separated benchmark filter")
 		mode     = flag.String("mode", "exact", "dependency mode for -table main: exact or structural")
 		csvPath  = flag.String("csv", "", "also write the main table as CSV to this file")
+		workers  = flag.Int("workers", 0, "circuit worker pool size (0 = all CPUs)")
+		timeout  = flag.Duration("timeout", 0, "cancel the experiments after this duration (0 = no limit)")
+		verbose  = flag.Bool("v", false, "print per-circuit progress and an engine stats table")
 	)
 	flag.Parse()
-	if err := run(*table, *scale, *ffBudget, *circuits, *specs, *seed, *only, *mode, *csvPath); err != nil {
+	if err := run(*table, *scale, *ffBudget, *circuits, *specs, *seed, *only, *mode, *csvPath, *workers, *timeout, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "rsnbench:", err)
 		os.Exit(1)
 	}
@@ -61,10 +71,16 @@ func selectBenchmarks(filter string) ([]rsnsec.Benchmark, error) {
 	return out, nil
 }
 
-func run(table string, scale float64, ffBudget, circuits, specs int, seed int64, only, modeName, csvPath string) error {
+func run(table string, scale float64, ffBudget, circuits, specs int, seed int64, only, modeName, csvPath string, workers int, timeout time.Duration, verbose bool) error {
 	benchmarks, err := selectBenchmarks(only)
 	if err != nil {
 		return err
+	}
+	ctx := context.Background()
+	if timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+		defer cancel()
 	}
 	cfg := rsnsec.DefaultRunConfig()
 	cfg.Scale = scale
@@ -72,6 +88,13 @@ func run(table string, scale float64, ffBudget, circuits, specs int, seed int64,
 	cfg.Circuits = circuits
 	cfg.Specs = specs
 	cfg.Seed = seed
+	cfg.Workers = workers
+	var stats *rsnsec.EngineStats
+	if verbose {
+		stats = rsnsec.NewEngineStats()
+		cfg.Stats = stats
+		cfg.Progress = func(f string, a ...any) { fmt.Fprintf(os.Stderr, "  %s\n", fmt.Sprintf(f, a...)) }
+	}
 	switch modeName {
 	case "exact":
 		cfg.Mode = rsnsec.Exact
@@ -89,24 +112,27 @@ func run(table string, scale float64, ffBudget, circuits, specs int, seed int64,
 	}
 	if want("main") {
 		ran = true
-		if err := mainTable(benchmarks, cfg, csvPath); err != nil {
+		if err := mainTable(ctx, benchmarks, cfg, csvPath); err != nil {
 			return err
 		}
 	}
 	if want("bridging") {
 		ran = true
-		if err := bridgingTable(benchmarks, cfg); err != nil {
+		if err := bridgingTable(ctx, benchmarks, cfg); err != nil {
 			return err
 		}
 	}
 	if want("approx") {
 		ran = true
-		if err := approxTable(benchmarks, cfg); err != nil {
+		if err := approxTable(ctx, benchmarks, cfg); err != nil {
 			return err
 		}
 	}
 	if !ran {
 		return fmt.Errorf("unknown table %q", table)
+	}
+	if stats != nil {
+		fmt.Printf("engine stats:\n%s\n", stats)
 	}
 	return nil
 }
@@ -124,7 +150,7 @@ func sizesTable(benchmarks []rsnsec.Benchmark) {
 	fmt.Println()
 }
 
-func mainTable(benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig, csvPath string) error {
+func mainTable(ctx context.Context, benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig, csvPath string) error {
 	var csvW *csv.Writer
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
@@ -153,7 +179,7 @@ func mainTable(benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig, csvPath stri
 		">Runs", ">Skip(sec)", ">Skip(logic)")
 	var sumPure, sumTotal float64
 	for _, b := range benchmarks {
-		res, err := rsnsec.RunBenchmark(b, cfg)
+		res, err := rsnsec.RunBenchmarkCtx(ctx, b, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -187,14 +213,14 @@ func mainTable(benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig, csvPath stri
 	return nil
 }
 
-func bridgingTable(benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig) error {
+func bridgingTable(ctx context.Context, benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig) error {
 	t := report.New("Section III-A: bridging over internal flip-flops",
 		"Benchmark", ">FFs (no bridge)", ">FFs (bridged)", ">FF reduction",
 		">Deps (no bridge)", ">Deps (bridged)", ">Dep reduction")
 	var sumFF, sumDep float64
 	n := 0
 	for _, b := range benchmarks {
-		res, err := rsnsec.RunBridging(b, cfg)
+		res, err := rsnsec.RunBridgingCtx(ctx, b, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}
@@ -212,13 +238,13 @@ func bridgingTable(benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig) error {
 	return nil
 }
 
-func approxTable(benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig) error {
+func approxTable(ctx context.Context, benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig) error {
 	t := report.New("Section IV-C: approximating path-dependency with structural dependency",
 		"Benchmark", ">Runs", ">Exact changes", ">Approx changes", ">Overhead", ">False insecure", ">Rate")
 	var sumExact, sumApprox, sumOverhead float64
 	falseCnt, totalCnt, withRuns := 0, 0, 0
 	for _, b := range benchmarks {
-		res, err := rsnsec.RunApprox(b, cfg)
+		res, err := rsnsec.RunApproxCtx(ctx, b, cfg)
 		if err != nil {
 			return fmt.Errorf("%s: %w", b.Name, err)
 		}

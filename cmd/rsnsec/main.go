@@ -13,16 +13,28 @@
 //	    the pure-path stage against a random specification.
 //
 // Use -mode structural for the Section IV-C over-approximation and
-// -out to write the secured network back as ICL.
+// -out to write the secured network back as ICL. Engine flags:
+// -workers bounds the SAT worker pool, -timeout cancels the run after
+// a duration, and -v prints per-stage engine progress and a stats
+// table.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	rsnsec "repro"
 )
+
+// engineConfig carries the run-orchestration flags.
+type engineConfig struct {
+	workers int
+	timeout time.Duration
+	verbose bool
+}
 
 func main() {
 	var (
@@ -36,15 +48,19 @@ func main() {
 		benchPath = flag.String("bench", "", "circuit (.bench) backing the -icl network's instrument links")
 		doVerify  = flag.Bool("verify", false, "re-check the result with the independent verifier")
 		explain   = flag.Int("explain", 0, "print up to N violating data flows before resolving")
+		workers   = flag.Int("workers", 0, "SAT worker pool size (0 = all CPUs)")
+		timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+		verbose   = flag.Bool("v", false, "print per-stage engine progress and a stats table")
 	)
 	flag.Parse()
-	if err := run(*benchName, *iclPath, *benchPath, *scale, *seed, *specSeed, *mode, *outPath, *doVerify, *explain); err != nil {
+	ec := engineConfig{workers: *workers, timeout: *timeout, verbose: *verbose}
+	if err := run(*benchName, *iclPath, *benchPath, *scale, *seed, *specSeed, *mode, *outPath, *doVerify, *explain, ec); err != nil {
 		fmt.Fprintln(os.Stderr, "rsnsec:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int64, modeName, outPath string, doVerify bool, explain int) error {
+func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int64, modeName, outPath string, doVerify bool, explain int, ec engineConfig) error {
 	var m rsnsec.Mode
 	switch modeName {
 	case "exact":
@@ -54,6 +70,20 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 	default:
 		return fmt.Errorf("unknown mode %q (want exact or structural)", modeName)
 	}
+
+	ctx := context.Background()
+	if ec.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ec.timeout)
+		defer cancel()
+	}
+	var stats *rsnsec.EngineStats
+	var progress func(format string, args ...any)
+	if ec.verbose {
+		stats = rsnsec.NewEngineStats()
+		progress = func(f string, a ...any) { fmt.Printf("  engine: %s\n", fmt.Sprintf(f, a...)) }
+	}
+	engOpts := rsnsec.EngineOptions{Workers: ec.workers, Context: ctx, Progress: progress, Stats: stats}
 
 	var (
 		nw           *rsnsec.Network
@@ -166,15 +196,20 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		return rsnsec.GenerateSpec(len(nw.Modules), rsnsec.DefaultSpecGenConfig(), seed)
 	}
 	logTo := func(f string, a ...any) { fmt.Printf("  %s\n", fmt.Sprintf(f, a...)) }
-	showFlows := func(sp *rsnsec.Spec) {
+	secOpts := rsnsec.Options{Mode: m, Log: logTo,
+		Workers: ec.workers, Context: ctx, Progress: progress, Stats: stats}
+	showFlows := func(sp *rsnsec.Spec) error {
 		if explain <= 0 {
-			return
+			return nil
 		}
-		an := rsnsec.NewAnalysis(nw, circuit, internal, sp, m)
+		an, err := rsnsec.NewAnalysisOpts(nw, circuit, internal, sp, m, engOpts)
+		if err != nil {
+			return err
+		}
 		exps := an.ExplainAll(nw)
 		if len(exps) == 0 {
 			fmt.Println("no violating data flows")
-			return
+			return nil
 		}
 		fmt.Printf("violating data flows (%d total, showing up to %d):\n", len(exps), explain)
 		for i, e := range exps {
@@ -183,12 +218,15 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 			}
 			fmt.Printf("  [%d wiring hops] %s\n", e.WiringHops, e)
 		}
+		return nil
 	}
 	var rep *rsnsec.Report
 	var err error
 	if spec != nil {
-		showFlows(spec)
-		rep, err = rsnsec.Secure(nw, circuit, internal, spec, rsnsec.Options{Mode: m, Log: logTo})
+		if err := showFlows(spec); err != nil {
+			return err
+		}
+		rep, err = rsnsec.Secure(nw, circuit, internal, spec, secOpts)
 		if err != nil {
 			return err
 		}
@@ -197,7 +235,10 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		// which the circuit logic itself is insecure: no scan network
 		// transformation can help those.
 		const maxTries = 16
-		analysis := rsnsec.NewAnalysis(nw, circuit, internal, nil, m)
+		analysis, err := rsnsec.NewAnalysisOpts(nw, circuit, internal, nil, m, engOpts)
+		if err != nil {
+			return err
+		}
 		chosen := int64(-1)
 		for try := int64(0); try < maxTries; try++ {
 			cand := genSpec(specSeed + try)
@@ -217,8 +258,10 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		if chosen != specSeed {
 			fmt.Printf("using spec seed %d (earlier seeds classified the circuit logic insecure)\n", chosen)
 		}
-		showFlows(spec)
-		rep, err = rsnsec.Secure(nw, circuit, internal, spec, rsnsec.Options{Mode: m, Log: logTo})
+		if err := showFlows(spec); err != nil {
+			return err
+		}
+		rep, err = rsnsec.Secure(nw, circuit, internal, spec, secOpts)
 		if err != nil {
 			return err
 		}
@@ -255,6 +298,9 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 			return err
 		}
 		fmt.Printf("secured network written to %s\n", outPath)
+	}
+	if stats != nil {
+		fmt.Printf("engine stats:\n%s\n", stats)
 	}
 	return nil
 }

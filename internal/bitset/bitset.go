@@ -94,6 +94,19 @@ func (s *Set) Any() bool {
 	return false
 }
 
+// Equal reports whether s and o have the same length and members.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // IntersectsWith reports whether s ∩ o is non-empty.
 func (s *Set) IntersectsWith(o *Set) bool {
 	for i, w := range o.words {

@@ -10,10 +10,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/hybrid"
 	"repro/internal/netlist"
 	"repro/internal/pure"
@@ -28,6 +30,24 @@ type Options struct {
 	Mode dep.Mode
 	// Log, when non-nil, receives one line per pipeline stage.
 	Log func(format string, args ...any)
+	// Workers bounds the SAT worker pool of the dependency analysis;
+	// <= 0 uses all CPUs.
+	Workers int
+	// Context cancels the run between SAT queries and pipeline stages;
+	// nil means no cancellation.
+	Context context.Context
+	// Progress, when non-nil, receives fine-grained engine progress
+	// lines (per-stage fan-out and query counts); Log keeps the coarse
+	// pipeline summary.
+	Progress func(format string, args ...any)
+	// Stats, when non-nil, accumulates race-safe per-stage engine
+	// instrumentation (wall times and query counts).
+	Stats *engine.Stats
+}
+
+// engineOptions derives the engine configuration of one run.
+func (o Options) engineOptions() engine.Options {
+	return engine.Options{Workers: o.Workers, Context: o.Context, Progress: o.Progress, Stats: o.Stats}
 }
 
 // StageTimes records wall-clock runtimes per pipeline stage, matching
@@ -93,8 +113,12 @@ func Secure(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, 
 	// presetting, bridging, multi-cycle closure. Computed once, without
 	// the reconfigurable RSN connections, and reused across all
 	// structural changes.
+	eng := opts.engineOptions()
 	t0 := time.Now()
-	an := hybrid.NewAnalysis(nw, circuit, internal, spec, opts.Mode)
+	an, err := hybrid.NewAnalysisOpts(nw, circuit, internal, spec, opts.Mode, eng)
+	if err != nil {
+		return rep, fmt.Errorf("core: dependency analysis: %w", err)
+	}
 	rep.Times.DependencyCalc = time.Since(t0)
 	rep.DepStats = an.DepStats
 	rep.PresetDeps = an.PresetDeps
@@ -120,7 +144,9 @@ func Secure(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, 
 
 	// Pure scan paths (Section III-C first half, the IOLTS 2018 stage).
 	t0 = time.Now()
+	pureDone := eng.Stage("pure-resolve").Start()
 	pres, err := pure.Resolve(nw, spec)
+	pureDone()
 	rep.Times.PureStage = time.Since(t0)
 	if err != nil {
 		return rep, fmt.Errorf("core: pure stage: %w", err)

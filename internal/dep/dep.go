@@ -24,8 +24,11 @@ package dep
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bitset"
+	"repro/internal/engine"
 	"repro/internal/netlist"
 )
 
@@ -199,6 +202,20 @@ func (m *Matrix) Clone() *Matrix {
 	return cp
 }
 
+// Equal reports whether the two matrices denote exactly the same
+// dependencies (same size, same path and structural entries).
+func (m *Matrix) Equal(o *Matrix) bool {
+	if m.n != o.n {
+		return false
+	}
+	for i := 0; i < m.n; i++ {
+		if !m.path[i].Equal(o.path[i]) || !m.str[i].Equal(o.str[i]) {
+			return false
+		}
+	}
+	return true
+}
+
 // DependsOn returns the set of j on which i depends (structurally or
 // more). The returned set is live; do not modify it.
 func (m *Matrix) DependsOn(i int) *bitset.Set { return m.str[i] }
@@ -256,7 +273,132 @@ func OneCycleMatrix(n *netlist.Netlist, mode Mode, stats *Stats) *Matrix {
 // existing matrix whose indices 0..NumFFs-1 are the circuit flip-flops.
 // The matrix may be larger than the circuit (a combined index space
 // with scan flip-flops appended, as the hybrid analysis builds).
+// It runs the default engine configuration (all CPUs, no cancellation);
+// use FillOneCycleOpts for worker control, cancellation and
+// instrumentation.
 func FillOneCycle(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats) {
+	// The background context never cancels, so the error is always nil.
+	_ = FillOneCycleOpts(m, n, mode, stats, engine.Options{})
+}
+
+// oneCycleEntry is one classified 1-cycle dependency of a root row.
+type oneCycleEntry struct {
+	leaf netlist.FFID
+	kind Kind
+}
+
+// oneCycleRow is the result of one root's unit of work, merged into the
+// matrix by the calling goroutine in row order.
+type oneCycleRow struct {
+	entries                          []oneCycleEntry
+	satCalls, functional, structOnly int
+}
+
+// FillOneCycleOpts is FillOneCycle under an engine configuration: the
+// per-root units of work — extract the root's fan-in cone once, encode
+// the shared miter copy once, classify every support leaf through an
+// incremental ConeQuerier — fan out over a worker pool of
+// opts.WorkerCount() goroutines. Rows are merged back into the matrix
+// in root order on the calling goroutine, so exact-mode results are
+// bit-identical to the sequential computation, and Stats counters are
+// folded without races. Cancellation is honored between SAT queries;
+// on cancellation the matrix is left untouched and the context error
+// is returned.
+func FillOneCycleOpts(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, opts engine.Options) error {
+	if m.N() < n.NumFFs() {
+		panic("dep: matrix smaller than circuit")
+	}
+	stage := opts.Stage("one-cycle")
+	defer stage.Start()()
+
+	// The units of work: flip-flops with a driven next-state cone.
+	var jobs []int
+	for b := range n.FFs {
+		if n.FFs[b].D != netlist.NoNode {
+			jobs = append(jobs, b)
+		}
+	}
+	if len(jobs) == 0 {
+		return opts.Err()
+	}
+	workers := opts.WorkerCount()
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	ctx := opts.Ctx()
+	rows := make([]oneCycleRow, len(jobs))
+	var next atomic.Int64
+	var cancelled atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				idx := int(next.Add(1)) - 1
+				if idx >= len(jobs) || cancelled.Load() {
+					return
+				}
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
+				b := jobs[idx]
+				root := n.FFs[b].D
+				row := &rows[idx]
+				q := NewConeQuerier(n, root)
+				for _, a := range q.SupportFFs() {
+					if mode == StructuralApprox {
+						row.entries = append(row.entries, oneCycleEntry{a, Path})
+						continue
+					}
+					if ctx.Err() != nil {
+						cancelled.Store(true)
+						return
+					}
+					row.satCalls++
+					if q.Depends(n.FFs[a].Node) {
+						row.functional++
+						row.entries = append(row.entries, oneCycleEntry{a, Path})
+					} else {
+						row.structOnly++
+						row.entries = append(row.entries, oneCycleEntry{a, Structural})
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+
+	// Deterministic row-ordered merge.
+	satCalls := 0
+	for idx, b := range jobs {
+		row := &rows[idx]
+		for _, e := range row.entries {
+			m.Set(b, int(e.leaf), e.kind)
+		}
+		stats.SATCalls += row.satCalls
+		stats.Functional1Cycle += row.functional
+		stats.StructOnly1Cycle += row.structOnly
+		satCalls += row.satCalls
+	}
+	stage.AddQueries(int64(satCalls))
+	opts.Logf("one-cycle: %d roots, %d SAT queries over %d workers", len(jobs), satCalls, workers)
+	return nil
+}
+
+// fillOneCycleSequential is the pre-engine computation — one full miter
+// encoding per (root, leaf) pair on a single goroutine. It is retained
+// as the reference implementation for differential tests and the
+// sequential benchmark baseline.
+func fillOneCycleSequential(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats) {
 	if m.N() < n.NumFFs() {
 		panic("dep: matrix smaller than circuit")
 	}
@@ -271,7 +413,7 @@ func FillOneCycle(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats) {
 				continue
 			}
 			stats.SATCalls++
-			if FunctionalDepends(n, root, n.FFs[a].Node) {
+			if NewConeQuerier(n, root).Depends(n.FFs[a].Node) {
 				stats.Functional1Cycle++
 				m.Set(b, int(a), Path)
 			} else {

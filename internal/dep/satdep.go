@@ -6,47 +6,69 @@ import (
 	"repro/internal/sat"
 )
 
-// FunctionalDepends reports whether the value of node root functionally
-// depends on the leaf node (a flip-flop output or primary input): it
-// encodes root's fan-in cone twice, with leaf pinned to 0 in one copy
-// and 1 in the other while all other leaves are shared, and asks SAT
-// whether the two copies can produce different outputs — the positive
-// Davio cofactor check of the HVC 2016 dependency computation.
-func FunctionalDepends(n *netlist.Netlist, root, leaf netlist.NodeID) bool {
-	gates, leaves := n.Cone(root)
+// ConeQuerier answers functional-dependence queries for the leaves of
+// one root's fan-in cone against a single shared encoding. The cone is
+// extracted and Tseitin-encoded exactly once — two copies of the cone
+// with per-leaf equality selectors — and each per-leaf cofactor query
+// is an incremental solve under assumptions: the queried leaf is pinned
+// to 0 in one copy and 1 in the other while every other leaf's
+// selector forces the copies equal. Learned clauses accumulate across
+// the queries of one root, so classifying all leaves of a root is far
+// cheaper than re-encoding the miter per (root, leaf) pair.
+//
+// A ConeQuerier is not safe for concurrent use; the 1-cycle worker
+// pool creates one per root inside each worker.
+type ConeQuerier struct {
+	n    *netlist.Netlist
+	root netlist.NodeID
 
-	b := cnf.NewBuilder()
-	shared := make(map[netlist.NodeID]sat.Lit, len(leaves))
-	inCone := false
+	b      *cnf.Builder
+	leaves []netlist.NodeID
+	// Per non-constant leaf: the two copy literals and the equality
+	// selector (sel -> copyA == copyB).
+	copyA, copyB, sel map[netlist.NodeID]sat.Lit
+	// diff is the miter output: true iff the two copies differ.
+	diff sat.Lit
+	// assume is the reusable assumption scratch buffer.
+	assume []sat.Lit
+}
+
+// NewConeQuerier extracts and encodes root's fan-in cone.
+func NewConeQuerier(n *netlist.Netlist, root netlist.NodeID) *ConeQuerier {
+	gates, leaves := n.Cone(root)
+	q := &ConeQuerier{
+		n:      n,
+		root:   root,
+		b:      cnf.NewBuilder(),
+		leaves: leaves,
+		copyA:  make(map[netlist.NodeID]sat.Lit, len(leaves)),
+		copyB:  make(map[netlist.NodeID]sat.Lit, len(leaves)),
+		sel:    make(map[netlist.NodeID]sat.Lit, len(leaves)),
+	}
+	b := q.b
 	for _, l := range leaves {
-		if l == leaf {
-			inCone = true
-			continue
-		}
 		switch n.Nodes[l].Kind {
 		case netlist.KindConst0:
-			shared[l] = b.Const(false)
+			c := b.Const(false)
+			q.copyA[l], q.copyB[l] = c, c
 		case netlist.KindConst1:
-			shared[l] = b.Const(true)
+			c := b.Const(true)
+			q.copyA[l], q.copyB[l] = c, c
 		default:
-			shared[l] = b.NewVar()
+			la, lb, s := b.NewVar(), b.NewVar(), b.NewVar()
+			// s -> (la <-> lb): assuming s makes the leaf shared.
+			b.S.AddClause(s.Not(), la.Not(), lb)
+			b.S.AddClause(s.Not(), la, lb.Not())
+			q.copyA[l], q.copyB[l], q.sel[l] = la, lb, s
 		}
 	}
-	if !inCone {
-		return false // not even structurally dependent
-	}
-
-	encodeCopy := func(leafVal bool) sat.Lit {
+	encodeCopy := func(leafLit map[netlist.NodeID]sat.Lit) sat.Lit {
 		local := make(map[netlist.NodeID]sat.Lit, len(gates)+1)
-		pinned := b.Const(leafVal)
 		lookup := func(id netlist.NodeID) sat.Lit {
-			if id == leaf {
-				return pinned
-			}
 			if l, ok := local[id]; ok {
 				return l
 			}
-			return shared[id]
+			return leafLit[id]
 		}
 		for _, g := range gates {
 			nd := &n.Nodes[g]
@@ -81,8 +103,53 @@ func FunctionalDepends(n *netlist.Netlist, root, leaf netlist.NodeID) bool {
 		}
 		return lookup(root)
 	}
+	oA := encodeCopy(q.copyA)
+	oB := encodeCopy(q.copyB)
+	q.diff = b.Different(oA, oB)
+	return q
+}
 
-	o0 := encodeCopy(false)
-	o1 := encodeCopy(true)
-	return b.S.Solve(b.Different(o0, o1)) == sat.Sat
+// Leaves returns the cone's leaf nodes (inputs, constants, FF outputs)
+// in discovery order. The slice is live; do not modify it.
+func (q *ConeQuerier) Leaves() []netlist.NodeID { return q.leaves }
+
+// SupportFFs returns the flip-flops in the cone's structural support,
+// in leaf discovery order — the same order netlist.SupportFFs reports,
+// without re-walking the cone.
+func (q *ConeQuerier) SupportFFs() []netlist.FFID {
+	var ffs []netlist.FFID
+	for _, l := range q.leaves {
+		if ff := q.n.FFOfNode(l); ff != netlist.NoFF {
+			ffs = append(ffs, ff)
+		}
+	}
+	return ffs
+}
+
+// Depends reports whether the root functionally depends on the leaf:
+// whether some assignment of the other leaves lets a flip of the leaf
+// flip the root — the positive Davio cofactor check of the HVC 2016
+// dependency computation. Leaves outside the cone (and constants) are
+// never functional.
+func (q *ConeQuerier) Depends(leaf netlist.NodeID) bool {
+	s, ok := q.sel[leaf]
+	if !ok {
+		return false // not a (non-constant) cone leaf
+	}
+	q.assume = q.assume[:0]
+	q.assume = append(q.assume, q.diff, q.copyA[leaf].Not(), q.copyB[leaf])
+	for _, l := range q.leaves {
+		if other, ok := q.sel[l]; ok && other != s {
+			q.assume = append(q.assume, other)
+		}
+	}
+	return q.b.S.Solve(q.assume...) == sat.Sat
+}
+
+// FunctionalDepends reports whether the value of node root functionally
+// depends on the leaf node (a flip-flop output or primary input). It is
+// the one-shot form of ConeQuerier; callers issuing several queries
+// against the same root should build a ConeQuerier once and reuse it.
+func FunctionalDepends(n *netlist.Netlist, root, leaf netlist.NodeID) bool {
+	return NewConeQuerier(n, root).Depends(leaf)
 }

@@ -1,0 +1,206 @@
+// Package engine owns run orchestration for the analysis pipeline:
+// worker-pool sizing, context cancellation, progress reporting and
+// race-safe per-stage instrumentation. The dependency computation
+// (internal/dep), the hybrid analysis (internal/hybrid), the
+// experimental protocol (internal/exp) and the command-line binaries
+// all thread an engine.Options through their entry points, so every
+// later scaling change (sharded closure, cached cones, multi-backend
+// solvers) plugs into one seam.
+//
+// All types are safe to use at their zero value: a zero Options runs
+// with all CPUs, a background context, no progress output and no stats
+// collection, and every method tolerates nil receivers where a stage
+// or stats sink is absent.
+package engine
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Options configures one analysis run. The zero value is a valid
+// default configuration.
+type Options struct {
+	// Workers bounds the number of concurrent workers of parallel
+	// stages (the SAT worker pool of the 1-cycle dependency
+	// computation); <= 0 uses runtime.NumCPU().
+	Workers int
+	// Context cancels the run. Parallel stages honor cancellation
+	// between SAT queries; sequential stages between iterations. A nil
+	// Context means context.Background().
+	Context context.Context
+	// Progress, when non-nil, receives coarse human-readable progress
+	// lines. It may be called from the goroutine driving a stage; it is
+	// never called concurrently from pool workers.
+	Progress func(format string, args ...any)
+	// Stats, when non-nil, accumulates per-stage wall times and query
+	// counts across the whole pipeline. All updates are race-safe, so
+	// one Stats may be shared by concurrent analyses.
+	Stats *Stats
+}
+
+// WorkerCount resolves the effective worker-pool size.
+func (o Options) WorkerCount() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.NumCPU()
+}
+
+// Ctx resolves the run context, never nil.
+func (o Options) Ctx() context.Context {
+	if o.Context != nil {
+		return o.Context
+	}
+	return context.Background()
+}
+
+// Err reports the context's cancellation state.
+func (o Options) Err() error { return o.Ctx().Err() }
+
+// Logf emits one progress line if a Progress sink is configured.
+func (o Options) Logf(format string, args ...any) {
+	if o.Progress != nil {
+		o.Progress(format, args...)
+	}
+}
+
+// Stage returns the named stage collector of the configured Stats, or
+// nil when stats are not collected. The returned *StageStats tolerates
+// nil receivers, so callers never need to branch.
+func (o Options) Stage(name string) *StageStats {
+	return o.Stats.Stage(name)
+}
+
+// Stats accumulates race-safe per-stage instrumentation of one or more
+// pipeline runs. Stages are reported in first-use order.
+type Stats struct {
+	mu     sync.Mutex
+	stages []*StageStats
+	byName map[string]*StageStats
+}
+
+// NewStats returns an empty stats collector.
+func NewStats() *Stats { return &Stats{} }
+
+// Stage returns the collector of the named stage, creating it on first
+// use. A nil *Stats returns nil (collection disabled).
+func (s *Stats) Stage(name string) *StageStats {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.byName[name]; ok {
+		return st
+	}
+	if s.byName == nil {
+		s.byName = make(map[string]*StageStats)
+	}
+	st := &StageStats{Name: name}
+	s.byName[name] = st
+	s.stages = append(s.stages, st)
+	return st
+}
+
+// StageStats collects one pipeline stage's wall time, invocation count
+// and query count. All methods are atomic and tolerate nil receivers.
+type StageStats struct {
+	Name    string
+	wall    atomic.Int64 // cumulative nanoseconds
+	calls   atomic.Int64 // completed invocations
+	queries atomic.Int64 // SAT queries / worklist evaluations
+}
+
+// Start begins timing one invocation and returns the function that
+// ends it, adding the elapsed wall time.
+func (st *StageStats) Start() func() {
+	if st == nil {
+		return func() {}
+	}
+	t0 := time.Now()
+	return func() {
+		st.wall.Add(int64(time.Since(t0)))
+		st.calls.Add(1)
+	}
+}
+
+// AddQueries adds n to the stage's query counter.
+func (st *StageStats) AddQueries(n int64) {
+	if st != nil {
+		st.queries.Add(n)
+	}
+}
+
+// Wall returns the cumulative wall time.
+func (st *StageStats) Wall() time.Duration {
+	if st == nil {
+		return 0
+	}
+	return time.Duration(st.wall.Load())
+}
+
+// Calls returns the number of completed invocations.
+func (st *StageStats) Calls() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.calls.Load()
+}
+
+// Queries returns the cumulative query count.
+func (st *StageStats) Queries() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.queries.Load()
+}
+
+// StageSnapshot is one stage's totals at snapshot time.
+type StageSnapshot struct {
+	Name    string
+	Wall    time.Duration
+	Calls   int64
+	Queries int64
+}
+
+// Snapshot returns the per-stage totals in first-use order.
+func (s *Stats) Snapshot() []StageSnapshot {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	stages := append([]*StageStats(nil), s.stages...)
+	s.mu.Unlock()
+	out := make([]StageSnapshot, len(stages))
+	for i, st := range stages {
+		out[i] = StageSnapshot{Name: st.Name, Wall: st.Wall(), Calls: st.Calls(), Queries: st.Queries()}
+	}
+	return out
+}
+
+// String renders the per-stage totals as an aligned table.
+func (s *Stats) String() string {
+	snap := s.Snapshot()
+	if len(snap) == 0 {
+		return "engine: no stages recorded"
+	}
+	nameW := len("stage")
+	for _, st := range snap {
+		if len(st.Name) > nameW {
+			nameW = len(st.Name)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-*s  %12s  %8s  %10s\n", nameW, "stage", "wall", "calls", "queries")
+	for _, st := range snap {
+		fmt.Fprintf(&sb, "%-*s  %12s  %8d  %10d\n", nameW, st.Name,
+			st.Wall.Round(time.Microsecond), st.Calls, st.Queries)
+	}
+	return strings.TrimRight(sb.String(), "\n")
+}

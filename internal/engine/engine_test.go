@@ -1,0 +1,133 @@
+package engine
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestOptionsDefaults(t *testing.T) {
+	var o Options
+	if o.WorkerCount() < 1 {
+		t.Fatalf("WorkerCount = %d, want >= 1", o.WorkerCount())
+	}
+	if o.Ctx() == nil {
+		t.Fatal("Ctx must never be nil")
+	}
+	if o.Err() != nil {
+		t.Fatal("background context must not be cancelled")
+	}
+	o.Logf("no sink: must not panic")
+	if o.Stage("x") != nil {
+		t.Fatal("Stage without Stats must be nil")
+	}
+}
+
+func TestOptionsExplicit(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var lines []string
+	o := Options{
+		Workers:  3,
+		Context:  ctx,
+		Progress: func(f string, a ...any) { lines = append(lines, f) },
+		Stats:    NewStats(),
+	}
+	if o.WorkerCount() != 3 {
+		t.Fatalf("WorkerCount = %d", o.WorkerCount())
+	}
+	if o.Err() == nil {
+		t.Fatal("cancelled context must report an error")
+	}
+	o.Logf("hello %d", 1)
+	if len(lines) != 1 {
+		t.Fatalf("progress lines = %d", len(lines))
+	}
+	if o.Stage("s") == nil {
+		t.Fatal("Stage with Stats must not be nil")
+	}
+}
+
+func TestNilStageIsSafe(t *testing.T) {
+	var st *StageStats
+	st.Start()()
+	st.AddQueries(7)
+	if st.Wall() != 0 || st.Calls() != 0 || st.Queries() != 0 {
+		t.Fatal("nil stage must report zeros")
+	}
+	var s *Stats
+	if s.Stage("x") != nil || s.Snapshot() != nil {
+		t.Fatal("nil Stats must be inert")
+	}
+}
+
+func TestStageAccumulates(t *testing.T) {
+	s := NewStats()
+	st := s.Stage("one-cycle")
+	done := st.Start()
+	time.Sleep(time.Millisecond)
+	done()
+	st.AddQueries(5)
+	if st.Wall() <= 0 {
+		t.Fatal("wall time not recorded")
+	}
+	if st.Calls() != 1 || st.Queries() != 5 {
+		t.Fatalf("calls=%d queries=%d", st.Calls(), st.Queries())
+	}
+	if s.Stage("one-cycle") != st {
+		t.Fatal("Stage must return the same collector per name")
+	}
+}
+
+// TestStatsConcurrent hammers one Stats from many goroutines; the race
+// detector (CI's -race job) validates the synchronization, and the
+// totals validate atomicity.
+func TestStatsConcurrent(t *testing.T) {
+	s := NewStats()
+	const goroutines, perG = 16, 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			names := []string{"one-cycle", "bridge", "closure", "propagate"}
+			for i := 0; i < perG; i++ {
+				st := s.Stage(names[(g+i)%len(names)])
+				st.Start()()
+				st.AddQueries(1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total int64
+	for _, st := range s.Snapshot() {
+		total += st.Queries
+		if st.Calls != st.Queries {
+			t.Fatalf("stage %s: calls=%d queries=%d", st.Name, st.Calls, st.Queries)
+		}
+	}
+	if total != goroutines*perG {
+		t.Fatalf("total queries = %d, want %d", total, goroutines*perG)
+	}
+}
+
+func TestSnapshotOrderAndString(t *testing.T) {
+	s := NewStats()
+	s.Stage("b").AddQueries(1)
+	s.Stage("a").AddQueries(2)
+	s.Stage("b").AddQueries(1)
+	snap := s.Snapshot()
+	if len(snap) != 2 || snap[0].Name != "b" || snap[1].Name != "a" {
+		t.Fatalf("snapshot order wrong: %+v", snap)
+	}
+	out := s.String()
+	if !strings.Contains(out, "stage") || !strings.Contains(out, "b") || !strings.Contains(out, "a") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	var empty *Stats
+	if empty.String() != "engine: no stages recorded" {
+		t.Fatal("empty stats string wrong")
+	}
+}

@@ -10,6 +10,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"hash/fnv"
 	"runtime"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/hybrid"
 	"repro/internal/pure"
 	"repro/internal/rsn"
@@ -51,6 +53,29 @@ type RunConfig struct {
 	// 0 uses GOMAXPROCS. Results are deterministic regardless: partial
 	// sums are aggregated in circuit order.
 	Parallel int
+	// Workers bounds each circuit's inner SAT worker pool (the 1-cycle
+	// dependency computation). 0 divides the CPUs evenly over the
+	// concurrently analyzed circuits so the protocol never
+	// oversubscribes the machine.
+	Workers int
+	// Progress, when non-nil, receives coarse progress lines (one per
+	// analyzed circuit). It may be called from concurrent workers.
+	Progress func(format string, args ...any)
+	// Stats, when non-nil, accumulates race-safe per-stage engine
+	// instrumentation across all circuits.
+	Stats *engine.Stats
+}
+
+// engineOptions derives the per-circuit engine configuration, dividing
+// the CPU budget over outer circuit workers when Workers is unset.
+func (cfg RunConfig) engineOptions(ctx context.Context, outer int) engine.Options {
+	workers := cfg.Workers
+	if workers <= 0 && outer > 1 {
+		if workers = runtime.NumCPU() / outer; workers < 1 {
+			workers = 1
+		}
+	}
+	return engine.Options{Workers: workers, Context: ctx, Stats: cfg.Stats}
 }
 
 // DefaultRunConfig returns the scaled default protocol: the paper's
@@ -122,6 +147,13 @@ func benchSeed(base int64, name string) int64 {
 
 // RunBenchmark executes the protocol for one benchmark.
 func RunBenchmark(b bench.Benchmark, cfg RunConfig) (*Result, error) {
+	return RunBenchmarkCtx(context.Background(), b, cfg)
+}
+
+// RunBenchmarkCtx is RunBenchmark with cancellation: the context is
+// honored between SAT queries and (circuit, spec) pairs, and its error
+// is returned when the run is cut short.
+func RunBenchmarkCtx(ctx context.Context, b bench.Benchmark, cfg RunConfig) (*Result, error) {
 	if cfg.Circuits <= 0 || cfg.Specs <= 0 {
 		return nil, fmt.Errorf("exp: Circuits and Specs must be positive")
 	}
@@ -138,17 +170,32 @@ func RunBenchmark(b bench.Benchmark, cfg RunConfig) (*Result, error) {
 	scale := cfg.effectiveScale(b)
 	perCircuit := make([]circuitSums, cfg.Circuits)
 
-	runCircuit := func(c int) {
+	workers := cfg.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > cfg.Circuits {
+		workers = cfg.Circuits
+	}
+	eng := cfg.engineOptions(ctx, workers)
+
+	runCircuit := func(c int) error {
 		cs := &perCircuit[c]
 		nw := b.Build(scale)
 		cs.stats = nw.Stats()
 		att := bench.AttachCircuit(nw, cfg.Circuit, base+int64(c)*7919)
 
 		t0 := time.Now()
-		an := hybrid.NewAnalysis(nw, att.Circuit, att.Internal, nil, cfg.Mode)
+		an, err := hybrid.NewAnalysisOpts(nw, att.Circuit, att.Internal, nil, cfg.Mode, eng)
+		if err != nil {
+			return err
+		}
 		depTime := time.Since(t0)
 
 		for s := 0; s < cfg.Specs; s++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			spec := secspec.GenerateWithRoles(len(nw.Modules), att.DataSources, cfg.SpecGen, base+int64(c)*104729+int64(s)*31)
 			a2 := an.WithSpec(spec)
 
@@ -187,23 +234,30 @@ func RunBenchmark(b bench.Benchmark, cfg RunConfig) (*Result, error) {
 			cs.sumHybT += hybTime
 			cs.sumTotalT += depTime + pureTime + hybTime
 		}
+		if cfg.Progress != nil {
+			cfg.Progress("%s: circuit %d/%d done (%d runs, dep calc %s)",
+				b.Name, c+1, cfg.Circuits, cs.runs, depTime.Round(time.Millisecond))
+		}
+		return nil
 	}
 
-	workers := cfg.Parallel
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > cfg.Circuits {
-		workers = cfg.Circuits
-	}
-	var wg sync.WaitGroup
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
 	jobs := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for c := range jobs {
-				runCircuit(c)
+				if ctx.Err() != nil {
+					continue // drain remaining jobs after cancellation
+				}
+				if err := runCircuit(c); err != nil {
+					errOnce.Do(func() { firstErr = err })
+				}
 			}
 		}()
 	}
@@ -212,6 +266,9 @@ func RunBenchmark(b bench.Benchmark, cfg RunConfig) (*Result, error) {
 	}
 	close(jobs)
 	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
 
 	var (
 		sumViol, sumPure, sumHybrid          float64
@@ -278,10 +335,22 @@ func (r BridgingResult) DepReduction() float64 {
 // running the dependency analysis with and without bridging on the
 // same generated circuit.
 func RunBridging(b bench.Benchmark, cfg RunConfig) (*BridgingResult, error) {
+	return RunBridgingCtx(context.Background(), b, cfg)
+}
+
+// RunBridgingCtx is RunBridging with cancellation.
+func RunBridgingCtx(ctx context.Context, b bench.Benchmark, cfg RunConfig) (*BridgingResult, error) {
+	eng := cfg.engineOptions(ctx, 1)
 	nw := b.Build(cfg.effectiveScale(b))
 	att := bench.AttachCircuit(nw, cfg.Circuit, benchSeed(cfg.Seed, b.Name))
-	with := hybrid.NewAnalysis(nw, att.Circuit, att.Internal, nil, cfg.Mode)
-	without := hybrid.NewAnalysis(nw, att.Circuit, nil, nil, cfg.Mode)
+	with, err := hybrid.NewAnalysisOpts(nw, att.Circuit, att.Internal, nil, cfg.Mode, eng)
+	if err != nil {
+		return nil, err
+	}
+	without, err := hybrid.NewAnalysisOpts(nw, att.Circuit, nil, nil, cfg.Mode, eng)
+	if err != nil {
+		return nil, err
+	}
 	return &BridgingResult{
 		Benchmark:    b,
 		FFsTotal:     without.DepStats.FFsDenoted,
@@ -329,15 +398,30 @@ func (r ApproxResult) FalseInsecureRate() float64 {
 // RunApprox executes the IV-C comparison for one benchmark: the same
 // circuits and specifications under exact and structural dependencies.
 func RunApprox(b bench.Benchmark, cfg RunConfig) (*ApproxResult, error) {
+	return RunApproxCtx(context.Background(), b, cfg)
+}
+
+// RunApproxCtx is RunApprox with cancellation.
+func RunApproxCtx(ctx context.Context, b bench.Benchmark, cfg RunConfig) (*ApproxResult, error) {
 	res := &ApproxResult{Benchmark: b}
 	base := benchSeed(cfg.Seed, b.Name)
 	scale := cfg.effectiveScale(b)
+	eng := cfg.engineOptions(ctx, 1)
 	for c := 0; c < cfg.Circuits; c++ {
 		nw := b.Build(scale)
 		att := bench.AttachCircuit(nw, cfg.Circuit, base+int64(c)*7919)
-		exact := hybrid.NewAnalysis(nw, att.Circuit, att.Internal, nil, dep.Exact)
-		approx := hybrid.NewAnalysis(nw, att.Circuit, att.Internal, nil, dep.StructuralApprox)
+		exact, err := hybrid.NewAnalysisOpts(nw, att.Circuit, att.Internal, nil, dep.Exact, eng)
+		if err != nil {
+			return nil, err
+		}
+		approx, err := hybrid.NewAnalysisOpts(nw, att.Circuit, att.Internal, nil, dep.StructuralApprox, eng)
+		if err != nil {
+			return nil, err
+		}
 		for s := 0; s < cfg.Specs; s++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			spec := secspec.GenerateWithRoles(len(nw.Modules), att.DataSources, cfg.SpecGen, base+int64(c)*104729+int64(s)*31)
 			res.TotalSpecRuns++
 			ea := exact.WithSpec(spec)

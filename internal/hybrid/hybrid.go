@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/netlist"
 	"repro/internal/rsn"
 	"repro/internal/secspec"
@@ -55,14 +56,28 @@ type Analysis struct {
 	regModule []int
 	// nodeModule maps every combined index to its module.
 	nodeModule []int
+	// eng is the engine configuration the analysis was built under;
+	// propagation and resolution report their stats through it.
+	eng engine.Options
 }
 
-// NewAnalysis computes the fixed part of the hybrid data-flow analysis:
-// circuit 1-cycle dependencies (SAT-classified in Exact mode), preset
-// register chains, capture/update links, bridging over the internal
-// flip-flops, and the multi-cycle closure.
+// NewAnalysis computes the fixed part of the hybrid data-flow analysis
+// under the default engine configuration (all CPUs, no cancellation).
 func NewAnalysis(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, spec *secspec.Spec, mode dep.Mode) *Analysis {
-	a := &Analysis{Circuit: circuit, Spec: spec, Mode: mode}
+	// The background context never cancels, so the error is always nil.
+	a, _ := NewAnalysisOpts(nw, circuit, internal, spec, mode, engine.Options{})
+	return a
+}
+
+// NewAnalysisOpts computes the fixed part of the hybrid data-flow
+// analysis: circuit 1-cycle dependencies (SAT-classified in Exact mode,
+// fanned out over the engine's worker pool), preset register chains,
+// capture/update links, bridging over the internal flip-flops, and the
+// multi-cycle closure. Per-stage wall times and query counts are
+// reported through opts.Stats; cancellation via opts.Context is honored
+// between SAT queries and pipeline stages, returning the context error.
+func NewAnalysisOpts(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, spec *secspec.Spec, mode dep.Mode, opts engine.Options) (*Analysis, error) {
+	a := &Analysis{Circuit: circuit, Spec: spec, Mode: mode, eng: opts}
 	a.nCirc = circuit.NumFFs()
 	a.regOffset = make([]int, len(nw.Registers))
 	a.regLen = make([]int, len(nw.Registers))
@@ -88,7 +103,9 @@ func NewAnalysis(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.F
 	a.DepStats.Mode = mode
 	a.DepStats.FFsTotal = a.total
 	m := dep.NewMatrix(a.total)
-	dep.FillOneCycle(m, circuit, mode, &a.DepStats)
+	if err := dep.FillOneCycleOpts(m, circuit, mode, &a.DepStats, opts); err != nil {
+		return nil, err
+	}
 
 	// Preset the dependencies of consecutive flip-flops inside each
 	// scan register: the latter path-depends on every former one.
@@ -113,17 +130,31 @@ func NewAnalysis(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.F
 		}
 	}
 	a.DepStats.DepsBeforeBridge = m.CountDeps()
+	if err := opts.Err(); err != nil {
+		return nil, err
+	}
 
+	bridgeDone := opts.Stage("bridge").Start()
 	dep.Bridge(m, internal)
+	bridgeDone()
 	a.DepStats.BridgedFFs = len(internal)
 	a.DepStats.FFsDenoted = a.total - len(internal)
 	a.DepStats.DepsAfterBridge = m.CountDeps()
 	a.Base = m
+	opts.Logf("bridge: %d internal FFs eliminated, %d -> %d deps",
+		len(internal), a.DepStats.DepsBeforeBridge, a.DepStats.DepsAfterBridge)
+	if err := opts.Err(); err != nil {
+		return nil, err
+	}
 
+	closureDone := opts.Stage("closure").Start()
 	a.Clo = m.Clone()
 	dep.Closure(a.Clo)
+	closureDone()
 	a.DepStats.DepsMultiCycle = a.Clo.CountDeps()
 	a.DepStats.ClosurePathDeps = a.Clo.CountPath()
+	opts.Logf("closure: %d multi-cycle deps (%d path)",
+		a.DepStats.DepsMultiCycle, a.DepStats.ClosurePathDeps)
 
 	a.Denoted = make([]bool, a.total)
 	for i := range a.Denoted {
@@ -132,7 +163,10 @@ func NewAnalysis(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.F
 	for _, k := range internal {
 		a.Denoted[k] = false
 	}
-	return a
+	if err := opts.Err(); err != nil {
+		return nil, err
+	}
+	return a, nil
 }
 
 // WithSpec returns a shallow copy of the analysis evaluating a
@@ -188,6 +222,8 @@ type InsecurePair struct {
 // fixed infrastructure alone (circuit logic, register chains and
 // capture/update links) — violations that no re-wiring of the RSN can
 // resolve and that require a redesign of the circuit (Section III-B).
+// Pairs are sorted by (Src, Dst) so every run — parallel or not —
+// reports them byte-identically.
 func (a *Analysis) InsecureLogic() []InsecurePair {
 	var out []InsecurePair
 	for i := 0; i < a.total; i++ {
@@ -204,6 +240,12 @@ func (a *Analysis) InsecureLogic() []InsecurePair {
 			}
 		})
 	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
 	return out
 }
 
@@ -254,6 +296,10 @@ func (a *Analysis) lastIndex(reg int) int { return a.regOffset[reg] + a.regLen[r
 // wiring contributes O(edges) work instead of flattening mux chains,
 // and a worklist re-evaluates only nodes whose inputs changed.
 func (a *Analysis) propagate(nw *rsn.Network) *propagation {
+	stage := a.eng.Stage("propagate")
+	defer stage.Start()()
+	evals := int64(0)
+	defer func() { stage.AddQueries(evals) }()
 	all := secspec.AllCats(a.Spec.NumCategories)
 	nMux := len(nw.Muxes)
 	size := a.total + nMux
@@ -317,6 +363,7 @@ func (a *Analysis) propagate(nw *rsn.Network) *propagation {
 		n := int(queue[0])
 		queue = queue[1:]
 		inQueue[n] = false
+		evals++
 
 		in := all
 		var out secspec.CatSet
@@ -358,7 +405,9 @@ func (a *Analysis) propagate(nw *rsn.Network) *propagation {
 }
 
 // Violations returns the security violations of the network's current
-// wiring, ordered by combined index.
+// wiring, sorted by combined index — a deterministic order regardless
+// of the engine's worker configuration, so reports and -explain output
+// are byte-identical across runs.
 func (a *Analysis) Violations(nw *rsn.Network) []Violation {
 	p := a.propagate(nw)
 	var out []Violation
@@ -371,6 +420,7 @@ func (a *Analysis) Violations(nw *rsn.Network) []Violation {
 			out = append(out, Violation{Node: n, Missing: trust})
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
 }
 

@@ -1,10 +1,12 @@
 package hybrid
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/netlist"
 	"repro/internal/paperex"
 	"repro/internal/pure"
@@ -401,5 +403,48 @@ func TestExplainInsecureLogic(t *testing.T) {
 	}
 	if ex == nil || ex.WiringHops != 0 {
 		t.Fatalf("explanation should still describe the fixed flow: %+v", ex)
+	}
+}
+
+// TestAnalysisCancellation checks that a cancelled context aborts the
+// pipeline construction with the context's error and no analysis.
+func TestAnalysisCancellation(t *testing.T) {
+	e := paperex.New()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	a, err := NewAnalysisOpts(e.Network, e.Circuit, e.Internal, e.Spec, dep.Exact, engine.Options{Context: ctx})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if a != nil {
+		t.Fatal("cancelled construction must not return an analysis")
+	}
+}
+
+// TestAnalysisOptsStats checks that one full pipeline run records every
+// engine stage with consistent counters.
+func TestAnalysisOptsStats(t *testing.T) {
+	e := paperex.New()
+	stats := engine.NewStats()
+	a, err := NewAnalysisOpts(e.Network, e.Circuit, e.Internal, e.Spec, dep.Exact, engine.Options{Stats: stats})
+	if err != nil || a == nil {
+		t.Fatalf("NewAnalysisOpts: %v", err)
+	}
+	a.Violations(e.Network) // the propagate stage runs on demand
+	got := map[string]engine.StageSnapshot{}
+	for _, st := range stats.Snapshot() {
+		got[st.Name] = st
+	}
+	for _, name := range []string{"one-cycle", "bridge", "closure", "propagate"} {
+		st, ok := got[name]
+		if !ok {
+			t.Fatalf("stage %q not recorded (have %v)", name, stats)
+		}
+		if st.Calls == 0 {
+			t.Fatalf("stage %q recorded no calls", name)
+		}
+	}
+	if got["one-cycle"].Queries != int64(a.DepStats.SATCalls) {
+		t.Fatalf("one-cycle queries %d != SAT calls %d", got["one-cycle"].Queries, a.DepStats.SATCalls)
 	}
 }

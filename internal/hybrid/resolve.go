@@ -138,11 +138,20 @@ func maxChanges(nw *rsn.Network) int { return 8*len(nw.Registers) + 64 }
 // Resolve repeatedly detects and repairs hybrid-path violations until
 // the network is secure. It mutates nw and returns the applied changes.
 // Security attributes are propagated anew after every change (the
-// paper's III-D choice over a root-cause analysis).
+// paper's III-D choice over a root-cause analysis). The analysis's
+// engine context is honored between iterations, and the stage's wall
+// time and change count are reported through its engine stats.
 func Resolve(a *Analysis, nw *rsn.Network) (*Result, error) {
+	stage := a.eng.Stage("resolve")
+	defer stage.Start()()
 	res := &Result{}
+	defer func() { stage.AddQueries(int64(len(res.Changes))) }()
+	ctx := a.eng.Ctx()
 	res.ViolationsBefore = len(a.Violations(nw))
 	for {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		viols := a.Violations(nw)
 		if len(viols) == 0 {
 			return res, nil

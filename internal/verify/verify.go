@@ -109,27 +109,30 @@ func buildGraph(nw *rsn.Network, n *netlist.Netlist, res *Result) *graph {
 	}
 
 	// Circuit edges: exhaustively or SAT-checked functional 1-cycle
-	// dependencies, internal flip-flops included.
+	// dependencies, internal flip-flops included. The cone is extracted
+	// and (for the SAT path) encoded once per root via a ConeQuerier;
+	// every leaf query reuses it instead of re-walking the netlist.
 	for b := range n.FFs {
 		root := n.FFs[b].D
 		if root == netlist.NoNode {
 			continue
 		}
-		_, leaves := n.Cone(root)
+		q := dep.NewConeQuerier(n, root)
+		leaves := q.Leaves()
 		free := 0
 		for _, l := range leaves {
 			if k := n.Nodes[l].Kind; k != netlist.KindConst0 && k != netlist.KindConst1 {
 				free++
 			}
 		}
-		for _, a := range n.SupportFFs(root) {
+		for _, a := range q.SupportFFs() {
 			var functional bool
 			if free <= maxExhaustiveLeaves {
 				res.ExhaustiveChecks++
-				functional = bruteFunctional(n, root, n.FFs[a].Node)
+				functional = bruteFunctional(n, root, n.FFs[a].Node, leaves)
 			} else {
 				res.SATChecks++
-				functional = dep.FunctionalDepends(n, root, n.FFs[a].Node)
+				functional = q.Depends(n.FFs[a].Node)
 			}
 			if functional {
 				addEdge(int(a), b, false)
@@ -178,8 +181,8 @@ func buildGraph(nw *rsn.Network, n *netlist.Netlist, res *Result) *graph {
 }
 
 // bruteFunctional enumerates all assignments of the cone's free leaves.
-func bruteFunctional(n *netlist.Netlist, root, leaf netlist.NodeID) bool {
-	_, leaves := n.Cone(root)
+// leaves is root's cone leaf list, extracted once by the caller.
+func bruteFunctional(n *netlist.Netlist, root, leaf netlist.NodeID, leaves []netlist.NodeID) bool {
 	var free []netlist.NodeID
 	found := false
 	for _, l := range leaves {

@@ -146,7 +146,7 @@ func TestBruteFunctionalMatchesSAT(t *testing.T) {
 				continue
 			}
 			for _, a := range n.SupportFFs(root) {
-				brute := bruteFunctional(n, root, n.FFs[a].Node)
+				brute := bruteFunctional(n, root, n.FFs[a].Node, leaves)
 				satr := dep.FunctionalDepends(n, root, n.FFs[a].Node)
 				if brute != satr {
 					t.Fatalf("iter %d: brute=%v sat=%v for ff %d on %d", iter, brute, satr, b, a)

@@ -33,11 +33,13 @@
 package rsnsec
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/dep"
+	"repro/internal/engine"
 	"repro/internal/exp"
 	"repro/internal/hybrid"
 	"repro/internal/icl"
@@ -207,6 +209,30 @@ func NewAnalysis(nw *Network, circuit *Netlist, internal []FFID, spec *Spec, mod
 	return hybrid.NewAnalysis(nw, circuit, internal, spec, mode)
 }
 
+// Engine orchestration: worker pools, cancellation and per-stage
+// instrumentation of the analysis pipeline.
+type (
+	// EngineOptions configures worker count, cancellation context,
+	// progress sink and stats collection of one analysis run.
+	EngineOptions = engine.Options
+	// EngineStats accumulates race-safe per-stage wall times and query
+	// counts; its String method renders an aligned table.
+	EngineStats = engine.Stats
+	// EngineStage is one stage's totals in an EngineStats snapshot.
+	EngineStage = engine.StageSnapshot
+)
+
+// NewEngineStats returns an empty per-stage stats collector.
+func NewEngineStats() *EngineStats { return engine.NewStats() }
+
+// NewAnalysisOpts is NewAnalysis under an engine configuration: the
+// SAT-classified 1-cycle dependencies fan out over the engine's worker
+// pool, cancellation is honored between SAT queries, and per-stage
+// stats accumulate into opts.Stats.
+func NewAnalysisOpts(nw *Network, circuit *Netlist, internal []FFID, spec *Spec, mode Mode, opts EngineOptions) (*Analysis, error) {
+	return hybrid.NewAnalysisOpts(nw, circuit, internal, spec, mode, opts)
+}
+
 // Explanation is a human-readable account of one security violation.
 type Explanation = hybrid.Explanation
 
@@ -293,14 +319,30 @@ func QuickRunConfig() RunConfig { return exp.QuickRunConfig() }
 // RunBenchmark executes the Table I protocol for one benchmark.
 func RunBenchmark(b Benchmark, cfg RunConfig) (*RunResult, error) { return exp.RunBenchmark(b, cfg) }
 
+// RunBenchmarkCtx is RunBenchmark with cancellation between SAT
+// queries and (circuit, spec) pairs.
+func RunBenchmarkCtx(ctx context.Context, b Benchmark, cfg RunConfig) (*RunResult, error) {
+	return exp.RunBenchmarkCtx(ctx, b, cfg)
+}
+
 // RunBridging measures the bridging reductions for one benchmark.
 func RunBridging(b Benchmark, cfg RunConfig) (*BridgingResult, error) {
 	return exp.RunBridging(b, cfg)
 }
 
+// RunBridgingCtx is RunBridging with cancellation.
+func RunBridgingCtx(ctx context.Context, b Benchmark, cfg RunConfig) (*BridgingResult, error) {
+	return exp.RunBridgingCtx(ctx, b, cfg)
+}
+
 // RunApprox compares exact against structurally over-approximated
 // dependencies for one benchmark.
 func RunApprox(b Benchmark, cfg RunConfig) (*ApproxResult, error) { return exp.RunApprox(b, cfg) }
+
+// RunApproxCtx is RunApprox with cancellation.
+func RunApproxCtx(ctx context.Context, b Benchmark, cfg RunConfig) (*ApproxResult, error) {
+	return exp.RunApproxCtx(ctx, b, cfg)
+}
 
 // Verification.
 type (
