@@ -8,7 +8,11 @@
 //	rsnbench -table all       everything
 //
 // The analysis columns run on scaled structures by default (the
-// paper's full sizes need many hours; see -ffbudget/-scale). Absolute
+// paper's full sizes need many hours; see -ffbudget/-scale). The
+// default budget of 700 scan flip-flops per benchmark relies on the
+// sparse SCC closure and the incremental violation checking of the
+// resolve loop; pass -ffbudget 350 to reproduce the original smaller
+// protocol. Absolute
 // runtimes are machine-bound; the reproduced claims are the relative
 // ones (pure-vs-hybrid change split, bridging reductions,
 // approximation overhead).
@@ -36,7 +40,7 @@ func main() {
 	var (
 		table    = flag.String("table", "main", "sizes | main | bridging | approx | all")
 		scale    = flag.Float64("scale", 0, "explicit structure scale (overrides -ffbudget)")
-		ffBudget = flag.Int("ffbudget", 350, "per-benchmark scan flip-flop budget for auto scaling")
+		ffBudget = flag.Int("ffbudget", 700, "per-benchmark scan flip-flop budget for auto scaling")
 		circuits = flag.Int("circuits", 10, "random circuits per benchmark (paper: 10)")
 		specs    = flag.Int("specs", 16, "random specifications per circuit (paper: 16)")
 		seed     = flag.Int64("seed", 1, "experiment seed")

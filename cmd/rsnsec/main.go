@@ -14,9 +14,12 @@
 //
 // Use -mode structural for the Section IV-C over-approximation and
 // -out to write the secured network back as ICL. Engine flags:
-// -workers bounds the SAT worker pool, -timeout cancels the run after
+// -workers bounds the SAT worker pool (the hybrid resolve stage also
+// fans candidate trials out over it), -timeout cancels the run after
 // a duration, and -v prints per-stage engine progress and a stats
-// table.
+// table — the propagate-delta row shows how much of the violation
+// checking the incremental resolution answered from the cached fixed
+// point (items = re-propagated nodes, saved = reused ones).
 package main
 
 import (

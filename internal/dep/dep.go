@@ -465,9 +465,19 @@ func Bridge(m *Matrix, internal []netlist.FFID) {
 // Closure computes the multi-cycle dependency closure in place: the
 // transitive closure of path edges and, independently, of structural
 // edges (a chain containing any only-structural link is structural).
-// The algorithm is the bit-parallel Warshall closure — cubic in the
-// number of denoted flip-flops, which is why bridging matters.
+// The algorithm is the sparse SCC condensation of closure.go; use
+// ClosureOpts for worker control and cancellation, ClosureWarshall for
+// the dense reference computation.
 func Closure(m *Matrix) {
+	// The background context never cancels, so the error is always nil.
+	_ = ClosureOpts(m, engine.Options{})
+}
+
+// ClosureWarshall is the dense bit-parallel Warshall closure — cubic in
+// the matrix dimension regardless of sparsity. It is retained as the
+// reference implementation for differential tests
+// (TestSCCClosureMatchesWarshall) and the benchmark baseline.
+func ClosureWarshall(m *Matrix) {
 	warshall := func(rows []*bitset.Set) {
 		n := len(rows)
 		for k := 0; k < n; k++ {
@@ -484,8 +494,17 @@ func Closure(m *Matrix) {
 	}
 	warshall(m.path)
 	warshall(m.str)
-	// Rebuild the reverse direction to stay consistent.
+	rebuildReverse(m)
+}
+
+// rebuildReverse recomputes the reverse adjacency from the forward rows.
+func rebuildReverse(m *Matrix) {
 	for i := 0; i < m.n; i++ {
+		if m.rpath[i] == nil {
+			m.rpath[i] = bitset.New(m.n)
+			m.rstr[i] = bitset.New(m.n)
+			continue
+		}
 		m.rpath[i].Reset()
 		m.rstr[i].Reset()
 	}
@@ -526,15 +545,7 @@ func ClosureK(m *Matrix, k int) {
 			break
 		}
 	}
-	// Rebuild reverse adjacency.
-	for i := 0; i < m.n; i++ {
-		m.rpath[i].Reset()
-		m.rstr[i].Reset()
-	}
-	for i := 0; i < m.n; i++ {
-		m.path[i].ForEach(func(j int) { m.rpath[j].Set(i) })
-		m.str[i].ForEach(func(j int) { m.rstr[j].Set(i) })
-	}
+	rebuildReverse(m)
 }
 
 // Compute runs the full data-flow analysis of Section III-A over the

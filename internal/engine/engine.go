@@ -108,13 +108,16 @@ func (s *Stats) Stage(name string) *StageStats {
 	return st
 }
 
-// StageStats collects one pipeline stage's wall time, invocation count
-// and query count. All methods are atomic and tolerate nil receivers.
+// StageStats collects one pipeline stage's wall time, invocation count,
+// query count, work-item count and reuse count. All methods are atomic
+// and tolerate nil receivers.
 type StageStats struct {
 	Name    string
 	wall    atomic.Int64 // cumulative nanoseconds
 	calls   atomic.Int64 // completed invocations
 	queries atomic.Int64 // SAT queries / worklist evaluations
+	items   atomic.Int64 // units of work processed (SCCs, candidates, rows)
+	saved   atomic.Int64 // work units reused from a cache instead of recomputed
 }
 
 // Start begins timing one invocation and returns the function that
@@ -134,6 +137,23 @@ func (st *StageStats) Start() func() {
 func (st *StageStats) AddQueries(n int64) {
 	if st != nil {
 		st.queries.Add(n)
+	}
+}
+
+// AddItems adds n to the stage's work-item counter (e.g. SCC components
+// condensed, resolve candidates evaluated).
+func (st *StageStats) AddItems(n int64) {
+	if st != nil {
+		st.items.Add(n)
+	}
+}
+
+// AddSaved adds n to the stage's reuse counter: work units answered from
+// a cached result (nodes whose attributes were reused from the parent
+// network's fixed point) instead of recomputed.
+func (st *StageStats) AddSaved(n int64) {
+	if st != nil {
+		st.saved.Add(n)
 	}
 }
 
@@ -161,12 +181,30 @@ func (st *StageStats) Queries() int64 {
 	return st.queries.Load()
 }
 
+// Items returns the cumulative work-item count.
+func (st *StageStats) Items() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.items.Load()
+}
+
+// Saved returns the cumulative reuse count.
+func (st *StageStats) Saved() int64 {
+	if st == nil {
+		return 0
+	}
+	return st.saved.Load()
+}
+
 // StageSnapshot is one stage's totals at snapshot time.
 type StageSnapshot struct {
 	Name    string
 	Wall    time.Duration
 	Calls   int64
 	Queries int64
+	Items   int64
+	Saved   int64
 }
 
 // Snapshot returns the per-stage totals in first-use order.
@@ -179,7 +217,10 @@ func (s *Stats) Snapshot() []StageSnapshot {
 	s.mu.Unlock()
 	out := make([]StageSnapshot, len(stages))
 	for i, st := range stages {
-		out[i] = StageSnapshot{Name: st.Name, Wall: st.Wall(), Calls: st.Calls(), Queries: st.Queries()}
+		out[i] = StageSnapshot{
+			Name: st.Name, Wall: st.Wall(), Calls: st.Calls(),
+			Queries: st.Queries(), Items: st.Items(), Saved: st.Saved(),
+		}
 	}
 	return out
 }
@@ -197,10 +238,11 @@ func (s *Stats) String() string {
 		}
 	}
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-*s  %12s  %8s  %10s\n", nameW, "stage", "wall", "calls", "queries")
+	fmt.Fprintf(&sb, "%-*s  %12s  %8s  %10s  %8s  %8s\n",
+		nameW, "stage", "wall", "calls", "queries", "items", "saved")
 	for _, st := range snap {
-		fmt.Fprintf(&sb, "%-*s  %12s  %8d  %10d\n", nameW, st.Name,
-			st.Wall.Round(time.Microsecond), st.Calls, st.Queries)
+		fmt.Fprintf(&sb, "%-*s  %12s  %8d  %10d  %8d  %8d\n", nameW, st.Name,
+			st.Wall.Round(time.Microsecond), st.Calls, st.Queries, st.Items, st.Saved)
 	}
 	return strings.TrimRight(sb.String(), "\n")
 }

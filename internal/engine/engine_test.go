@@ -54,7 +54,9 @@ func TestNilStageIsSafe(t *testing.T) {
 	var st *StageStats
 	st.Start()()
 	st.AddQueries(7)
-	if st.Wall() != 0 || st.Calls() != 0 || st.Queries() != 0 {
+	st.AddItems(3)
+	st.AddSaved(2)
+	if st.Wall() != 0 || st.Calls() != 0 || st.Queries() != 0 || st.Items() != 0 || st.Saved() != 0 {
 		t.Fatal("nil stage must report zeros")
 	}
 	var s *Stats
@@ -70,11 +72,17 @@ func TestStageAccumulates(t *testing.T) {
 	time.Sleep(time.Millisecond)
 	done()
 	st.AddQueries(5)
+	st.AddItems(4)
+	st.AddItems(3)
+	st.AddSaved(11)
 	if st.Wall() <= 0 {
 		t.Fatal("wall time not recorded")
 	}
 	if st.Calls() != 1 || st.Queries() != 5 {
 		t.Fatalf("calls=%d queries=%d", st.Calls(), st.Queries())
+	}
+	if st.Items() != 7 || st.Saved() != 11 {
+		t.Fatalf("items=%d saved=%d", st.Items(), st.Saved())
 	}
 	if s.Stage("one-cycle") != st {
 		t.Fatal("Stage must return the same collector per name")
@@ -118,13 +126,21 @@ func TestSnapshotOrderAndString(t *testing.T) {
 	s.Stage("b").AddQueries(1)
 	s.Stage("a").AddQueries(2)
 	s.Stage("b").AddQueries(1)
+	s.Stage("a").AddItems(9)
+	s.Stage("a").AddSaved(6)
 	snap := s.Snapshot()
 	if len(snap) != 2 || snap[0].Name != "b" || snap[1].Name != "a" {
 		t.Fatalf("snapshot order wrong: %+v", snap)
 	}
+	if snap[1].Items != 9 || snap[1].Saved != 6 {
+		t.Fatalf("snapshot counters wrong: %+v", snap[1])
+	}
 	out := s.String()
 	if !strings.Contains(out, "stage") || !strings.Contains(out, "b") || !strings.Contains(out, "a") {
 		t.Fatalf("table missing content:\n%s", out)
+	}
+	if !strings.Contains(out, "items") || !strings.Contains(out, "saved") {
+		t.Fatalf("table missing counter columns:\n%s", out)
 	}
 	var empty *Stats
 	if empty.String() != "engine: no stages recorded" {

@@ -20,6 +20,7 @@ package hybrid
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/dep"
 	"repro/internal/engine"
@@ -59,6 +60,23 @@ type Analysis struct {
 	// eng is the engine configuration the analysis was built under;
 	// propagation and resolution report their stats through it.
 	eng engine.Options
+	// cache holds the most recent wiring's attribute fixed point, the
+	// seed for incremental re-propagation after candidate cut/reconnect
+	// changes. It is a pointer so the shallow WithSpec copy shares no
+	// mutable state by accident: WithSpec installs a fresh cache, since
+	// attributes depend on the specification.
+	cache *propCache
+}
+
+// propCache is the parent-network fixed point a delta propagation
+// re-seeds from. nw is a private clone of the wiring the fixed point
+// belongs to — callers mutate their networks freely without
+// invalidating the comparison. The mutex makes the cache safe for the
+// parallel candidate evaluation of Resolve.
+type propCache struct {
+	mu sync.Mutex
+	nw *rsn.Network
+	p  *propagation
 }
 
 // NewAnalysis computes the fixed part of the hybrid data-flow analysis
@@ -77,7 +95,7 @@ func NewAnalysis(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.F
 // reported through opts.Stats; cancellation via opts.Context is honored
 // between SAT queries and pipeline stages, returning the context error.
 func NewAnalysisOpts(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, spec *secspec.Spec, mode dep.Mode, opts engine.Options) (*Analysis, error) {
-	a := &Analysis{Circuit: circuit, Spec: spec, Mode: mode, eng: opts}
+	a := &Analysis{Circuit: circuit, Spec: spec, Mode: mode, eng: opts, cache: &propCache{}}
 	a.nCirc = circuit.NumFFs()
 	a.regOffset = make([]int, len(nw.Registers))
 	a.regLen = make([]int, len(nw.Registers))
@@ -149,7 +167,9 @@ func NewAnalysisOpts(nw *rsn.Network, circuit *netlist.Netlist, internal []netli
 
 	closureDone := opts.Stage("closure").Start()
 	a.Clo = m.Clone()
-	dep.Closure(a.Clo)
+	if err := dep.ClosureOpts(a.Clo, opts); err != nil {
+		return nil, err
+	}
 	closureDone()
 	a.DepStats.DepsMultiCycle = a.Clo.CountDeps()
 	a.DepStats.ClosurePathDeps = a.Clo.CountPath()
@@ -177,6 +197,9 @@ func NewAnalysisOpts(nw *rsn.Network, circuit *netlist.Netlist, internal []netli
 func (a *Analysis) WithSpec(spec *secspec.Spec) *Analysis {
 	cp := *a
 	cp.Spec = spec
+	// Attributes depend on the specification: the copy must not reuse
+	// (or share) the original's cached fixed point.
+	cp.cache = &propCache{}
 	return &cp
 }
 
@@ -289,20 +312,126 @@ type propagation struct {
 // register.
 func (a *Analysis) lastIndex(reg int) int { return a.regOffset[reg] + a.regLen[reg] - 1 }
 
+// active reports whether a propagation node carries attributes: mux
+// pseudo-nodes always do, combined indices only when denoted.
+func (a *Analysis) active(n int) bool { return n >= a.total || a.Denoted[n] }
+
+// srcIdx maps a wiring source reference to its propagation node, or -1
+// for the scan-in port (no constraint). Mux m is the transparent
+// pseudo-node a.total+m.
+func (a *Analysis) srcIdx(ref rsn.Ref) int {
+	switch ref.Kind {
+	case rsn.KRegister:
+		return a.lastIndex(int(ref.ID))
+	case rsn.KMux:
+		return a.total + int(ref.ID)
+	}
+	return -1
+}
+
+// buildWiring derives the reverse wiring adjacency of the network's
+// current inter-register connections: node -> nodes to re-evaluate when
+// its out-attribute changes. The fixed Base edges are not included —
+// they are read from the matrix directly.
+func (a *Analysis) buildWiring(nw *rsn.Network) [][]int32 {
+	size := a.total + len(nw.Muxes)
+	wdep := make([][]int32, size)
+	addDep := func(src rsn.Ref, sink int) {
+		if s := a.srcIdx(src); s >= 0 {
+			wdep[s] = append(wdep[s], int32(sink))
+		}
+	}
+	for r := range nw.Registers {
+		addDep(nw.Registers[r].In, a.ScanIndex(r, 0))
+	}
+	for m := range nw.Muxes {
+		for _, in := range nw.Muxes[m].Inputs {
+			addDep(in, a.total+m)
+		}
+	}
+	return wdep
+}
+
+// runWorklist drives the monotone-decreasing attribute iteration to its
+// fixed point from the given seed queue, re-evaluating nodes whose
+// inputs changed. The queue is consumed through a head index and
+// compacted in place once the dead prefix dominates, so the worklist
+// never retains its backing array's consumed half (the former
+// queue=queue[1:] pattern leaked the whole array until completion).
+// It returns the number of node evaluations.
+func (a *Analysis) runWorklist(nw *rsn.Network, wdep [][]int32, p *propagation, queue []int32, inQueue []bool) int64 {
+	all := secspec.AllCats(a.Spec.NumCategories)
+	evals := int64(0)
+	head := 0
+	for head < len(queue) {
+		if head >= 1024 && head*2 >= len(queue) {
+			queue = queue[:copy(queue, queue[head:])]
+			head = 0
+		}
+		n := int(queue[head])
+		head++
+		inQueue[n] = false
+		evals++
+
+		in := all
+		var out secspec.CatSet
+		if n >= a.total {
+			// Transparent mux node: intersection of its inputs.
+			for _, ref := range nw.Muxes[n-a.total].Inputs {
+				if s := a.srcIdx(ref); s >= 0 {
+					in &= p.attrOut[s]
+				}
+			}
+			out = in
+		} else {
+			a.Base.PathDependsOn(n).ForEach(func(u int) {
+				if a.Denoted[u] {
+					in &= p.attrOut[u]
+				}
+			})
+			if r, bit, ok := a.IsScanNode(n); ok && bit == 0 {
+				if s := a.srcIdx(nw.Registers[r].In); s >= 0 {
+					in &= p.attrOut[s]
+				}
+			}
+			out = in & a.Spec.Accepts[a.nodeModule[n]]
+		}
+		p.attrIn[n] = in
+		if out == p.attrOut[n] {
+			continue
+		}
+		p.attrOut[n] = out
+		// Re-evaluate everything fed by n.
+		push := func(d int32) {
+			if a.active(int(d)) && !inQueue[d] {
+				inQueue[d] = true
+				queue = append(queue, d)
+			}
+		}
+		if n < a.total {
+			a.Base.PathDependents(n).ForEach(func(d int) { push(int32(d)) })
+		}
+		for _, d := range wdep[n] {
+			push(d)
+		}
+	}
+	return evals
+}
+
 // propagate computes the omnidirectional fixed point of security
-// attributes over the combined graph: fixed Base edges plus the
-// network's current inter-register wiring. Scan multiplexers are
-// transparent pseudo-nodes (indices a.total..a.total+muxes-1) so the
-// wiring contributes O(edges) work instead of flattening mux chains,
-// and a worklist re-evaluates only nodes whose inputs changed.
+// attributes over the combined graph from scratch: fixed Base edges
+// plus the network's current inter-register wiring. Scan multiplexers
+// are transparent pseudo-nodes (indices a.total..a.total+muxes-1) so
+// the wiring contributes O(edges) work instead of flattening mux
+// chains. All active nodes start at top and seed the worklist; the
+// finite attribute lattice guarantees convergence to the greatest fixed
+// point, which is unique — the reference point the incremental
+// propagateDelta must reproduce exactly.
 func (a *Analysis) propagate(nw *rsn.Network) *propagation {
 	stage := a.eng.Stage("propagate")
 	defer stage.Start()()
-	evals := int64(0)
-	defer func() { stage.AddQueries(evals) }()
 	all := secspec.AllCats(a.Spec.NumCategories)
-	nMux := len(nw.Muxes)
-	size := a.total + nMux
+	size := a.total + len(nw.Muxes)
 	p := &propagation{
 		attrIn:  make([]secspec.CatSet, size),
 		attrOut: make([]secspec.CatSet, size),
@@ -315,85 +444,89 @@ func (a *Analysis) propagate(nw *rsn.Network) *propagation {
 		p.attrIn[i] = all
 		p.attrOut[i] = all
 	}
-	muxNode := func(id int32) int { return a.total + int(id) }
-	// srcIdx maps a wiring source reference to its propagation node,
-	// or -1 for the scan-in port (no constraint).
-	srcIdx := func(ref rsn.Ref) int {
-		switch ref.Kind {
-		case rsn.KRegister:
-			return a.lastIndex(int(ref.ID))
-		case rsn.KMux:
-			return muxNode(ref.ID)
-		}
-		return -1
-	}
-	// Reverse wiring adjacency: node -> nodes to re-evaluate when its
-	// out-attribute changes.
-	wdep := make([][]int32, size)
-	addDep := func(src rsn.Ref, sink int) {
-		if s := srcIdx(src); s >= 0 {
-			wdep[s] = append(wdep[s], int32(sink))
-		}
-	}
-	for r := range nw.Registers {
-		addDep(nw.Registers[r].In, a.ScanIndex(r, 0))
-	}
-	for m := range nw.Muxes {
-		for _, in := range nw.Muxes[m].Inputs {
-			addDep(in, muxNode(int32(m)))
-		}
-	}
-
-	active := func(n int) bool { return n >= a.total || a.Denoted[n] }
+	wdep := a.buildWiring(nw)
 	inQueue := make([]bool, size)
 	queue := make([]int32, 0, size)
 	for n := 0; n < size; n++ {
-		if active(n) {
+		if a.active(n) {
 			queue = append(queue, int32(n))
 			inQueue[n] = true
 		}
 	}
-	push := func(n int32) {
-		if active(int(n)) && !inQueue[n] {
-			inQueue[n] = true
-			queue = append(queue, n)
+	evals := a.runWorklist(nw, wdep, p, queue, inQueue)
+	stage.AddQueries(evals)
+	return p
+}
+
+// propagateDelta computes the fixed point of nw's wiring by re-seeding
+// from the parent network's fixed point instead of from scratch.
+//
+// The invariant making this exact: a node is dirty when its evaluation
+// equation changed (its register input or mux input list differs
+// between the two wirings, or it is a new mux), or when a dirty node
+// feeds it — the dirty set is the forward closure of the changed-wiring
+// seeds over nw's dependency edges. Every clean node therefore has the
+// same equation in both wirings and only clean sources, so the clean
+// region is a backward-closed subsystem identical in both networks, and
+// the greatest fixed point — unique on the finite attribute lattice —
+// restricted to it coincides with the parent's. Resetting the dirty
+// cone to top and re-running the monotone worklist from the dirty seeds
+// then reconstructs exactly the full propagation's fixed point
+// (TestIncrementalPropagateMatchesFull checks this differentially on
+// every candidate change of catalog benchmarks).
+func (a *Analysis) propagateDelta(parent *propagation, parentNW, nw *rsn.Network) *propagation {
+	stage := a.eng.Stage("propagate-delta")
+	defer stage.Start()()
+	all := secspec.AllCats(a.Spec.NumCategories)
+	nMux := len(nw.Muxes)
+	size := a.total + nMux
+	pMux := len(parentNW.Muxes)
+
+	// Seeds: nodes whose evaluation equation changed between the two
+	// wirings. Base edges are fixed infrastructure and never change;
+	// the scan-out source is not a propagation node.
+	var seeds []int32
+	for r := range nw.Registers {
+		if nw.Registers[r].In != parentNW.Registers[r].In {
+			seeds = append(seeds, int32(a.ScanIndex(r, 0)))
 		}
 	}
-	for len(queue) > 0 {
-		n := int(queue[0])
-		queue = queue[1:]
-		inQueue[n] = false
-		evals++
+	for m := 0; m < nMux; m++ {
+		if m >= pMux || !refsEqual(nw.Muxes[m].Inputs, parentNW.Muxes[m].Inputs) {
+			seeds = append(seeds, int32(a.total+m))
+		}
+	}
 
-		in := all
-		var out secspec.CatSet
-		if n >= a.total {
-			// Transparent mux node: intersection of its inputs.
-			for _, ref := range nw.Muxes[n-a.total].Inputs {
-				if s := srcIdx(ref); s >= 0 {
-					in &= p.attrOut[s]
-				}
-			}
-			out = in
-		} else {
-			a.Base.PathDependsOn(n).ForEach(func(u int) {
-				if a.Denoted[u] {
-					in &= p.attrOut[u]
-				}
-			})
-			if r, bit, ok := a.IsScanNode(n); ok && bit == 0 {
-				if s := srcIdx(nw.Registers[r].In); s >= 0 {
-					in &= p.attrOut[s]
-				}
-			}
-			out = in & a.Spec.Accepts[a.nodeModule[n]]
+	p := &propagation{
+		attrIn:  make([]secspec.CatSet, size),
+		attrOut: make([]secspec.CatSet, size),
+	}
+	common := a.total + min(nMux, pMux)
+	copy(p.attrIn, parent.attrIn[:common])
+	copy(p.attrOut, parent.attrOut[:common])
+	for i := common; i < size; i++ {
+		p.attrIn[i] = all
+		p.attrOut[i] = all
+	}
+
+	// Dirty cone: forward closure of the seeds over nw's edges.
+	wdep := a.buildWiring(nw)
+	inQueue := make([]bool, size)
+	queue := make([]int32, 0, len(seeds)*4)
+	for _, s := range seeds {
+		if a.active(int(s)) && !inQueue[s] {
+			inQueue[s] = true
+			queue = append(queue, s)
 		}
-		p.attrIn[n] = in
-		if out == p.attrOut[n] {
-			continue
+	}
+	for head := 0; head < len(queue); head++ {
+		n := int(queue[head])
+		push := func(d int32) {
+			if a.active(int(d)) && !inQueue[d] {
+				inQueue[d] = true
+				queue = append(queue, d)
+			}
 		}
-		p.attrOut[n] = out
-		// Re-evaluate everything fed by n.
 		if n < a.total {
 			a.Base.PathDependents(n).ForEach(func(d int) { push(int32(d)) })
 		}
@@ -401,6 +534,103 @@ func (a *Analysis) propagate(nw *rsn.Network) *propagation {
 			push(d)
 		}
 	}
+	// Reset the cone to top and re-run the worklist from it.
+	for _, n := range queue {
+		if int(n) >= a.total {
+			p.attrIn[n] = all
+			p.attrOut[n] = all
+		} else {
+			p.attrIn[n] = all
+			p.attrOut[n] = all & a.Spec.Accepts[a.nodeModule[n]]
+		}
+	}
+	dirty := len(queue)
+	evals := a.runWorklist(nw, wdep, p, queue, inQueue)
+	stage.AddQueries(evals)
+	stage.AddItems(int64(dirty))
+	stage.AddSaved(int64(a.activeCount(nw) - dirty))
+	return p
+}
+
+// activeCount returns the number of attribute-carrying nodes of the
+// combined graph under the given wiring.
+func (a *Analysis) activeCount(nw *rsn.Network) int {
+	n := len(nw.Muxes)
+	for i := 0; i < a.total; i++ {
+		if a.Denoted[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// refsEqual reports whether two wiring source lists are identical.
+func refsEqual(x, y []rsn.Ref) bool {
+	if len(x) != len(y) {
+		return false
+	}
+	for i := range x {
+		if x[i] != y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// propWiringEqual reports whether two networks have identical
+// propagation-relevant wiring: register inputs and mux input lists.
+// (The scan-out source does not feed any propagation node.)
+func propWiringEqual(x, y *rsn.Network) bool {
+	if len(x.Registers) != len(y.Registers) || len(x.Muxes) != len(y.Muxes) {
+		return false
+	}
+	for r := range x.Registers {
+		if x.Registers[r].In != y.Registers[r].In {
+			return false
+		}
+	}
+	for m := range x.Muxes {
+		if !refsEqual(x.Muxes[m].Inputs, y.Muxes[m].Inputs) {
+			return false
+		}
+	}
+	return true
+}
+
+// fixedPoint returns the attribute fixed point of the network's current
+// wiring, reusing the analysis's cached parent fixed point when
+// possible: wiring-identical networks are answered from the cache
+// outright, and otherwise only the dirty cone downstream of the wiring
+// delta is re-propagated. Falls back to a full propagation when no
+// parent is cached. The cache is updated to the returned fixed point
+// (keyed by a private clone of the wiring), and all paths produce the
+// identical unique greatest fixed point, so callers — including the
+// parallel candidate evaluation — may race on the cache freely without
+// affecting results.
+func (a *Analysis) fixedPoint(nw *rsn.Network) *propagation {
+	c := a.cache
+	if c == nil {
+		return a.propagate(nw)
+	}
+	c.mu.Lock()
+	parent, parentNW := c.p, c.nw
+	c.mu.Unlock()
+	var p *propagation
+	switch {
+	// The register set is fixed infrastructure; a parent with a
+	// different one is a foreign network the delta diff cannot relate.
+	case parent == nil || len(parentNW.Registers) != len(nw.Registers):
+		p = a.propagate(nw)
+	case propWiringEqual(parentNW, nw):
+		a.eng.Stage("propagate-delta").AddSaved(int64(a.activeCount(nw)))
+		return parent
+	default:
+		p = a.propagateDelta(parent, parentNW, nw)
+	}
+	snap := nw.Clone()
+	c.mu.Lock()
+	c.p, c.nw = p, snap
+	c.mu.Unlock()
 	return p
 }
 
@@ -409,7 +639,12 @@ func (a *Analysis) propagate(nw *rsn.Network) *propagation {
 // of the engine's worker configuration, so reports and -explain output
 // are byte-identical across runs.
 func (a *Analysis) Violations(nw *rsn.Network) []Violation {
-	p := a.propagate(nw)
+	return a.violationsFrom(a.fixedPoint(nw))
+}
+
+// violationsFrom extracts the sorted violation list from an attribute
+// fixed point.
+func (a *Analysis) violationsFrom(p *propagation) []Violation {
 	var out []Violation
 	for n := 0; n < a.total; n++ {
 		if !a.Denoted[n] {

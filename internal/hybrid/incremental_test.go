@@ -1,0 +1,306 @@
+package hybrid
+
+import (
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/dep"
+	"repro/internal/engine"
+	"repro/internal/netlist"
+	"repro/internal/pure"
+	"repro/internal/rsn"
+	"repro/internal/secspec"
+)
+
+// catalogCase reconstructs a scaled catalog benchmark with an attached
+// circuit and a generated specification that produces hybrid
+// violations (searching a few spec seeds), the same structures the
+// experimental protocol runs on.
+func catalogCase(tb testing.TB, name string, scale float64, seed int64) (*Analysis, *rsn.Network) {
+	tb.Helper()
+	b, ok := bench.ByName(name)
+	if !ok {
+		tb.Fatalf("unknown benchmark %q", name)
+	}
+	nw := b.Build(scale)
+	att := bench.AttachCircuit(nw, bench.DefaultCircuitConfig(), seed)
+	for specSeed := int64(0); specSeed < 24; specSeed++ {
+		spec := secspec.Generate(len(nw.Modules), secspec.DefaultGenConfig(), specSeed)
+		a := NewAnalysis(nw, att.Circuit, att.Internal, spec, dep.Exact)
+		if len(a.InsecureModulePairs()) > 0 {
+			continue
+		}
+		if len(a.violationsFrom(a.propagate(nw))) > 0 {
+			return a, nw
+		}
+	}
+	tb.Fatalf("%s: no spec seed with resolvable violations found", name)
+	return nil, nil
+}
+
+// propEqual compares two propagations attribute for attribute.
+func propEqual(tb testing.TB, ctx string, full, delta *propagation) {
+	tb.Helper()
+	if len(full.attrIn) != len(delta.attrIn) {
+		tb.Fatalf("%s: node counts differ: %d vs %d", ctx, len(full.attrIn), len(delta.attrIn))
+	}
+	for n := range full.attrIn {
+		if full.attrIn[n] != delta.attrIn[n] {
+			tb.Fatalf("%s: attrIn[%d] = %v incremental, %v full", ctx, n, delta.attrIn[n], full.attrIn[n])
+		}
+		if full.attrOut[n] != delta.attrOut[n] {
+			tb.Fatalf("%s: attrOut[%d] = %v incremental, %v full", ctx, n, delta.attrOut[n], full.attrOut[n])
+		}
+	}
+}
+
+// TestIncrementalPropagateMatchesFull is the differential check of the
+// delta worklist: it drives the resolve loop over catalog benchmarks
+// and, at every iteration, evaluates EVERY candidate cut/reconnect
+// change — all compatible pure-path predecessors of each wiring hop,
+// uncapped, plus the scan-in fallback — comparing the incremental
+// propagation (re-seeded from the parent wiring's fixed point) against
+// a from-scratch propagation, attribute for attribute. It also checks
+// deltas from a stale ancestor fixed point (the multi-change diff the
+// shared cache produces under parallel candidate evaluation).
+func TestIncrementalPropagateMatchesFull(t *testing.T) {
+	for _, name := range []string{"BasicSCB", "TreeFlat", "MBIST_1_5_5"} {
+		t.Run(name, func(t *testing.T) {
+			a, nw := catalogCase(t, name, 0.15, 7)
+			p0 := a.propagate(nw)
+			nw0 := nw.Clone()
+			candidates := 0
+			for step := 0; step < 12; step++ {
+				parent := a.propagate(nw)
+				viols := a.violationsFrom(parent)
+				if len(viols) == 0 {
+					break
+				}
+				v := viols[0].Node
+				u, hops, err := a.culpritPath(nw, v)
+				if err != nil {
+					break // insecure-logic flow: nothing to transform
+				}
+				for _, h := range hops {
+					pin := rsn.Sink{Elem: rsn.Reg(h.To), Idx: 0}
+					var srcs []rsn.Ref
+					for _, pr := range nw.PurePredecessors(h.To) {
+						if pr != h.From {
+							srcs = append(srcs, rsn.Reg(pr))
+						}
+					}
+					srcs = append(srcs, rsn.ScanIn)
+					for _, src := range srcs {
+						trial := nw.Clone()
+						if _, err := trial.CutAndReconnect(pin, src); err != nil || trial.Validate() != nil {
+							continue
+						}
+						full := a.propagate(trial)
+						propEqual(t, "parent delta", full, a.propagateDelta(parent, nw, trial))
+						propEqual(t, "ancestor delta", full, a.propagateDelta(p0, nw0, trial))
+						candidates++
+					}
+				}
+				if _, next, err := a.resolveOne(nw, parent, u, v, hops, len(viols)); err != nil {
+					break
+				} else {
+					propEqual(t, "applied change", a.propagate(nw), next)
+				}
+			}
+			if candidates == 0 {
+				t.Fatal("no candidate changes were compared")
+			}
+			t.Logf("%s: %d candidate changes compared", name, candidates)
+		})
+	}
+}
+
+// TestFixedPointCache checks the cache semantics: identical wiring is
+// answered with the cached fixed point outright, changed wiring goes
+// through the delta path with the identical result, and a WithSpec copy
+// never reuses the original's cache (attributes depend on the spec).
+func TestFixedPointCache(t *testing.T) {
+	a, nw := catalogCase(t, "BasicSCB", 0.15, 7)
+
+	p1 := a.fixedPoint(nw)
+	if a.fixedPoint(nw) != p1 {
+		t.Fatal("identical wiring must be answered from the cache")
+	}
+	propEqual(t, "cached full", a.propagate(nw), p1)
+
+	// Re-wire, then check the delta-path answer against from-scratch.
+	viols := a.violationsFrom(p1)
+	_, hops, err := a.culpritPath(nw, viols[0].Node)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trial := nw.Clone()
+	if _, err := trial.CutAndReconnect(rsn.Sink{Elem: rsn.Reg(hops[0].To), Idx: 0}, rsn.ScanIn); err != nil {
+		t.Fatal(err)
+	}
+	p2 := a.fixedPoint(trial)
+	if p2 == p1 {
+		t.Fatal("changed wiring must not be answered from the cache")
+	}
+	propEqual(t, "delta path", a.propagate(trial), p2)
+
+	// A spec copy must compute its own fixed point for the same wiring.
+	spec2 := a.Spec.Clone()
+	if len(spec2.Accepts) > 0 {
+		spec2.Accepts[0] = 0
+	}
+	b := a.WithSpec(spec2)
+	if b.cache == a.cache {
+		t.Fatal("WithSpec must install a fresh cache")
+	}
+	propEqual(t, "spec copy", b.propagate(trial), b.fixedPoint(trial))
+}
+
+// TestResolveDeterministicAcrossWorkers checks the byte-identical
+// output guarantee of the parallel candidate evaluation: the applied
+// change sequence of Resolve must not depend on the worker count —
+// results land in candidate-order slots, the trial fixed points are
+// exact at any schedule, and the tie-break scans slots in order.
+func TestResolveDeterministicAcrossWorkers(t *testing.T) {
+	for _, name := range []string{"BasicSCB", "TreeFlat"} {
+		t.Run(name, func(t *testing.T) {
+			a, nw := catalogCase(t, name, 0.15, 7)
+			var ref []Change
+			for i, workers := range []int{1, 3, 8} {
+				an, err := NewAnalysisOpts(nw, a.Circuit, internalOf(a), a.Spec, a.Mode,
+					engine.Options{Workers: workers})
+				if err != nil {
+					t.Fatal(err)
+				}
+				run := nw.Clone()
+				res, err := Resolve(an, run)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if i == 0 {
+					ref = res.Changes
+					continue
+				}
+				if len(res.Changes) != len(ref) {
+					t.Fatalf("workers=%d: %d changes, want %d", workers, len(res.Changes), len(ref))
+				}
+				for j := range ref {
+					if res.Changes[j] != ref[j] {
+						t.Fatalf("workers=%d: change %d = %v, want %v", workers, j, res.Changes[j], ref[j])
+					}
+				}
+			}
+		})
+	}
+}
+
+// internalOf recovers the bridged (internal) flip-flop list of an
+// analysis from its Denoted marks.
+func internalOf(a *Analysis) []netlist.FFID {
+	var out []netlist.FFID
+	for f := 0; f < a.NumCircuitFFs(); f++ {
+		if !a.Denoted[f] {
+			out = append(out, netlist.FFID(f))
+		}
+	}
+	return out
+}
+
+// BenchmarkPropagate measures one from-scratch fixed-point propagation
+// over a scaled catalog benchmark's combined graph.
+func BenchmarkPropagate(b *testing.B) {
+	a, nw := catalogCase(b, "MBIST_1_5_5", 0.15, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.propagate(nw)
+	}
+}
+
+// BenchmarkPropagateDelta measures the incremental propagation of one
+// candidate cut/reconnect change against the cached parent fixed point.
+func BenchmarkPropagateDelta(b *testing.B) {
+	a, nw := catalogCase(b, "MBIST_1_5_5", 0.15, 7)
+	parent := a.propagate(nw)
+	viols := a.violationsFrom(parent)
+	_, hops, err := a.culpritPath(nw, viols[0].Node)
+	if err != nil {
+		b.Fatal(err)
+	}
+	trial := nw.Clone()
+	if _, err := trial.CutAndReconnect(rsn.Sink{Elem: rsn.Reg(hops[0].To), Idx: 0}, rsn.ScanIn); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.propagateDelta(parent, nw, trial)
+	}
+}
+
+// BenchmarkResolveHybrid measures a full hybrid resolution run — the
+// loop the incremental propagation and parallel candidate evaluation
+// target — on a scaled catalog benchmark.
+func BenchmarkResolveHybrid(b *testing.B) {
+	a, nw := catalogCase(b, "BasicSCB", 0.15, 7)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		an := a.WithSpec(a.Spec) // fresh cache: measure from cold
+		run := nw.Clone()
+		b.StartTimer()
+		if _, err := Resolve(an, run); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkResolveHybridFlexScan measures the resolve loop on the
+// serial-bypass benchmark scaled to the recorded 350 flip-flop budget
+// — the workload that dominates the original experimental protocol's
+// hybrid stage. It mirrors one protocol run: a role-aware generated
+// specification and the pure stage applied first, so Resolve sees the
+// post-pure network.
+func BenchmarkResolveHybridFlexScan(b *testing.B) {
+	bm, ok := bench.ByName("FlexScan")
+	if !ok {
+		b.Fatal("FlexScan missing from the catalog")
+	}
+	nw := bm.Build(bm.ScaleForTarget(350))
+	att := bench.AttachCircuit(nw, bench.DefaultCircuitConfig(), 7)
+	an, err := NewAnalysisOpts(nw, att.Circuit, att.Internal, nil, dep.Exact, engine.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	var a2 *Analysis
+	var run *rsn.Network
+	for specSeed := int64(0); specSeed < 64 && run == nil; specSeed++ {
+		spec := secspec.GenerateWithRoles(len(nw.Modules), att.DataSources, secspec.DefaultGenConfig(), specSeed)
+		cand := an.WithSpec(spec)
+		if len(cand.InsecureModulePairs()) > 0 {
+			continue
+		}
+		r := nw.Clone()
+		if len(cand.Violations(r)) == 0 {
+			continue
+		}
+		if _, err := pure.Resolve(r, spec); err != nil {
+			continue
+		}
+		if len(cand.Violations(r)) == 0 {
+			continue
+		}
+		a2, run = cand, r
+	}
+	if run == nil {
+		b.Fatal("no spec seed with post-pure hybrid violations found")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		an2 := a2.WithSpec(a2.Spec) // fresh cache: measure from cold
+		r := run.Clone()
+		b.StartTimer()
+		if _, err := Resolve(an2, r); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package hybrid
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/rsn"
 )
@@ -61,51 +63,52 @@ func (a *Analysis) culpritPath(nw *rsn.Network, v int) (int, []hop, error) {
 }
 
 // flowChain is culpritPath plus the full node chain from culprit to
-// target (used by Explain).
+// target (used by Explain). The BFS state is kept in dense slices keyed
+// by combined index — the search runs once per violation inside the
+// resolve loop, where the former per-call maps dominated the allocation
+// profile: visited/parentNext/parentWire are flat arrays of a.total
+// entries, and a wiring hop is reconstructed from the registers of its
+// two endpoint scan flip-flops instead of being stored per edge.
 func (a *Analysis) flowChain(nw *rsn.Network, v int) (int, []int, []hop, error) {
-	type edge struct {
-		next   int  // node this one flows into (toward v)
-		wiring *hop // non-nil if the edge is a wiring hop
-	}
-	parent := make(map[int]edge, 64)
-	visited := make(map[int]bool, 64)
+	visited := make([]bool, a.total)
+	parentNext := make([]int32, a.total) // node x flows into parentNext[x], toward v
+	parentWire := make([]bool, a.total)  // the x -> parentNext[x] edge is a wiring hop
 	visited[v] = true
-	queue := []int{v}
+	queue := make([]int32, 0, 64)
+	queue = append(queue, int32(v))
 	vmod := a.nodeModule[v]
-	wiring := make([][]rsn.Ref, len(nw.Registers))
-	for r := range nw.Registers {
-		wiring[r] = nw.EffectiveSources(r)
-	}
 	var culprit = -1
-	for len(queue) > 0 && culprit < 0 {
-		y := queue[0]
-		queue = queue[1:]
-		expand := func(x int, w *hop) {
+	for head := 0; head < len(queue) && culprit < 0; head++ {
+		y := int(queue[head])
+		expand := func(x int, wire bool) {
 			if visited[x] || !a.Denoted[x] {
 				return
 			}
 			visited[x] = true
-			parent[x] = edge{next: y, wiring: w}
+			parentNext[x] = int32(y)
+			parentWire[x] = wire
 			if a.Spec.Violates(a.nodeModule[x], vmod) {
 				culprit = x
 			}
-			queue = append(queue, x)
+			queue = append(queue, int32(x))
 		}
 		a.Base.PathDependsOn(y).ForEach(func(x int) {
 			if culprit < 0 {
-				expand(x, nil)
+				expand(x, false)
 			}
 		})
 		if culprit >= 0 {
 			break
 		}
 		if r, bit, ok := a.IsScanNode(y); ok && bit == 0 {
-			for _, src := range wiring[r] {
+			// Each node is dequeued at most once, so resolving the
+			// register's wiring sources here (instead of precomputing
+			// them for every register) does no repeated work.
+			for _, src := range nw.EffectiveSources(r) {
 				if src.Kind != rsn.KRegister {
 					continue
 				}
-				h := hop{From: int(src.ID), To: r}
-				expand(a.lastIndex(int(src.ID)), &h)
+				expand(a.lastIndex(int(src.ID)), true)
 				if culprit >= 0 {
 					break
 				}
@@ -118,11 +121,15 @@ func (a *Analysis) flowChain(nw *rsn.Network, v int) (int, []int, []hop, error) 
 	var hops []hop
 	chain := []int{culprit}
 	for n := culprit; n != v; {
-		e := parent[n]
-		if e.wiring != nil {
-			hops = append(hops, *e.wiring)
+		next := int(parentNext[n])
+		if parentWire[n] {
+			// The hop's endpoints: n is the last scan flip-flop of the
+			// source register, next the first of the fed register.
+			fromReg, _, _ := a.IsScanNode(n)
+			toReg, _, _ := a.IsScanNode(next)
+			hops = append(hops, hop{From: fromReg, To: toReg})
 		}
-		n = e.next
+		n = next
 		chain = append(chain, n)
 	}
 	if len(hops) == 0 {
@@ -137,22 +144,33 @@ func maxChanges(nw *rsn.Network) int { return 8*len(nw.Registers) + 64 }
 
 // Resolve repeatedly detects and repairs hybrid-path violations until
 // the network is secure. It mutates nw and returns the applied changes.
-// Security attributes are propagated anew after every change (the
-// paper's III-D choice over a root-cause analysis). The analysis's
-// engine context is honored between iterations, and the stage's wall
-// time and change count are reported through its engine stats.
+//
+// Violation checking is incremental: the fixed point of the current
+// wiring is computed once and threaded through the loop, each candidate
+// cut/reconnect is evaluated by delta propagation from it (only the
+// dirty cone downstream of the changed wiring is re-run), and the
+// winning candidate's fixed point becomes the next iteration's current
+// one — CutAndReconnect is deterministic, so re-applying the winning
+// change to nw reproduces the trial wiring exactly. Candidate trials
+// fan out over the engine's worker pool; the unique greatest fixed
+// point and the strict minimum-cost tie-break in candidate order keep
+// the applied changes byte-identical to the sequential evaluation at
+// any worker count. The analysis's engine context is honored between
+// iterations, and the stage's wall time and change count are reported
+// through its engine stats.
 func Resolve(a *Analysis, nw *rsn.Network) (*Result, error) {
 	stage := a.eng.Stage("resolve")
 	defer stage.Start()()
 	res := &Result{}
 	defer func() { stage.AddQueries(int64(len(res.Changes))) }()
 	ctx := a.eng.Ctx()
-	res.ViolationsBefore = len(a.Violations(nw))
+	cur := a.fixedPoint(nw)
+	res.ViolationsBefore = len(a.violationsFrom(cur))
 	for {
 		if err := ctx.Err(); err != nil {
 			return res, err
 		}
-		viols := a.Violations(nw)
+		viols := a.violationsFrom(cur)
 		if len(viols) == 0 {
 			return res, nil
 		}
@@ -164,24 +182,26 @@ func Resolve(a *Analysis, nw *rsn.Network) (*Result, error) {
 		if err != nil {
 			return res, err
 		}
-		ch, err := a.resolveOne(nw, u, v, hops, len(viols))
+		ch, next, err := a.resolveOne(nw, cur, u, v, hops, len(viols))
 		if err != nil {
 			return res, err
 		}
 		res.Changes = append(res.Changes, ch)
+		cur = next
 	}
 }
 
 // resolveOne cuts one wiring hop of the violating flow and re-connects
 // the separated segments, evaluating candidates on clones and applying
-// the lowest-cost acceptable one.
-func (a *Analysis) resolveOne(nw *rsn.Network, u, v int, hops []hop, before int) (Change, error) {
+// the lowest-cost acceptable one. cur is the fixed point of nw's
+// current wiring; the returned propagation is the fixed point of the
+// applied change's wiring.
+func (a *Analysis) resolveOne(nw *rsn.Network, cur *propagation, u, v int, hops []hop, before int) (Change, *propagation, error) {
 	type candidate struct {
 		pin    rsn.Sink
 		newSrc rsn.Ref
 	}
 	var cands []candidate
-	p := a.propagate(nw)
 	for _, h := range hops {
 		pin := rsn.Sink{Elem: rsn.Reg(h.To), Idx: 0}
 		// Compatible pure-path predecessors of the segment being cut
@@ -192,7 +212,7 @@ func (a *Analysis) resolveOne(nw *rsn.Network, u, v int, hops []hop, before int)
 			if pr == h.From {
 				continue
 			}
-			if !p.attrOut[a.lastIndex(pr)].Has(a.Spec.Trust[smod]) {
+			if !cur.attrOut[a.lastIndex(pr)].Has(a.Spec.Trust[smod]) {
 				continue
 			}
 			cands = append(cands, candidate{pin, rsn.Reg(pr)})
@@ -203,13 +223,76 @@ func (a *Analysis) resolveOne(nw *rsn.Network, u, v int, hops []hop, before int)
 		cands = append(cands, candidate{pin, rsn.ScanIn})
 	}
 
+	// Evaluate every candidate on its own clone, in parallel over the
+	// worker pool. Each result lands in its candidate's slot; the trial
+	// fixed points are exact (delta propagation from cur reproduces the
+	// unique greatest fixed point), so scheduling cannot change any
+	// score. Structural validation is deferred to winner selection —
+	// candidates rarely fail it, so scoring first and validating only
+	// prospective winners trades a per-candidate graph traversal for a
+	// per-change one without affecting which valid candidate wins.
 	type scored struct {
-		c       candidate
+		ok      bool
 		muxes   int
 		removed bool
 		after   int
+		trial   *rsn.Network
+		p       *propagation
 	}
-	var best *scored
+	results := make([]scored, len(cands))
+	stage := a.eng.Stage("resolve")
+	stage.AddItems(int64(len(cands)))
+	evalCand := func(i int) {
+		c := cands[i]
+		trial := nw.Clone()
+		muxes, err := trial.CutAndReconnect(c.pin, c.newSrc)
+		if err != nil {
+			return
+		}
+		tp := a.propagateDelta(cur, nw, trial)
+		after := a.violationsFrom(tp)
+		if len(after) > before {
+			return
+		}
+		results[i] = scored{
+			ok: true, muxes: muxes,
+			removed: !violatesNode(after, v), after: len(after),
+			trial: trial, p: tp,
+		}
+	}
+	if workers := a.eng.WorkerCount(); workers > 1 && len(cands) > 1 {
+		if workers > len(cands) {
+			workers = len(cands)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(cands) {
+						return
+					}
+					evalCand(i)
+				}
+			}()
+		}
+		wg.Wait()
+	} else {
+		for i := range cands {
+			evalCand(i)
+		}
+	}
+
+	// Pick the winner with a strict tie-break in candidate order: the
+	// first candidate strictly better than everything chosen before it,
+	// byte-identical to the former sequential scan. A prospective
+	// winner that fails structural validation is discarded and the scan
+	// repeated — removing an invalid maximum one at a time selects
+	// exactly the maximum over the valid candidates, so deferring
+	// validation cannot change the applied change.
 	betterThan := func(s, t *scored) bool {
 		if t == nil {
 			return true
@@ -222,38 +305,42 @@ func (a *Analysis) resolveOne(nw *rsn.Network, u, v int, hops []hop, before int)
 		}
 		return s.muxes < t.muxes
 	}
-	for _, c := range cands {
-		trial := nw.Clone()
-		muxes, err := trial.CutAndReconnect(c.pin, c.newSrc)
-		if err != nil || trial.Validate() != nil {
-			continue
+	best := -1
+	for {
+		best = -1
+		for i := range results {
+			if !results[i].ok {
+				continue
+			}
+			var cmp *scored
+			if best >= 0 {
+				cmp = &results[best]
+			}
+			if betterThan(&results[i], cmp) {
+				best = i
+			}
 		}
-		after := a.Violations(trial)
-		if len(after) > before {
-			continue
+		if best < 0 || results[best].trial.Validate() == nil {
+			break
 		}
-		s := scored{c: c, muxes: muxes, removed: !violatesNode(after, v), after: len(after)}
-		if betterThan(&s, best) {
-			cp := s
-			best = &cp
-		}
+		results[best].ok = false
 	}
-	if best == nil {
-		return Change{}, fmt.Errorf("hybrid: no valid candidate to sever flow %s -> %s", a.NodeName(u), a.NodeName(v))
+	if best < 0 {
+		return Change{}, nil, fmt.Errorf("hybrid: no valid candidate to sever flow %s -> %s", a.NodeName(u), a.NodeName(v))
 	}
-	oldSrc := nw.SinkSource(best.c.pin)
-	muxes, err := nw.CutAndReconnect(best.c.pin, best.c.newSrc)
+	oldSrc := nw.SinkSource(cands[best].pin)
+	muxes, err := nw.CutAndReconnect(cands[best].pin, cands[best].newSrc)
 	if err != nil {
-		return Change{}, err
+		return Change{}, nil, err
 	}
 	return Change{
-		Cut:      best.c.pin,
+		Cut:      cands[best].pin,
 		OldSrc:   oldSrc,
-		NewSrc:   best.c.newSrc,
+		NewSrc:   cands[best].newSrc,
 		NewMuxes: muxes,
 		Culprit:  u,
 		Target:   v,
-	}, nil
+	}, results[best].p, nil
 }
 
 func violatesNode(vs []Violation, n int) bool {

@@ -24,44 +24,71 @@ import (
 )
 
 // Propagation holds the forward-propagated security attributes of one
-// network under one specification.
+// network under one specification. Attributes live in flat per-element
+// arrays keyed by the network's dense reference index — the resolve
+// loop re-propagates once per candidate trial, where the former
+// map-of-Ref representation dominated the allocation profile.
 type Propagation struct {
-	// In and Out map elements to the attribute (accepted-category mask)
-	// arriving at and leaving them.
-	In, Out map[rsn.Ref]secspec.CatSet
+	nw *rsn.Network
+	// in and out hold the attribute (accepted-category mask) arriving
+	// at and leaving each element, keyed by Network.RefIndex.
+	in, out []secspec.CatSet
 	// Violating lists the registers whose trust category is missing
 	// from their incoming attribute, ascending.
 	Violating []int
 }
 
+// In returns the attribute arriving at the element.
+func (p *Propagation) In(r rsn.Ref) secspec.CatSet { return p.in[p.nw.RefIndex(r)] }
+
+// Out returns the attribute leaving the element.
+func (p *Propagation) Out(r rsn.Ref) secspec.CatSet { return p.out[p.nw.RefIndex(r)] }
+
 // Propagate computes security attributes over all pure scan paths with
 // a single forward traversal in topological order.
 func Propagate(nw *rsn.Network, spec *secspec.Spec) *Propagation {
 	all := secspec.AllCats(spec.NumCategories)
+	n := nw.NumRefs()
 	p := &Propagation{
-		In:  make(map[rsn.Ref]secspec.CatSet, len(nw.Registers)+len(nw.Muxes)+2),
-		Out: make(map[rsn.Ref]secspec.CatSet, len(nw.Registers)+len(nw.Muxes)+2),
+		nw:  nw,
+		in:  make([]secspec.CatSet, n),
+		out: make([]secspec.CatSet, n),
+	}
+	// Source attributes are read through out[RefIndex(src)]; an invalid
+	// source (an unconnected pin) contributes no constraint, matching a
+	// missing input. The topological order guarantees sources are final
+	// before their sinks are evaluated.
+	srcOut := func(src rsn.Ref) secspec.CatSet {
+		if src == rsn.NoRef || !src.IsValid() {
+			return all
+		}
+		return p.out[nw.RefIndex(src)]
 	}
 	for _, r := range nw.ElementTopoOrder() {
+		idx := nw.RefIndex(r)
 		switch r.Kind {
 		case rsn.KScanIn:
-			p.In[r] = all
-			p.Out[r] = all
-		case rsn.KRegister, rsn.KMux, rsn.KScanOut:
+			p.in[idx] = all
+			p.out[idx] = all
+		case rsn.KRegister:
+			reg := &nw.Registers[r.ID]
+			in := srcOut(reg.In)
+			p.in[idx] = in
+			if !in.Has(spec.Trust[reg.Module]) {
+				p.Violating = append(p.Violating, int(r.ID))
+			}
+			p.out[idx] = in & spec.Accepts[reg.Module]
+		case rsn.KMux:
 			in := all
-			for _, src := range nw.InputsOf(r) {
-				in &= p.Out[src]
+			for _, src := range nw.Muxes[r.ID].Inputs {
+				in &= srcOut(src)
 			}
-			p.In[r] = in
-			out := in
-			if r.Kind == rsn.KRegister {
-				reg := &nw.Registers[r.ID]
-				if !in.Has(spec.Trust[reg.Module]) {
-					p.Violating = append(p.Violating, int(r.ID))
-				}
-				out &= spec.Accepts[reg.Module]
-			}
-			p.Out[r] = out
+			p.in[idx] = in
+			p.out[idx] = in
+		case rsn.KScanOut:
+			in := srcOut(nw.OutSrc)
+			p.in[idx] = in
+			p.out[idx] = in
 		}
 	}
 	sort.Ints(p.Violating)
@@ -125,12 +152,18 @@ func maxRounds(nw *rsn.Network) int { return 4*len(nw.Registers) + 16 }
 
 // Resolve repeatedly finds and repairs pure-path violations until the
 // network is pure-path secure. It mutates nw and returns the applied
-// changes.
+// changes. The current wiring's attributes are propagated once per
+// round and reused for candidate filtering and the before count —
+// only candidate trials re-propagate.
 func Resolve(nw *rsn.Network, spec *secspec.Spec) (*Result, error) {
 	res := &Result{}
-	res.ViolatingBefore = len(Propagate(nw, spec).Violating)
+	first := true
 	for round := 0; ; round++ {
 		p := Propagate(nw, spec)
+		if first {
+			res.ViolatingBefore = len(p.Violating)
+			first = false
+		}
 		if len(p.Violating) == 0 {
 			return res, nil
 		}
@@ -139,7 +172,7 @@ func Resolve(nw *rsn.Network, spec *secspec.Spec) (*Result, error) {
 		if !ok {
 			return res, fmt.Errorf("pure: register R%d violates but no culprit found", y)
 		}
-		ch, err := resolveOne(nw, spec, x, y, round >= maxRounds(nw))
+		ch, err := resolveOne(nw, spec, p, x, y, round >= maxRounds(nw))
 		if err != nil {
 			return res, err
 		}
@@ -149,9 +182,10 @@ func Resolve(nw *rsn.Network, spec *secspec.Spec) (*Result, error) {
 
 // resolveOne repairs the flow from register x into register y by
 // cutting a connection on the way and re-connecting the separated
-// segments. With fallbackOnly set, only the always-valid candidate
-// (connect y to the scan-in port) is considered.
-func resolveOne(nw *rsn.Network, spec *secspec.Spec, x, y int, fallbackOnly bool) (Change, error) {
+// segments. p is the current wiring's propagation. With fallbackOnly
+// set, only the always-valid candidate (connect y to the scan-in port)
+// is considered.
+func resolveOne(nw *rsn.Network, spec *secspec.Spec, p *Propagation, x, y int, fallbackOnly bool) (Change, error) {
 	type candidate struct {
 		pin    rsn.Sink
 		newSrc rsn.Ref
@@ -166,7 +200,6 @@ func resolveOne(nw *rsn.Network, spec *secspec.Spec, x, y int, fallbackOnly bool
 		// The candidate count is capped: evaluating every predecessor of
 		// a deep chain position costs a clone and a re-propagation each.
 		const maxPredCandidates = 6
-		p := Propagate(nw, spec)
 		preds := nw.PurePredecessors(y)
 		ymod := nw.Registers[y].Module
 		for _, pr := range preds {
@@ -174,7 +207,7 @@ func resolveOne(nw *rsn.Network, spec *secspec.Spec, x, y int, fallbackOnly bool
 			if src == oldSrc {
 				continue
 			}
-			if p.Out[src].Has(spec.Trust[ymod]) {
+			if p.Out(src).Has(spec.Trust[ymod]) {
 				cands = append(cands, candidate{pin, src})
 				if len(cands) >= maxPredCandidates {
 					break
@@ -185,20 +218,18 @@ func resolveOne(nw *rsn.Network, spec *secspec.Spec, x, y int, fallbackOnly bool
 	// The scan-in fallback is always valid and provably terminating.
 	cands = append(cands, candidate{pin, rsn.ScanIn})
 
-	before := len(Propagate(nw, spec).Violating)
+	before := len(p.Violating)
 	type scored struct {
 		c     candidate
 		cost  int
 		after int
+		trial *rsn.Network
 	}
-	var best *scored
+	var results []scored
 	for _, c := range cands {
 		trial := nw.Clone()
 		muxes, err := trial.CutAndReconnect(c.pin, c.newSrc)
 		if err != nil {
-			continue
-		}
-		if trial.Validate() != nil {
 			continue
 		}
 		tp := Propagate(trial, spec)
@@ -210,11 +241,27 @@ func resolveOne(nw *rsn.Network, spec *secspec.Spec, x, y int, fallbackOnly bool
 		if len(tp.Violating) > before {
 			continue
 		}
-		s := scored{c, 1 + muxes, len(tp.Violating)}
-		if best == nil || s.cost < best.cost || (s.cost == best.cost && s.after < best.after) {
-			v := s
-			best = &v
+		results = append(results, scored{c, 1 + muxes, len(tp.Violating), trial})
+	}
+	// Structural validation is deferred to winner selection: candidates
+	// rarely fail it, and discarding an invalid minimum one at a time
+	// selects exactly the minimum-cost valid candidate.
+	var best *scored
+	for {
+		best = nil
+		for i := range results {
+			s := &results[i]
+			if s.trial == nil {
+				continue
+			}
+			if best == nil || s.cost < best.cost || (s.cost == best.cost && s.after < best.after) {
+				best = s
+			}
 		}
+		if best == nil || best.trial.Validate() == nil {
+			break
+		}
+		best.trial = nil
 	}
 	if best == nil {
 		// The fallback candidate cannot fail validation; reaching this

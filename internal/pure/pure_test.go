@@ -36,15 +36,15 @@ func chainSpec() (*rsn.Network, *secspec.Spec) {
 func TestPropagateChain(t *testing.T) {
 	nw, spec := chainSpec()
 	p := Propagate(nw, spec)
-	if got := p.Out[rsn.ScanIn]; got != secspec.AllCats(4) {
+	if got := p.Out(rsn.ScanIn); got != secspec.AllCats(4) {
 		t.Fatalf("scan-in out = %v", got)
 	}
 	// A's incoming attribute is unrestricted; its outgoing is {2,3}
 	// (crypto accepts plus its own trust).
-	if got := p.In[rsn.Reg(0)]; got != secspec.AllCats(4) {
+	if got := p.In(rsn.Reg(0)); got != secspec.AllCats(4) {
 		t.Fatalf("A in = %v", got)
 	}
-	if got := p.Out[rsn.Reg(0)]; got != secspec.NewCatSet(2, 3) {
+	if got := p.Out(rsn.Reg(0)); got != secspec.NewCatSet(2, 3) {
 		t.Fatalf("A out = %v", got)
 	}
 	// B (trust 0) receives {2,3}: violation.
@@ -52,7 +52,7 @@ func TestPropagateChain(t *testing.T) {
 		t.Fatalf("Violating = %v", p.Violating)
 	}
 	// C (trust 2) is fine: bit 2 present in its incoming attribute.
-	if !p.In[rsn.Reg(2)].Has(2) {
+	if !p.In(rsn.Reg(2)).Has(2) {
 		t.Fatal("C must accept its own data")
 	}
 }

@@ -205,26 +205,25 @@ func (nw *Network) inputsOf(r Ref) []Ref {
 // connected, the connection graph acyclic, and every register reachable
 // from scan-in and able to reach scan-out over some configuration.
 func (nw *Network) Validate() error {
-	check := func(r Ref, where string) error {
+	// ok is the pure range check; the error strings are built only on
+	// the failure path — Validate runs per candidate trial inside the
+	// resolve loops, where eager message formatting dominated its cost.
+	ok := func(r Ref) bool {
 		switch r.Kind {
 		case KRegister:
-			if int(r.ID) >= len(nw.Registers) || r.ID < 0 {
-				return fmt.Errorf("rsn: %s references register %d of %d", where, r.ID, len(nw.Registers))
-			}
+			return int(r.ID) < len(nw.Registers) && r.ID >= 0
 		case KMux:
-			if int(r.ID) >= len(nw.Muxes) || r.ID < 0 {
-				return fmt.Errorf("rsn: %s references mux %d of %d", where, r.ID, len(nw.Muxes))
-			}
+			return int(r.ID) < len(nw.Muxes) && r.ID >= 0
 		}
-		return nil
+		return true
 	}
 	for i := range nw.Registers {
 		in := nw.Registers[i].In
 		if in == NoRef {
 			return fmt.Errorf("rsn: register %q (R%d) has unconnected scan input", nw.Registers[i].Name, i)
 		}
-		if err := check(in, fmt.Sprintf("register R%d input", i)); err != nil {
-			return err
+		if !ok(in) {
+			return fmt.Errorf("rsn: register R%d input references %v out of range", i, in)
 		}
 	}
 	for i := range nw.Muxes {
@@ -235,16 +234,16 @@ func (nw *Network) Validate() error {
 			if in == NoRef {
 				return fmt.Errorf("rsn: mux M%d input %d unconnected", i, j)
 			}
-			if err := check(in, fmt.Sprintf("mux M%d input %d", i, j)); err != nil {
-				return err
+			if !ok(in) {
+				return fmt.Errorf("rsn: mux M%d input %d references %v out of range", i, j, in)
 			}
 		}
 	}
 	if nw.OutSrc == NoRef {
 		return fmt.Errorf("rsn: scan-out port unconnected")
 	}
-	if err := check(nw.OutSrc, "scan-out"); err != nil {
-		return err
+	if !ok(nw.OutSrc) {
+		return fmt.Errorf("rsn: scan-out references %v out of range", nw.OutSrc)
 	}
 	if cyc := nw.findCycle(); cyc != "" {
 		return fmt.Errorf("rsn: scan network contains a cycle through %s", cyc)
@@ -281,6 +280,15 @@ func (nw *Network) refIndex(r Ref) int {
 
 // numRefs returns the size of the dense element index space.
 func (nw *Network) numRefs() int { return len(nw.Registers) + len(nw.Muxes) + 2 }
+
+// RefIndex maps an element reference to a dense index in
+// [0, NumRefs()): registers first, then muxes, then the two ports.
+// Attribute propagations key flat per-element arrays by it instead of
+// hashing Refs into maps.
+func (nw *Network) RefIndex(r Ref) int { return nw.refIndex(r) }
+
+// NumRefs returns the size of the dense element index space.
+func (nw *Network) NumRefs() int { return nw.numRefs() }
 
 // refSet is a dense element set.
 type refSet struct {
@@ -436,10 +444,11 @@ func (nw *Network) InputsOf(r Ref) []Ref { return nw.inputsOf(r) }
 // sources before the elements they feed. It panics if the network is
 // cyclic; call Validate first.
 func (nw *Network) ElementTopoOrder() []Ref {
-	var order []Ref
-	state := map[Ref]uint8{} // 0 new, 1 open, 2 done
+	order := make([]Ref, 0, nw.numRefs())
+	state := make([]uint8, nw.numRefs()) // 0 new, 1 open, 2 done
 	type frame struct {
 		r   Ref
+		ins []Ref // the element's inputs, resolved once per visit
 		idx int
 	}
 	var stack []frame
@@ -452,31 +461,30 @@ func (nw *Network) ElementTopoOrder() []Ref {
 		roots = append(roots, Mx(i))
 	}
 	for _, root := range roots {
-		if state[root] != 0 {
+		if state[nw.refIndex(root)] != 0 {
 			continue
 		}
-		stack = append(stack[:0], frame{root, 0})
-		state[root] = 1
+		stack = append(stack[:0], frame{root, nw.inputsOf(root), 0})
+		state[nw.refIndex(root)] = 1
 		for len(stack) > 0 {
 			f := &stack[len(stack)-1]
-			ins := nw.inputsOf(f.r)
-			if f.idx >= len(ins) {
-				state[f.r] = 2
+			if f.idx >= len(f.ins) {
+				state[nw.refIndex(f.r)] = 2
 				order = append(order, f.r)
 				stack = stack[:len(stack)-1]
 				continue
 			}
-			next := ins[f.idx]
+			next := f.ins[f.idx]
 			f.idx++
-			switch state[next] {
+			switch state[nw.refIndex(next)] {
 			case 1:
 				panic("rsn: ElementTopoOrder on cyclic network")
 			case 0:
 				if next != ScanIn {
-					state[next] = 1
-					stack = append(stack, frame{next, 0})
+					state[nw.refIndex(next)] = 1
+					stack = append(stack, frame{next, nw.inputsOf(next), 0})
 				} else {
-					state[next] = 2
+					state[nw.refIndex(next)] = 2
 				}
 			}
 		}
