@@ -20,7 +20,17 @@
 // Engine flags: -workers bounds the circuit worker pool (inner SAT
 // pools divide the remaining CPUs), -timeout cancels the experiments
 // after a duration, and -v streams per-circuit progress to stderr and
-// prints an engine stats table at the end.
+// prints an engine stats table at the end (also stderr).
+//
+// Observability flags: -report writes the schema-versioned
+// machine-readable run report of the -table main protocol as JSON
+// ("-" for stdout); -q suppresses the human tables so stdout carries
+// only the report; -trace writes the hierarchical span journal
+// (run > circuit > stage > query) as JSONL, query spans sampled per
+// -trace-sample; -debug-addr serves live expvar, Prometheus-text
+// metrics and pprof during the run. -validate-report checks a report
+// artifact against the schema, and -diff-report old.json,new.json
+// prints the regression deltas between two reports.
 package main
 
 import (
@@ -28,34 +38,120 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"time"
 
 	rsnsec "repro"
+	"repro/internal/obs"
+	"repro/internal/obs/reportdiff"
 	"repro/internal/report"
 )
 
+// benchConfig carries the command-line configuration.
+type benchConfig struct {
+	table       string
+	scale       float64
+	ffBudget    int
+	circuits    int
+	specs       int
+	seed        int64
+	only        string
+	mode        string
+	csvPath     string
+	workers     int
+	timeout     time.Duration
+	verbose     bool
+	quiet       bool
+	reportPath  string
+	tracePath   string
+	traceSample int
+	debugAddr   string
+}
+
 func main() {
-	var (
-		table    = flag.String("table", "main", "sizes | main | bridging | approx | all")
-		scale    = flag.Float64("scale", 0, "explicit structure scale (overrides -ffbudget)")
-		ffBudget = flag.Int("ffbudget", 700, "per-benchmark scan flip-flop budget for auto scaling")
-		circuits = flag.Int("circuits", 10, "random circuits per benchmark (paper: 10)")
-		specs    = flag.Int("specs", 16, "random specifications per circuit (paper: 16)")
-		seed     = flag.Int64("seed", 1, "experiment seed")
-		only     = flag.String("benchmarks", "", "comma-separated benchmark filter")
-		mode     = flag.String("mode", "exact", "dependency mode for -table main: exact or structural")
-		csvPath  = flag.String("csv", "", "also write the main table as CSV to this file")
-		workers  = flag.Int("workers", 0, "circuit worker pool size (0 = all CPUs)")
-		timeout  = flag.Duration("timeout", 0, "cancel the experiments after this duration (0 = no limit)")
-		verbose  = flag.Bool("v", false, "print per-circuit progress and an engine stats table")
-	)
+	var c benchConfig
+	flag.StringVar(&c.table, "table", "main", "sizes | main | bridging | approx | all")
+	flag.Float64Var(&c.scale, "scale", 0, "explicit structure scale (overrides -ffbudget)")
+	flag.IntVar(&c.ffBudget, "ffbudget", 700, "per-benchmark scan flip-flop budget for auto scaling")
+	flag.IntVar(&c.circuits, "circuits", 10, "random circuits per benchmark (paper: 10)")
+	flag.IntVar(&c.specs, "specs", 16, "random specifications per circuit (paper: 16)")
+	flag.Int64Var(&c.seed, "seed", 1, "experiment seed")
+	flag.StringVar(&c.only, "benchmarks", "", "comma-separated benchmark filter")
+	flag.StringVar(&c.mode, "mode", "exact", "dependency mode for -table main: exact or structural")
+	flag.StringVar(&c.csvPath, "csv", "", "also write the main table as CSV to this file")
+	flag.IntVar(&c.workers, "workers", 0, "circuit worker pool size (0 = all CPUs)")
+	flag.DurationVar(&c.timeout, "timeout", 0, "cancel the experiments after this duration (0 = no limit)")
+	flag.BoolVar(&c.verbose, "v", false, "print per-circuit progress and an engine stats table (stderr)")
+	flag.BoolVar(&c.quiet, "q", false, "suppress the human-readable tables on stdout")
+	flag.StringVar(&c.reportPath, "report", "", "write the machine-readable run report as JSON to this file (\"-\" = stdout)")
+	flag.StringVar(&c.tracePath, "trace", "", "write the span journal as JSONL to this file")
+	flag.IntVar(&c.traceSample, "trace-sample", 64, "record every n-th high-frequency query span")
+	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve expvar, Prometheus metrics and pprof on this address during the run")
+	validatePath := flag.String("validate-report", "", "validate a run-report JSON file against the schema and exit")
+	diffSpec := flag.String("diff-report", "", "compare two run reports (old.json,new.json) and print the deltas")
 	flag.Parse()
-	if err := run(*table, *scale, *ffBudget, *circuits, *specs, *seed, *only, *mode, *csvPath, *workers, *timeout, *verbose); err != nil {
-		fmt.Fprintln(os.Stderr, "rsnbench:", err)
-		os.Exit(1)
+
+	switch {
+	case *validatePath != "":
+		if err := validateReport(*validatePath); err != nil {
+			fmt.Fprintln(os.Stderr, "rsnbench:", err)
+			os.Exit(1)
+		}
+	case *diffSpec != "":
+		if err := diffReports(*diffSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "rsnbench:", err)
+			os.Exit(1)
+		}
+	default:
+		if err := run(c); err != nil {
+			fmt.Fprintln(os.Stderr, "rsnbench:", err)
+			os.Exit(1)
+		}
 	}
+}
+
+// validateReport implements -validate-report: parse + schema check.
+func validateReport(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := rsnsec.ReadRunReport(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: valid %s report (%d benchmarks, %d stages, %d runs)\n",
+		path, r.Schema, len(r.Benchmarks), len(r.Stages), r.Totals.Runs)
+	return nil
+}
+
+// diffReports implements -diff-report old.json,new.json.
+func diffReports(spec string) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-diff-report wants old.json,new.json")
+	}
+	load := func(path string) (*obs.RunReport, error) {
+		f, err := os.Open(strings.TrimSpace(path))
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return rsnsec.ReadRunReport(f)
+	}
+	oldR, err := load(parts[0])
+	if err != nil {
+		return err
+	}
+	newR, err := load(parts[1])
+	if err != nil {
+		return err
+	}
+	fmt.Println(reportdiff.Compare(oldR, newR))
+	return nil
 }
 
 func selectBenchmarks(filter string) ([]rsnsec.Benchmark, error) {
@@ -75,73 +171,135 @@ func selectBenchmarks(filter string) ([]rsnsec.Benchmark, error) {
 	return out, nil
 }
 
-func run(table string, scale float64, ffBudget, circuits, specs int, seed int64, only, modeName, csvPath string, workers int, timeout time.Duration, verbose bool) error {
-	benchmarks, err := selectBenchmarks(only)
+func run(c benchConfig) error {
+	benchmarks, err := selectBenchmarks(c.only)
 	if err != nil {
 		return err
 	}
 	ctx := context.Background()
-	if timeout > 0 {
+	if c.timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, timeout)
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
 		defer cancel()
 	}
-	cfg := rsnsec.DefaultRunConfig()
-	cfg.Scale = scale
-	cfg.TargetScanFFs = ffBudget
-	cfg.Circuits = circuits
-	cfg.Specs = specs
-	cfg.Seed = seed
-	cfg.Workers = workers
+
+	// Human-readable tables go to stdout unless -q; progress, warnings
+	// and the stats table always go to stderr so a -report - pipeline
+	// reads clean JSON from stdout.
+	out := io.Writer(os.Stdout)
+	if c.quiet {
+		out = io.Discard
+	}
+
+	// Observability: the metrics registry backs the engine stats (and
+	// the live -debug-addr endpoints); the tracer journals spans.
+	reg := rsnsec.NewMetricsRegistry()
 	var stats *rsnsec.EngineStats
-	if verbose {
-		stats = rsnsec.NewEngineStats()
-		cfg.Stats = stats
+	if c.verbose || c.reportPath != "" || c.debugAddr != "" {
+		stats = rsnsec.NewEngineStatsOn(reg)
+	}
+	var tracer *rsnsec.Tracer
+	if c.tracePath != "" {
+		tf, err := os.Create(c.tracePath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		tracer = rsnsec.NewTracer(rsnsec.NewJSONLTraceSink(tf))
+		tracer.SampleEvery("query", c.traceSample)
+		tracer.SampleEvery("propagate-delta", c.traceSample)
+	}
+	if c.debugAddr != "" {
+		dbg, err := rsnsec.StartDebugServer(c.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
+	}
+
+	cfg := rsnsec.DefaultRunConfig()
+	cfg.Scale = c.scale
+	cfg.TargetScanFFs = c.ffBudget
+	cfg.Circuits = c.circuits
+	cfg.Specs = c.specs
+	cfg.Seed = c.seed
+	cfg.Workers = c.workers
+	cfg.Stats = stats
+	cfg.Tracer = tracer
+	if c.verbose {
 		cfg.Progress = func(f string, a ...any) { fmt.Fprintf(os.Stderr, "  %s\n", fmt.Sprintf(f, a...)) }
 	}
-	switch modeName {
+	switch c.mode {
 	case "exact":
 		cfg.Mode = rsnsec.Exact
 	case "structural":
 		cfg.Mode = rsnsec.StructuralApprox
 	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+		return fmt.Errorf("unknown mode %q", c.mode)
 	}
 
-	want := func(name string) bool { return table == name || table == "all" }
+	runSpan := tracer.Start(nil, "run",
+		obs.Str("tool", "rsnbench"), obs.Str("table", c.table),
+		obs.Int("benchmarks", int64(len(benchmarks))), obs.Int("workers", int64(c.workers)))
+	defer runSpan.End()
+	cfg.TraceParent = runSpan
+
+	want := func(name string) bool { return c.table == name || c.table == "all" }
 	ran := false
+	var mainResults []*rsnsec.RunResult
 	if want("sizes") {
 		ran = true
-		sizesTable(benchmarks)
+		sizesTable(out, benchmarks)
 	}
 	if want("main") {
 		ran = true
-		if err := mainTable(ctx, benchmarks, cfg, csvPath); err != nil {
+		mainResults, err = mainTable(ctx, out, benchmarks, cfg, c.csvPath)
+		if err != nil {
 			return err
 		}
 	}
 	if want("bridging") {
 		ran = true
-		if err := bridgingTable(ctx, benchmarks, cfg); err != nil {
+		if err := bridgingTable(ctx, out, benchmarks, cfg); err != nil {
 			return err
 		}
 	}
 	if want("approx") {
 		ran = true
-		if err := approxTable(ctx, benchmarks, cfg); err != nil {
+		if err := approxTable(ctx, out, benchmarks, cfg); err != nil {
 			return err
 		}
 	}
 	if !ran {
-		return fmt.Errorf("unknown table %q", table)
+		return fmt.Errorf("unknown table %q", c.table)
 	}
-	if stats != nil {
-		fmt.Printf("engine stats:\n%s\n", stats)
+	if c.reportPath != "" {
+		rep := rsnsec.BuildRunReport("rsnbench", c.table, cfg, mainResults, stats)
+		rep.StartedAt = time.Now().UTC().Format(time.RFC3339)
+		w := io.Writer(os.Stdout)
+		if c.reportPath != "-" {
+			f, err := os.Create(c.reportPath)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := rsnsec.WriteRunReport(w, rep); err != nil {
+			return err
+		}
+		if c.reportPath != "-" {
+			fmt.Fprintf(os.Stderr, "run report written to %s\n", c.reportPath)
+		}
+	}
+	if c.verbose && stats != nil {
+		fmt.Fprintf(os.Stderr, "engine stats:\n%s\n", stats)
 	}
 	return nil
 }
 
-func sizesTable(benchmarks []rsnsec.Benchmark) {
+func sizesTable(out io.Writer, benchmarks []rsnsec.Benchmark) {
 	t := report.New("Table I (structural columns, full size) — paper vs generated",
 		"Benchmark", "Family", ">#Scan Registers", ">#Scan Flip-Flops", ">#Scan Mux's", ">Paper FFs")
 	for _, b := range benchmarks {
@@ -150,16 +308,16 @@ func sizesTable(benchmarks []rsnsec.Benchmark) {
 		t.Add(b.Name, b.Family.String(), report.Int(st.Registers), report.Int(st.ScanFFs),
 			report.Int(st.Muxes), report.Int(b.PaperScanFFs))
 	}
-	t.WriteTo(os.Stdout)
-	fmt.Println()
+	t.WriteTo(out)
+	fmt.Fprintln(out)
 }
 
-func mainTable(ctx context.Context, benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig, csvPath string) error {
+func mainTable(ctx context.Context, out io.Writer, benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig, csvPath string) ([]*rsnsec.RunResult, error) {
 	var csvW *csv.Writer
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer f.Close()
 		csvW = csv.NewWriter(f)
@@ -171,22 +329,24 @@ func mainTable(ctx context.Context, benchmarks []rsnsec.Benchmark, cfg rsnsec.Ru
 			"dep_calc_s", "pure_s", "hybrid_s", "total_s",
 			"runs", "skipped_secure", "skipped_insecure_logic", "errors",
 		}); err != nil {
-			return err
+			return nil, err
 		}
 	}
-	fmt.Printf("Protocol: %d circuits x %d specs per benchmark, mode=%v, scan-FF budget %d (scale %g)\n",
+	fmt.Fprintf(out, "Protocol: %d circuits x %d specs per benchmark, mode=%v, scan-FF budget %d (scale %g)\n",
 		cfg.Circuits, cfg.Specs, cfg.Mode, cfg.TargetScanFFs, cfg.Scale)
 	t := report.New("Table I (measured columns, scaled structures)",
 		"Benchmark", ">Regs", ">FFs", ">Muxes",
 		">#Reg w/ viol.", ">Chg pure", ">Chg hybrid", ">Chg total",
 		">Dep calc (s)", ">Pure (s)", ">Hybrid (s)", ">Total (s)",
 		">Runs", ">Skip(sec)", ">Skip(logic)")
+	var results []*rsnsec.RunResult
 	var sumPure, sumTotal float64
 	for _, b := range benchmarks {
 		res, err := rsnsec.RunBenchmarkCtx(ctx, b, cfg)
 		if err != nil {
-			return fmt.Errorf("%s: %w", b.Name, err)
+			return nil, fmt.Errorf("%s: %w", b.Name, err)
 		}
+		results = append(results, res)
 		if res.Errors > 0 {
 			fmt.Fprintf(os.Stderr, "warning: %s: %d runs failed to resolve\n", b.Name, res.Errors)
 		}
@@ -206,18 +366,18 @@ func mainTable(ctx context.Context, benchmarks []rsnsec.Benchmark, cfg rsnsec.Ru
 				report.Secs(res.AvgDepTime), report.Secs(res.AvgPureTime), report.Secs(res.AvgHybridTime), report.Secs(res.AvgTotalTime),
 				report.Int(res.Runs), report.Int(res.SkippedNoViolation), report.Int(res.SkippedInsecureLogic), report.Int(res.Errors),
 			}); err != nil {
-				return err
+				return nil, err
 			}
 		}
 	}
-	t.WriteTo(os.Stdout)
+	t.WriteTo(out)
 	if sumTotal > 0 {
-		fmt.Printf("\npure changes are %.0f%% of total changes (paper: ~43%%)\n\n", 100*sumPure/sumTotal)
+		fmt.Fprintf(out, "\npure changes are %.0f%% of total changes (paper: ~43%%)\n\n", 100*sumPure/sumTotal)
 	}
-	return nil
+	return results, nil
 }
 
-func bridgingTable(ctx context.Context, benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig) error {
+func bridgingTable(ctx context.Context, out io.Writer, benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig) error {
 	t := report.New("Section III-A: bridging over internal flip-flops",
 		"Benchmark", ">FFs (no bridge)", ">FFs (bridged)", ">FF reduction",
 		">Deps (no bridge)", ">Deps (bridged)", ">Dep reduction")
@@ -234,15 +394,15 @@ func bridgingTable(ctx context.Context, benchmarks []rsnsec.Benchmark, cfg rsnse
 		sumDep += res.DepReduction()
 		n++
 	}
-	t.WriteTo(os.Stdout)
+	t.WriteTo(out)
 	if n > 0 {
-		fmt.Printf("\naverage reductions: %.2f%% flip-flops, %.2f%% dependencies (paper: 41.72%% / 65.37%%)\n\n",
+		fmt.Fprintf(out, "\naverage reductions: %.2f%% flip-flops, %.2f%% dependencies (paper: 41.72%% / 65.37%%)\n\n",
 			100*sumFF/float64(n), 100*sumDep/float64(n))
 	}
 	return nil
 }
 
-func approxTable(ctx context.Context, benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig) error {
+func approxTable(ctx context.Context, out io.Writer, benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig) error {
 	t := report.New("Section IV-C: approximating path-dependency with structural dependency",
 		"Benchmark", ">Runs", ">Exact changes", ">Approx changes", ">Overhead", ">False insecure", ">Rate")
 	var sumExact, sumApprox, sumOverhead float64
@@ -263,9 +423,9 @@ func approxTable(ctx context.Context, benchmarks []rsnsec.Benchmark, cfg rsnsec.
 			withRuns++
 		}
 	}
-	t.WriteTo(os.Stdout)
+	t.WriteTo(out)
 	if sumExact > 0 && totalCnt > 0 && withRuns > 0 {
-		fmt.Printf("\noverall: +%.0f%% additional changes weighted, +%.0f%% per-benchmark average (paper: +61%%); %.2f%% falsely insecure logic (paper: 6.21%%)\n\n",
+		fmt.Fprintf(out, "\noverall: +%.0f%% additional changes weighted, +%.0f%% per-benchmark average (paper: +61%%); %.2f%% falsely insecure logic (paper: 6.21%%)\n\n",
 			100*(sumApprox/sumExact-1), 100*sumOverhead/float64(withRuns), 100*float64(falseCnt)/float64(totalCnt))
 	}
 	return nil

@@ -5,12 +5,14 @@
 //	rsngen -benchmark FlexScan -scale 0.1 # one scaled benchmark to stdout
 //
 // Pass -with-circuit to also attach the seeded random circuit and emit
-// the capture/update instrument links.
+// the capture/update instrument links. Per-benchmark progress lines go
+// to stderr (the ICL itself may stream to stdout); -q silences them.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -25,15 +27,20 @@ func main() {
 		outDir      = flag.String("out", "", "output directory (required with -all)")
 		seed        = flag.Int64("seed", 1, "circuit generation seed")
 		withCircuit = flag.Bool("with-circuit", false, "attach a random circuit and emit instrument links")
+		quiet       = flag.Bool("q", false, "suppress the per-benchmark progress lines")
 	)
 	flag.Parse()
-	if err := run(*benchName, *all, *scale, *outDir, *seed, *withCircuit); err != nil {
+	if err := run(*benchName, *all, *scale, *outDir, *seed, *withCircuit, *quiet); err != nil {
 		fmt.Fprintln(os.Stderr, "rsngen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName string, all bool, scale float64, outDir string, seed int64, withCircuit bool) error {
+func run(benchName string, all bool, scale float64, outDir string, seed int64, withCircuit, quiet bool) error {
+	progress := io.Writer(os.Stderr)
+	if quiet {
+		progress = io.Discard
+	}
 	var list []rsnsec.Benchmark
 	switch {
 	case all:
@@ -83,7 +90,7 @@ func run(benchName string, all bool, scale float64, outDir string, seed int64, w
 		if err != nil {
 			return err
 		}
-		fmt.Printf("%-16s %6d registers %7d scan FFs %5d muxes -> %s\n",
+		fmt.Fprintf(progress, "%-16s %6d registers %7d scan FFs %5d muxes -> %s\n",
 			b.Name, st.Registers, st.ScanFFs, st.Muxes, path)
 		if circuit != nil {
 			// The attached circuit travels alongside as .bench.
@@ -99,7 +106,7 @@ func run(benchName string, all bool, scale float64, outDir string, seed int64, w
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-16s circuit: %d FFs, %d gates -> %s\n", "", circuit.NumFFs(), circuit.NumGates(), cpath)
+			fmt.Fprintf(progress, "%-16s circuit: %d FFs, %d gates -> %s\n", "", circuit.NumFFs(), circuit.NumGates(), cpath)
 		}
 	}
 	return nil

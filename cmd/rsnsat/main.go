@@ -5,7 +5,8 @@
 //	rsnsat -stats formula.cnf # adds solver statistics
 //
 // Exit status follows the SAT-competition convention: 10 for
-// satisfiable, 20 for unsatisfiable.
+// satisfiable, 20 for unsatisfiable. -debug-addr serves pprof and
+// expvar while a hard formula solves.
 package main
 
 import (
@@ -13,12 +14,23 @@ import (
 	"fmt"
 	"os"
 
+	rsnsec "repro"
 	"repro/internal/sat"
 )
 
 func main() {
 	stats := flag.Bool("stats", false, "print solver statistics")
+	debugAddr := flag.String("debug-addr", "", "serve expvar, Prometheus metrics and pprof on this address during the solve")
 	flag.Parse()
+	if *debugAddr != "" {
+		dbg, err := rsnsec.StartDebugServer(*debugAddr, rsnsec.NewMetricsRegistry())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "rsnsat:", err)
+			os.Exit(2)
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
+	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rsnsat [-stats] formula.cnf")
 		os.Exit(2)

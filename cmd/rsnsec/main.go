@@ -20,23 +20,35 @@
 // table — the propagate-delta row shows how much of the violation
 // checking the incremental resolution answered from the cached fixed
 // point (items = re-propagated nodes, saved = reused ones).
+//
+// Observability flags: -q silences the informational stdout lines
+// (progress and stats already go to stderr), -trace writes the
+// hierarchical span journal (run > secure > stage > query) as JSONL
+// with query spans sampled per -trace-sample, and -debug-addr serves
+// live expvar, Prometheus-text metrics and pprof during the run.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	rsnsec "repro"
+	"repro/internal/obs"
 )
 
 // engineConfig carries the run-orchestration flags.
 type engineConfig struct {
-	workers int
-	timeout time.Duration
-	verbose bool
+	workers     int
+	timeout     time.Duration
+	verbose     bool
+	quiet       bool
+	tracePath   string
+	traceSample int
+	debugAddr   string
 }
 
 func main() {
@@ -53,10 +65,15 @@ func main() {
 		explain   = flag.Int("explain", 0, "print up to N violating data flows before resolving")
 		workers   = flag.Int("workers", 0, "SAT worker pool size (0 = all CPUs)")
 		timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
-		verbose   = flag.Bool("v", false, "print per-stage engine progress and a stats table")
+		verbose   = flag.Bool("v", false, "print per-stage engine progress and a stats table (stderr)")
+		quiet     = flag.Bool("q", false, "suppress the informational lines on stdout")
+		trace     = flag.String("trace", "", "write the span journal as JSONL to this file")
+		traceSmp  = flag.Int("trace-sample", 64, "record every n-th high-frequency query span")
+		debugAddr = flag.String("debug-addr", "", "serve expvar, Prometheus metrics and pprof on this address during the run")
 	)
 	flag.Parse()
-	ec := engineConfig{workers: *workers, timeout: *timeout, verbose: *verbose}
+	ec := engineConfig{workers: *workers, timeout: *timeout, verbose: *verbose,
+		quiet: *quiet, tracePath: *trace, traceSample: *traceSmp, debugAddr: *debugAddr}
 	if err := run(*benchName, *iclPath, *benchPath, *scale, *seed, *specSeed, *mode, *outPath, *doVerify, *explain, ec); err != nil {
 		fmt.Fprintln(os.Stderr, "rsnsec:", err)
 		os.Exit(1)
@@ -80,13 +97,45 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		ctx, cancel = context.WithTimeout(ctx, ec.timeout)
 		defer cancel()
 	}
+
+	// Informational lines go to stdout unless -q; engine progress and
+	// the stats table always go to stderr.
+	out := io.Writer(os.Stdout)
+	if ec.quiet {
+		out = io.Discard
+	}
+	reg := rsnsec.NewMetricsRegistry()
 	var stats *rsnsec.EngineStats
 	var progress func(format string, args ...any)
-	if ec.verbose {
-		stats = rsnsec.NewEngineStats()
-		progress = func(f string, a ...any) { fmt.Printf("  engine: %s\n", fmt.Sprintf(f, a...)) }
+	if ec.verbose || ec.debugAddr != "" {
+		stats = rsnsec.NewEngineStatsOn(reg)
 	}
-	engOpts := rsnsec.EngineOptions{Workers: ec.workers, Context: ctx, Progress: progress, Stats: stats}
+	if ec.verbose {
+		progress = func(f string, a ...any) { fmt.Fprintf(os.Stderr, "  engine: %s\n", fmt.Sprintf(f, a...)) }
+	}
+	var tracer *rsnsec.Tracer
+	if ec.tracePath != "" {
+		tf, err := os.Create(ec.tracePath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		tracer = rsnsec.NewTracer(rsnsec.NewJSONLTraceSink(tf))
+		tracer.SampleEvery("query", ec.traceSample)
+		tracer.SampleEvery("propagate-delta", ec.traceSample)
+	}
+	if ec.debugAddr != "" {
+		dbg, err := rsnsec.StartDebugServer(ec.debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
+	}
+	runSpan := tracer.Start(nil, "run", obs.Str("tool", "rsnsec"), obs.Int("workers", int64(ec.workers)))
+	defer runSpan.End()
+	engOpts := rsnsec.EngineOptions{Workers: ec.workers, Context: ctx, Progress: progress, Stats: stats,
+		Tracer: tracer, TraceParent: runSpan}
 
 	var (
 		nw           *rsnsec.Network
@@ -108,7 +157,7 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		circuit = att.Circuit
 		internal = att.Internal
 		dataSources = att.DataSources
-		fmt.Printf("benchmark %s at scale %g: %d registers, %d scan FFs, %d muxes, circuit %d FFs\n",
+		fmt.Fprintf(out, "benchmark %s at scale %g: %d registers, %d scan FFs, %d muxes, circuit %d FFs\n",
 			benchName, scale, nw.Stats().Registers, nw.Stats().ScanFFs, nw.Stats().Muxes, circuit.NumFFs())
 	case iclPath != "":
 		data, err := os.ReadFile(iclPath)
@@ -182,7 +231,7 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 				}
 			}
 		}
-		fmt.Printf("network %s: %d registers, %d scan FFs, %d muxes, circuit %d FFs\n",
+		fmt.Fprintf(out, "network %s: %d registers, %d scan FFs, %d muxes, circuit %d FFs\n",
 			nw.Name, nw.Stats().Registers, nw.Stats().ScanFFs, nw.Stats().Muxes, circuit.NumFFs())
 	default:
 		return fmt.Errorf("one of -benchmark or -icl is required")
@@ -190,7 +239,7 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 
 	spec := embeddedSpec
 	if spec != nil {
-		fmt.Println("using the security specification embedded in the ICL file")
+		fmt.Fprintln(out, "using the security specification embedded in the ICL file")
 	}
 	genSpec := func(seed int64) *rsnsec.Spec {
 		if dataSources != nil {
@@ -198,9 +247,10 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		}
 		return rsnsec.GenerateSpec(len(nw.Modules), rsnsec.DefaultSpecGenConfig(), seed)
 	}
-	logTo := func(f string, a ...any) { fmt.Printf("  %s\n", fmt.Sprintf(f, a...)) }
+	logTo := func(f string, a ...any) { fmt.Fprintf(out, "  %s\n", fmt.Sprintf(f, a...)) }
 	secOpts := rsnsec.Options{Mode: m, Log: logTo,
-		Workers: ec.workers, Context: ctx, Progress: progress, Stats: stats}
+		Workers: ec.workers, Context: ctx, Progress: progress, Stats: stats,
+		Tracer: tracer, TraceParent: runSpan}
 	showFlows := func(sp *rsnsec.Spec) error {
 		if explain <= 0 {
 			return nil
@@ -211,15 +261,15 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		}
 		exps := an.ExplainAll(nw)
 		if len(exps) == 0 {
-			fmt.Println("no violating data flows")
+			fmt.Fprintln(out, "no violating data flows")
 			return nil
 		}
-		fmt.Printf("violating data flows (%d total, showing up to %d):\n", len(exps), explain)
+		fmt.Fprintf(out, "violating data flows (%d total, showing up to %d):\n", len(exps), explain)
 		for i, e := range exps {
 			if i >= explain {
 				break
 			}
-			fmt.Printf("  [%d wiring hops] %s\n", e.WiringHops, e)
+			fmt.Fprintf(out, "  [%d wiring hops] %s\n", e.WiringHops, e)
 		}
 		return nil
 	}
@@ -259,7 +309,7 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 			return fmt.Errorf("no generated specification with secure circuit logic in %d tries; give -spec-seed", maxTries)
 		}
 		if chosen != specSeed {
-			fmt.Printf("using spec seed %d (earlier seeds classified the circuit logic insecure)\n", chosen)
+			fmt.Fprintf(out, "using spec seed %d (earlier seeds classified the circuit logic insecure)\n", chosen)
 		}
 		if err := showFlows(spec); err != nil {
 			return err
@@ -271,21 +321,21 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 	}
 	switch {
 	case rep.InsecureLogic:
-		fmt.Printf("result: INSECURE CIRCUIT LOGIC (%d module pairs) — requires circuit redesign\n",
+		fmt.Fprintf(out, "result: INSECURE CIRCUIT LOGIC (%d module pairs) — requires circuit redesign\n",
 			len(rep.InsecureModulePairs))
 	case rep.Secured:
-		fmt.Printf("result: SECURE after %d changes (%d pure + %d hybrid) in %s\n",
+		fmt.Fprintf(out, "result: SECURE after %d changes (%d pure + %d hybrid) in %s\n",
 			rep.TotalChanges(), rep.PureChanges, rep.HybridChanges, rep.Times.Total.Round(1000000))
 	}
 	if doVerify && rep.Secured {
 		v := rsnsec.Verify(nw, circuit, spec)
 		if v.Secure {
-			fmt.Printf("independent verification: SECURE (%d edges, %d exhaustive + %d SAT checks)\n",
+			fmt.Fprintf(out, "independent verification: SECURE (%d edges, %d exhaustive + %d SAT checks)\n",
 				v.Edges, v.ExhaustiveChecks, v.SATChecks)
 		} else {
-			fmt.Println("independent verification FAILED:")
+			fmt.Fprintln(os.Stderr, "independent verification FAILED:")
 			for _, f := range v.Counterexamples {
-				fmt.Printf("  %s\n", f)
+				fmt.Fprintf(os.Stderr, "  %s\n", f)
 			}
 			return fmt.Errorf("verification mismatch — please report this")
 		}
@@ -300,10 +350,10 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		if err := rsnsec.WriteICLWithSpec(f, nw, spec, name); err != nil {
 			return err
 		}
-		fmt.Printf("secured network written to %s\n", outPath)
+		fmt.Fprintf(out, "secured network written to %s\n", outPath)
 	}
-	if stats != nil {
-		fmt.Printf("engine stats:\n%s\n", stats)
+	if ec.verbose && stats != nil {
+		fmt.Fprintf(os.Stderr, "engine stats:\n%s\n", stats)
 	}
 	return nil
 }

@@ -18,6 +18,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/hybrid"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/pure"
 	"repro/internal/rsn"
 	"repro/internal/secspec"
@@ -43,11 +44,18 @@ type Options struct {
 	// Stats, when non-nil, accumulates race-safe per-stage engine
 	// instrumentation (wall times and query counts).
 	Stats *engine.Stats
+	// Tracer, when non-nil, receives hierarchical spans of the run; the
+	// whole pipeline nests under one "secure" span (itself a child of
+	// TraceParent when given).
+	Tracer *obs.Tracer
+	// TraceParent is the enclosing span for this run's spans.
+	TraceParent *obs.Span
 }
 
 // engineOptions derives the engine configuration of one run.
 func (o Options) engineOptions() engine.Options {
-	return engine.Options{Workers: o.Workers, Context: o.Context, Progress: o.Progress, Stats: o.Stats}
+	return engine.Options{Workers: o.Workers, Context: o.Context, Progress: o.Progress,
+		Stats: o.Stats, Tracer: o.Tracer, TraceParent: o.TraceParent}
 }
 
 // StageTimes records wall-clock runtimes per pipeline stage, matching
@@ -114,6 +122,17 @@ func Secure(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, 
 	// the reconfigurable RSN connections, and reused across all
 	// structural changes.
 	eng := opts.engineOptions()
+	st := nw.Stats()
+	span := eng.StartSpan("secure",
+		obs.Str("network", nw.Name), obs.Int("registers", int64(st.Registers)),
+		obs.Int("scan_ffs", int64(st.ScanFFs)), obs.Int("muxes", int64(st.Muxes)))
+	defer span.End()
+	defer func() {
+		span.SetAttrs(obs.Bool("secured", rep.Secured), obs.Bool("insecure_logic", rep.InsecureLogic),
+			obs.Int("pure_changes", int64(rep.PureChanges)), obs.Int("hybrid_changes", int64(rep.HybridChanges)))
+	}()
+	// Stage spans of this run nest under the pipeline span.
+	eng = eng.WithParent(span)
 	t0 := time.Now()
 	an, err := hybrid.NewAnalysisOpts(nw, circuit, internal, spec, opts.Mode, eng)
 	if err != nil {
@@ -145,7 +164,13 @@ func Secure(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, 
 	// Pure scan paths (Section III-C first half, the IOLTS 2018 stage).
 	t0 = time.Now()
 	pureDone := eng.Stage("pure-resolve").Start()
+	pureSpan := eng.StartSpan("pure-resolve")
 	pres, err := pure.Resolve(nw, spec)
+	if pres != nil {
+		pureSpan.SetAttrs(obs.Int("violations_before", int64(pres.ViolatingBefore)),
+			obs.Int("changes", int64(len(pres.Changes))))
+	}
+	pureSpan.End()
 	pureDone()
 	rep.Times.PureStage = time.Since(t0)
 	if err != nil {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/engine"
+	"repro/internal/obs"
 )
 
 // ClosureOpts computes the multi-cycle dependency closure in place under
@@ -35,6 +36,8 @@ import (
 // receives the number of condensed components.
 func ClosureOpts(m *Matrix, opts engine.Options) error {
 	stage := opts.Stage("closure")
+	span := opts.StartSpan("closure", obs.Int("nodes", int64(m.N())))
+	defer span.End()
 	np, ncp, err := closedRows(m.path, opts)
 	if err != nil {
 		return err
@@ -46,6 +49,7 @@ func ClosureOpts(m *Matrix, opts engine.Options) error {
 	m.path = np
 	m.str = ns
 	stage.AddItems(int64(ncp + ncs))
+	span.SetAttrs(obs.Int("sccs_path", int64(ncp)), obs.Int("sccs_structural", int64(ncs)))
 	rebuildReverse(m)
 	return nil
 }

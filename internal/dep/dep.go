@@ -26,10 +26,12 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/engine"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 )
 
 // Kind is a dependency classification.
@@ -329,6 +331,19 @@ func FillOneCycleOpts(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, op
 		workers = 1
 	}
 
+	span := opts.StartSpan("one-cycle",
+		obs.Int("roots", int64(len(jobs))), obs.Int("workers", int64(workers)))
+	defer span.End()
+	queryOpts := opts.WithParent(span)
+
+	// Solver-level metrics: per-query SAT latency and cumulative
+	// decision/conflict counts, live on the stats registry.
+	reg := opts.Registry()
+	satLatency := reg.Histogram("dep_sat_query_seconds")
+	satQueries := reg.Counter("dep_sat_queries_total")
+	satDecisions := reg.Counter("dep_sat_decisions_total")
+	satConflicts := reg.Counter("dep_sat_conflicts_total")
+
 	ctx := opts.Ctx()
 	rows := make([]oneCycleRow, len(jobs))
 	var next atomic.Int64
@@ -351,6 +366,9 @@ func FillOneCycleOpts(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, op
 				root := n.FFs[b].D
 				row := &rows[idx]
 				q := NewConeQuerier(n, root)
+				// One query span per root's cone — the high-frequency
+				// level of the trace hierarchy, subject to sampling.
+				qspan := queryOpts.StartSpan("query", obs.Int("root_ff", int64(b)))
 				for _, a := range q.SupportFFs() {
 					if mode == StructuralApprox {
 						row.entries = append(row.entries, oneCycleEntry{a, Path})
@@ -358,10 +376,19 @@ func FillOneCycleOpts(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, op
 					}
 					if ctx.Err() != nil {
 						cancelled.Store(true)
+						qspan.End()
 						return
 					}
 					row.satCalls++
-					if q.Depends(n.FFs[a].Node) {
+					var functional bool
+					if satLatency != nil {
+						t0 := time.Now()
+						functional = q.Depends(n.FFs[a].Node)
+						satLatency.Observe(time.Since(t0).Seconds())
+					} else {
+						functional = q.Depends(n.FFs[a].Node)
+					}
+					if functional {
 						row.functional++
 						row.entries = append(row.entries, oneCycleEntry{a, Path})
 					} else {
@@ -369,6 +396,13 @@ func FillOneCycleOpts(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, op
 						row.entries = append(row.entries, oneCycleEntry{a, Structural})
 					}
 				}
+				ss := q.SolverStats()
+				satQueries.Add(int64(row.satCalls))
+				satDecisions.Add(ss.Decisions)
+				satConflicts.Add(ss.Conflicts)
+				qspan.SetAttrs(obs.Int("sat_queries", int64(row.satCalls)),
+					obs.Int("decisions", ss.Decisions), obs.Int("conflicts", ss.Conflicts))
+				qspan.End()
 			}
 		}()
 	}
@@ -390,6 +424,7 @@ func FillOneCycleOpts(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, op
 		satCalls += row.satCalls
 	}
 	stage.AddQueries(int64(satCalls))
+	span.SetAttrs(obs.Int("sat_queries", int64(satCalls)))
 	opts.Logf("one-cycle: %d roots, %d SAT queries over %d workers", len(jobs), satCalls, workers)
 	return nil
 }

@@ -126,6 +126,11 @@ func (q *ConeQuerier) SupportFFs() []netlist.FFID {
 	return ffs
 }
 
+// SolverStats returns the underlying solver's cumulative counters
+// (decisions, conflicts, ...) across the queries issued so far —
+// per-root solver telemetry for query-level trace spans and metrics.
+func (q *ConeQuerier) SolverStats() sat.Statistics { return q.b.S.Stats }
+
 // Depends reports whether the root functionally depends on the leaf:
 // whether some assignment of the other leaves lets a flip of the leaf
 // flip the root — the positive Davio cofactor check of the HVC 2016

@@ -7,20 +7,31 @@
 // later scaling change (sharded closure, cached cones, multi-backend
 // solvers) plugs into one seam.
 //
+// Instrumentation sits on top of internal/obs: every StageStats
+// counter is an obs.Counter registered in the Stats' metrics registry
+// (engine_stage_*_total{stage="..."}), so a long-running process can
+// expose the same numbers live over expvar and the Prometheus-text
+// endpoint of obs.StartDebug while Stats.String still renders the
+// end-of-run table. Options additionally carries an optional
+// obs.Tracer and parent span, giving every stage a place in the
+// hierarchical run > circuit > stage > query trace journal.
+//
 // All types are safe to use at their zero value: a zero Options runs
-// with all CPUs, a background context, no progress output and no stats
-// collection, and every method tolerates nil receivers where a stage
-// or stats sink is absent.
+// with all CPUs, a background context, no progress output, no stats
+// collection and no tracing, and every method tolerates nil receivers
+// where a stage, stats sink, or tracer is absent.
 package engine
 
 import (
 	"context"
 	"fmt"
 	"runtime"
+	"sort"
 	"strings"
 	"sync"
-	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Options configures one analysis run. The zero value is a valid
@@ -42,6 +53,13 @@ type Options struct {
 	// counts across the whole pipeline. All updates are race-safe, so
 	// one Stats may be shared by concurrent analyses.
 	Stats *Stats
+	// Tracer, when non-nil, receives hierarchical spans
+	// (run > circuit > stage > query) as JSONL events; high-frequency
+	// query spans can be sampled (obs.Tracer.SampleEvery).
+	Tracer *obs.Tracer
+	// TraceParent is the enclosing span for spans this run starts; nil
+	// makes them roots.
+	TraceParent *obs.Span
 }
 
 // WorkerCount resolves the effective worker-pool size.
@@ -77,16 +95,69 @@ func (o Options) Stage(name string) *StageStats {
 	return o.Stats.Stage(name)
 }
 
+// Registry returns the metrics registry backing the configured Stats,
+// or nil when stats are not collected. A nil registry hands out nil
+// metrics whose methods no-op.
+func (o Options) Registry() *obs.Registry {
+	return o.Stats.Registry()
+}
+
+// StartSpan opens a trace span under the run's parent span. The span
+// (and a nil span, when no tracer is configured) is safe to use and
+// must be closed with End.
+func (o Options) StartSpan(name string, attrs ...obs.Attr) *obs.Span {
+	return o.Tracer.Start(o.TraceParent, name, attrs...)
+}
+
+// WithParent returns a copy of the options whose spans nest under s.
+func (o Options) WithParent(s *obs.Span) Options {
+	o.TraceParent = s
+	return o
+}
+
 // Stats accumulates race-safe per-stage instrumentation of one or more
-// pipeline runs. Stages are reported in first-use order.
+// pipeline runs on top of an obs metrics registry: each stage's
+// counters are registered as engine_stage_*_total{stage="name"} series,
+// so the same numbers feed the end-of-run table and any live
+// /metrics or expvar exposition.
 type Stats struct {
 	mu     sync.Mutex
+	reg    *obs.Registry
 	stages []*StageStats
 	byName map[string]*StageStats
 }
 
-// NewStats returns an empty stats collector.
-func NewStats() *Stats { return &Stats{} }
+// NewStats returns an empty stats collector backed by a private
+// metrics registry.
+func NewStats() *Stats { return NewStatsOn(nil) }
+
+// NewStatsOn returns a stats collector registering its stage counters
+// in reg (a process-wide registry served by obs.StartDebug, say). A
+// nil reg creates a private registry.
+func NewStatsOn(reg *obs.Registry) *Stats {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	return &Stats{reg: reg}
+}
+
+// Registry returns the backing metrics registry (never nil for a
+// non-nil Stats; a zero-value Stats creates its registry lazily).
+func (s *Stats) Registry() *obs.Registry {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.registryLocked()
+}
+
+func (s *Stats) registryLocked() *obs.Registry {
+	if s.reg == nil {
+		s.reg = obs.NewRegistry()
+	}
+	return s.reg
+}
 
 // Stage returns the collector of the named stage, creating it on first
 // use. A nil *Stats returns nil (collection disabled).
@@ -102,22 +173,32 @@ func (s *Stats) Stage(name string) *StageStats {
 	if s.byName == nil {
 		s.byName = make(map[string]*StageStats)
 	}
-	st := &StageStats{Name: name}
+	reg := s.registryLocked()
+	label := fmt.Sprintf("{stage=%q}", name)
+	st := &StageStats{
+		Name:    name,
+		wall:    reg.Counter("engine_stage_wall_ns_total" + label),
+		calls:   reg.Counter("engine_stage_calls_total" + label),
+		queries: reg.Counter("engine_stage_queries_total" + label),
+		items:   reg.Counter("engine_stage_items_total" + label),
+		saved:   reg.Counter("engine_stage_saved_total" + label),
+	}
 	s.byName[name] = st
 	s.stages = append(s.stages, st)
 	return st
 }
 
 // StageStats collects one pipeline stage's wall time, invocation count,
-// query count, work-item count and reuse count. All methods are atomic
-// and tolerate nil receivers.
+// query count, work-item count and reuse count. The counters live in
+// the owning Stats' metrics registry; all methods are atomic and
+// tolerate nil receivers.
 type StageStats struct {
 	Name    string
-	wall    atomic.Int64 // cumulative nanoseconds
-	calls   atomic.Int64 // completed invocations
-	queries atomic.Int64 // SAT queries / worklist evaluations
-	items   atomic.Int64 // units of work processed (SCCs, candidates, rows)
-	saved   atomic.Int64 // work units reused from a cache instead of recomputed
+	wall    *obs.Counter // cumulative nanoseconds
+	calls   *obs.Counter // completed invocations
+	queries *obs.Counter // SAT queries / worklist evaluations
+	items   *obs.Counter // units of work processed (SCCs, candidates, rows)
+	saved   *obs.Counter // work units reused from a cache instead of recomputed
 }
 
 // Start begins timing one invocation and returns the function that
@@ -162,7 +243,7 @@ func (st *StageStats) Wall() time.Duration {
 	if st == nil {
 		return 0
 	}
-	return time.Duration(st.wall.Load())
+	return time.Duration(st.wall.Value())
 }
 
 // Calls returns the number of completed invocations.
@@ -170,7 +251,7 @@ func (st *StageStats) Calls() int64 {
 	if st == nil {
 		return 0
 	}
-	return st.calls.Load()
+	return st.calls.Value()
 }
 
 // Queries returns the cumulative query count.
@@ -178,7 +259,7 @@ func (st *StageStats) Queries() int64 {
 	if st == nil {
 		return 0
 	}
-	return st.queries.Load()
+	return st.queries.Value()
 }
 
 // Items returns the cumulative work-item count.
@@ -186,7 +267,7 @@ func (st *StageStats) Items() int64 {
 	if st == nil {
 		return 0
 	}
-	return st.items.Load()
+	return st.items.Value()
 }
 
 // Saved returns the cumulative reuse count.
@@ -194,7 +275,7 @@ func (st *StageStats) Saved() int64 {
 	if st == nil {
 		return 0
 	}
-	return st.saved.Load()
+	return st.saved.Value()
 }
 
 // StageSnapshot is one stage's totals at snapshot time.
@@ -207,7 +288,40 @@ type StageSnapshot struct {
 	Saved   int64
 }
 
-// Snapshot returns the per-stage totals in first-use order.
+// stageRank fixes the rendering order of the known pipeline stages to
+// their execution order. First-use order is not deterministic — worker
+// pools of concurrent circuits reach stages in racy order — so
+// Snapshot and String sort by this rank (unknown stages follow,
+// alphabetically) to keep run-over-run output and reports comparable.
+var stageRank = map[string]int{
+	"one-cycle":       0,
+	"bridge":          1,
+	"closure":         2,
+	"pure-resolve":    3,
+	"propagate":       4,
+	"propagate-delta": 5,
+	"resolve":         6,
+}
+
+// stageLess orders stage names deterministically: known pipeline
+// stages first in execution order, then unknown stages by name.
+func stageLess(a, b string) bool {
+	ra, oka := stageRank[a]
+	rb, okb := stageRank[b]
+	switch {
+	case oka && okb:
+		return ra < rb
+	case oka:
+		return true
+	case okb:
+		return false
+	default:
+		return a < b
+	}
+}
+
+// Snapshot returns the per-stage totals in deterministic pipeline
+// order (see stageRank).
 func (s *Stats) Snapshot() []StageSnapshot {
 	if s == nil {
 		return nil
@@ -215,6 +329,7 @@ func (s *Stats) Snapshot() []StageSnapshot {
 	s.mu.Lock()
 	stages := append([]*StageStats(nil), s.stages...)
 	s.mu.Unlock()
+	sort.SliceStable(stages, func(i, j int) bool { return stageLess(stages[i].Name, stages[j].Name) })
 	out := make([]StageSnapshot, len(stages))
 	for i, st := range stages {
 		out[i] = StageSnapshot{
@@ -225,7 +340,23 @@ func (s *Stats) Snapshot() []StageSnapshot {
 	return out
 }
 
-// String renders the per-stage totals as an aligned table.
+// StageReports returns the per-stage totals as run-report rows, in the
+// same deterministic order as Snapshot.
+func (s *Stats) StageReports() []obs.StageReport {
+	snap := s.Snapshot()
+	out := make([]obs.StageReport, len(snap))
+	for i, st := range snap {
+		out[i] = obs.StageReport{
+			Name: st.Name, WallNS: int64(st.Wall), Calls: st.Calls,
+			Queries: st.Queries, Items: st.Items, Saved: st.Saved,
+		}
+	}
+	return out
+}
+
+// String renders the per-stage totals as an aligned table. It is safe
+// on the zero value and on a nil *Stats (both render the empty
+// placeholder).
 func (s *Stats) String() string {
 	snap := s.Snapshot()
 	if len(snap) == 0 {

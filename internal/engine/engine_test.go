@@ -6,6 +6,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/obs"
 )
 
 func TestOptionsDefaults(t *testing.T) {
@@ -129,11 +131,12 @@ func TestSnapshotOrderAndString(t *testing.T) {
 	s.Stage("a").AddItems(9)
 	s.Stage("a").AddSaved(6)
 	snap := s.Snapshot()
-	if len(snap) != 2 || snap[0].Name != "b" || snap[1].Name != "a" {
+	// Unknown stages render in name order regardless of first use.
+	if len(snap) != 2 || snap[0].Name != "a" || snap[1].Name != "b" {
 		t.Fatalf("snapshot order wrong: %+v", snap)
 	}
-	if snap[1].Items != 9 || snap[1].Saved != 6 {
-		t.Fatalf("snapshot counters wrong: %+v", snap[1])
+	if snap[0].Items != 9 || snap[0].Saved != 6 {
+		t.Fatalf("snapshot counters wrong: %+v", snap[0])
 	}
 	out := s.String()
 	if !strings.Contains(out, "stage") || !strings.Contains(out, "b") || !strings.Contains(out, "a") {
@@ -145,5 +148,77 @@ func TestSnapshotOrderAndString(t *testing.T) {
 	var empty *Stats
 	if empty.String() != "engine: no stages recorded" {
 		t.Fatal("empty stats string wrong")
+	}
+}
+
+// TestSnapshotPipelineOrder pins the deterministic rendering order:
+// known pipeline stages in execution order, regardless of the racy
+// first-use order of concurrent circuits, then unknown stages by name.
+func TestSnapshotPipelineOrder(t *testing.T) {
+	s := NewStats()
+	// Touch stages in scrambled order, as racing workers would.
+	for _, name := range []string{"resolve", "zz-custom", "closure", "propagate-delta", "one-cycle", "aa-custom", "bridge", "pure-resolve", "propagate"} {
+		s.Stage(name).AddQueries(1)
+	}
+	want := []string{"one-cycle", "bridge", "closure", "pure-resolve",
+		"propagate", "propagate-delta", "resolve", "aa-custom", "zz-custom"}
+	snap := s.Snapshot()
+	if len(snap) != len(want) {
+		t.Fatalf("snapshot has %d stages, want %d", len(snap), len(want))
+	}
+	for i, w := range want {
+		if snap[i].Name != w {
+			t.Fatalf("snapshot[%d] = %q, want %q (full: %+v)", i, snap[i].Name, w, snap)
+		}
+	}
+}
+
+// TestZeroValueStats covers the zero-value paths: a zero Stats is a
+// working collector (lazy registry), and String is safe before any
+// stage is recorded.
+func TestZeroValueStats(t *testing.T) {
+	var s Stats
+	if got := s.String(); got != "engine: no stages recorded" {
+		t.Fatalf("zero-value String = %q", got)
+	}
+	if len(s.Snapshot()) != 0 {
+		t.Fatal("zero-value Snapshot must be empty")
+	}
+	s.Stage("closure").AddItems(3)
+	if s.Registry() == nil {
+		t.Fatal("zero-value Stats must create its registry lazily")
+	}
+	if got := s.Stage("closure").Items(); got != 3 {
+		t.Fatalf("items = %d, want 3", got)
+	}
+	if out := s.String(); !strings.Contains(out, "closure") {
+		t.Fatalf("String missing stage:\n%s", out)
+	}
+}
+
+// TestStatsBackedByRegistry validates that stage counters are live in
+// the backing metrics registry under their labelled series names.
+func TestStatsBackedByRegistry(t *testing.T) {
+	reg := obs.NewRegistry()
+	s := NewStatsOn(reg)
+	s.Stage("closure").AddQueries(5)
+	s.Stage("closure").AddItems(2)
+	snap := reg.Snapshot()
+	if got := snap[`engine_stage_queries_total{stage="closure"}`]; got != int64(5) {
+		t.Fatalf("registry queries = %v, want 5", got)
+	}
+	if got := snap[`engine_stage_items_total{stage="closure"}`]; got != int64(2) {
+		t.Fatalf("registry items = %v, want 2", got)
+	}
+	var buf strings.Builder
+	if err := reg.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `engine_stage_queries_total{stage="closure"} 5`) {
+		t.Fatalf("prometheus exposition missing series:\n%s", buf.String())
+	}
+	reports := s.StageReports()
+	if len(reports) != 1 || reports[0].Name != "closure" || reports[0].Queries != 5 {
+		t.Fatalf("StageReports = %+v", reports)
 	}
 }

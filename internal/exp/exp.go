@@ -21,6 +21,7 @@ import (
 	"repro/internal/dep"
 	"repro/internal/engine"
 	"repro/internal/hybrid"
+	"repro/internal/obs"
 	"repro/internal/pure"
 	"repro/internal/rsn"
 	"repro/internal/secspec"
@@ -64,6 +65,12 @@ type RunConfig struct {
 	// Stats, when non-nil, accumulates race-safe per-stage engine
 	// instrumentation across all circuits.
 	Stats *engine.Stats
+	// Tracer, when non-nil, receives hierarchical spans: one "circuit"
+	// span per generated circuit (a child of TraceParent), with the
+	// stage and query spans of its analyses nested underneath.
+	Tracer *obs.Tracer
+	// TraceParent is the enclosing span (typically the CLI's "run").
+	TraceParent *obs.Span
 }
 
 // engineOptions derives the per-circuit engine configuration, dividing
@@ -75,7 +82,8 @@ func (cfg RunConfig) engineOptions(ctx context.Context, outer int) engine.Option
 			workers = 1
 		}
 	}
-	return engine.Options{Workers: workers, Context: ctx, Stats: cfg.Stats}
+	return engine.Options{Workers: workers, Context: ctx, Stats: cfg.Stats,
+		Tracer: cfg.Tracer, TraceParent: cfg.TraceParent}
 }
 
 // DefaultRunConfig returns the scaled default protocol: the paper's
@@ -190,8 +198,16 @@ func RunBenchmarkCtx(ctx context.Context, b bench.Benchmark, cfg RunConfig) (*Re
 		cs.stats = nw.Stats()
 		att := bench.AttachCircuit(nw, cfg.Circuit, base+int64(c)*7919)
 
+		// One circuit span per unit of outer parallelism; the analysis
+		// and per-spec resolution spans nest under it.
+		cspan := cfg.Tracer.Start(cfg.TraceParent, "circuit",
+			obs.Str("benchmark", b.Name), obs.Int("index", int64(c)),
+			obs.Int("scan_ffs", int64(cs.stats.ScanFFs)))
+		defer cspan.End()
+		ceng := eng.WithParent(cspan)
+
 		t0 := time.Now()
-		an, err := hybrid.NewAnalysisOpts(nw, att.Circuit, att.Internal, nil, cfg.Mode, eng)
+		an, err := hybrid.NewAnalysisOpts(nw, att.Circuit, att.Internal, nil, cfg.Mode, ceng)
 		if err != nil {
 			return err
 		}
@@ -216,7 +232,9 @@ func RunBenchmarkCtx(ctx context.Context, b bench.Benchmark, cfg RunConfig) (*Re
 			}
 
 			t1 := time.Now()
+			pureDone := ceng.Stage("pure-resolve").Start()
 			pres, err := pure.Resolve(run, spec)
+			pureDone()
 			pureTime := time.Since(t1)
 			if err != nil {
 				cs.errors++
@@ -239,6 +257,8 @@ func RunBenchmarkCtx(ctx context.Context, b bench.Benchmark, cfg RunConfig) (*Re
 			cs.sumHybT += hybTime
 			cs.sumTotalT += depTime + pureTime + hybTime
 		}
+		cspan.SetAttrs(obs.Int("runs", int64(cs.runs)),
+			obs.Int("dep_calc_us", depTime.Microseconds()))
 		if cfg.Progress != nil {
 			cfg.Progress("%s: circuit %d/%d done (%d runs, dep calc %s)",
 				b.Name, c+1, cfg.Circuits, cs.runs, depTime.Round(time.Millisecond))
@@ -306,6 +326,66 @@ func RunBenchmarkCtx(ctx context.Context, b bench.Benchmark, cfg RunConfig) (*Re
 		res.AvgTotalTime = sumTotalT / time.Duration(res.Runs)
 	}
 	return res, nil
+}
+
+// BuildReport assembles the schema-versioned machine-readable run
+// report from the measured benchmark results and the engine's
+// per-stage instrumentation — the data behind the rendered Table I and
+// the bench_tables.txt trajectory. stats may be nil (the stage section
+// is then empty). The caller stamps RunReport.StartedAt if wall-clock
+// provenance is wanted; BuildReport leaves it empty so reports of
+// identical runs stay byte-comparable.
+func BuildReport(tool, table string, cfg RunConfig, results []*Result, stats *engine.Stats) *obs.RunReport {
+	r := &obs.RunReport{
+		Schema: obs.ReportSchema,
+		Tool:   tool,
+		Config: obs.ReportConfig{
+			Table:         table,
+			Mode:          fmt.Sprint(cfg.Mode),
+			Seed:          cfg.Seed,
+			Circuits:      cfg.Circuits,
+			Specs:         cfg.Specs,
+			TargetScanFFs: cfg.TargetScanFFs,
+			Scale:         cfg.Scale,
+			Workers:       cfg.Workers,
+		},
+		Benchmarks: make([]obs.BenchmarkReport, 0, len(results)),
+	}
+	for _, res := range results {
+		if res == nil {
+			continue
+		}
+		r.Benchmarks = append(r.Benchmarks, obs.BenchmarkReport{
+			Name:   res.Benchmark.Name,
+			Family: res.Benchmark.Family.String(),
+
+			Registers: res.ScaledStats.Registers,
+			ScanFFs:   res.ScaledStats.ScanFFs,
+			Muxes:     res.ScaledStats.Muxes,
+
+			FullRegisters: res.FullStats.Registers,
+			FullScanFFs:   res.FullStats.ScanFFs,
+			FullMuxes:     res.FullStats.Muxes,
+
+			Runs:                 res.Runs,
+			SkippedSecure:        res.SkippedNoViolation,
+			SkippedInsecureLogic: res.SkippedInsecureLogic,
+			Errors:               res.Errors,
+
+			AvgViolatingRegs: res.AvgViolatingRegs,
+			AvgPureChanges:   res.AvgPureChanges,
+			AvgHybridChanges: res.AvgHybridChanges,
+			AvgTotalChanges:  res.AvgTotalChanges,
+
+			AvgDepNS:    int64(res.AvgDepTime),
+			AvgPureNS:   int64(res.AvgPureTime),
+			AvgHybridNS: int64(res.AvgHybridTime),
+			AvgTotalNS:  int64(res.AvgTotalTime),
+		})
+	}
+	r.Stages = stats.StageReports()
+	r.ComputeTotals()
+	return r
 }
 
 // BridgingResult measures experiment E4: the reductions achieved by

@@ -25,6 +25,7 @@ import (
 	"repro/internal/dep"
 	"repro/internal/engine"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/rsn"
 	"repro/internal/secspec"
 )
@@ -153,7 +154,10 @@ func NewAnalysisOpts(nw *rsn.Network, circuit *netlist.Netlist, internal []netli
 	}
 
 	bridgeDone := opts.Stage("bridge").Start()
+	bridgeSpan := opts.StartSpan("bridge", obs.Int("internal_ffs", int64(len(internal))),
+		obs.Int("deps_before", int64(a.DepStats.DepsBeforeBridge)))
 	dep.Bridge(m, internal)
+	bridgeSpan.End()
 	bridgeDone()
 	a.DepStats.BridgedFFs = len(internal)
 	a.DepStats.FFsDenoted = a.total - len(internal)
@@ -477,6 +481,10 @@ func (a *Analysis) propagate(nw *rsn.Network) *propagation {
 func (a *Analysis) propagateDelta(parent *propagation, parentNW, nw *rsn.Network) *propagation {
 	stage := a.eng.Stage("propagate-delta")
 	defer stage.Start()()
+	// A high-frequency trace span (one per candidate trial); sample it
+	// via the tracer (SampleEvery("propagate-delta", n)) on large runs.
+	span := a.eng.StartSpan("propagate-delta")
+	defer span.End()
 	all := secspec.AllCats(a.Spec.NumCategories)
 	nMux := len(nw.Muxes)
 	size := a.total + nMux
@@ -548,7 +556,10 @@ func (a *Analysis) propagateDelta(parent *propagation, parentNW, nw *rsn.Network
 	evals := a.runWorklist(nw, wdep, p, queue, inQueue)
 	stage.AddQueries(evals)
 	stage.AddItems(int64(dirty))
-	stage.AddSaved(int64(a.activeCount(nw) - dirty))
+	saved := a.activeCount(nw) - dirty
+	stage.AddSaved(int64(saved))
+	span.SetAttrs(obs.Int("dirty", int64(dirty)), obs.Int("saved", int64(saved)),
+		obs.Int("evals", evals))
 	return p
 }
 

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/rsn"
 )
 
@@ -162,7 +163,13 @@ func Resolve(a *Analysis, nw *rsn.Network) (*Result, error) {
 	stage := a.eng.Stage("resolve")
 	defer stage.Start()()
 	res := &Result{}
-	defer func() { stage.AddQueries(int64(len(res.Changes))) }()
+	span := a.eng.StartSpan("resolve")
+	defer span.End()
+	defer func() {
+		stage.AddQueries(int64(len(res.Changes)))
+		span.SetAttrs(obs.Int("violations_before", int64(res.ViolationsBefore)),
+			obs.Int("changes", int64(len(res.Changes))))
+	}()
 	ctx := a.eng.Ctx()
 	cur := a.fixedPoint(nw)
 	res.ViolationsBefore = len(a.violationsFrom(cur))

@@ -1,0 +1,107 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+)
+
+// expvarRegs are the registries folded into the process-wide
+// "rsnsec_metrics" expvar. expvar.Publish panics on duplicate names,
+// so the variable is published once and snapshots whatever registries
+// have been attached since.
+var (
+	expvarMu   sync.Mutex
+	expvarRegs []*Registry
+	expvarOnce sync.Once
+)
+
+// publishExpvar attaches reg to the process-wide expvar exposition.
+func publishExpvar(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	expvarMu.Lock()
+	for _, r := range expvarRegs {
+		if r == reg {
+			expvarMu.Unlock()
+			return
+		}
+	}
+	expvarRegs = append(expvarRegs, reg)
+	expvarMu.Unlock()
+	expvarOnce.Do(func() {
+		expvar.Publish("rsnsec_metrics", expvar.Func(func() any {
+			expvarMu.Lock()
+			regs := append([]*Registry(nil), expvarRegs...)
+			expvarMu.Unlock()
+			merged := make(map[string]any)
+			for _, r := range regs {
+				for k, v := range r.Snapshot() {
+					merged[k] = v
+				}
+			}
+			return merged
+		}))
+	})
+}
+
+// DebugServer is the -debug-addr HTTP listener: live expvar under
+// /debug/vars, Prometheus text metrics under /metrics, and the full
+// net/http/pprof suite under /debug/pprof/.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// StartDebug listens on addr (e.g. "localhost:6060", ":0" for an
+// ephemeral port) and serves the debug endpoints in a background
+// goroutine. reg (may be nil) is exposed on /metrics and folded into
+// the expvar under "rsnsec_metrics".
+func StartDebug(addr string, reg *Registry) (*DebugServer, error) {
+	publishExpvar(reg)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "rsnsec debug endpoints:\n  /metrics\n  /debug/vars\n  /debug/pprof/\n")
+	})
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug listener: %w", err)
+	}
+	d := &DebugServer{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() { _ = d.srv.Serve(ln) }()
+	return d, nil
+}
+
+// Addr returns the bound listen address (host:port).
+func (d *DebugServer) Addr() string {
+	if d == nil {
+		return ""
+	}
+	return d.ln.Addr().String()
+}
+
+// Close stops the listener.
+func (d *DebugServer) Close() error {
+	if d == nil {
+		return nil
+	}
+	return d.srv.Close()
+}

@@ -1,0 +1,134 @@
+// The debug-server test lives in an external test package so it can
+// drive a real pipeline run (exp imports obs; importing it from
+// package obs would cycle).
+package obs_test
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/obs"
+)
+
+func get(t *testing.T, url string) (int, string, http.Header) {
+	t.Helper()
+	cl := &http.Client{Timeout: 10 * time.Second}
+	resp, err := cl.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return resp.StatusCode, string(body), resp.Header
+}
+
+// TestDebugServerScrapeMidRun pins the -debug-addr contract: while a
+// real benchmark run is in flight, /metrics serves the engine's stage
+// counters as Prometheus text, /debug/vars serves them as expvar JSON,
+// and the pprof handlers answer. The run is provably mid-flight: the
+// first per-circuit progress callback blocks until the scrapes finish,
+// with further circuits still queued behind it.
+func TestDebugServerScrapeMidRun(t *testing.T) {
+	reg := obs.NewRegistry()
+	dbg, err := obs.StartDebug("127.0.0.1:0", reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dbg.Close()
+
+	b, ok := bench.ByName("BasicSCB")
+	if !ok {
+		t.Fatal("BasicSCB missing")
+	}
+	cfg := exp.QuickRunConfig()
+	cfg.Stats = engine.NewStatsOn(reg)
+	inRun := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	cfg.Progress = func(string, ...any) {
+		once.Do(func() {
+			close(inRun)
+			<-release
+		})
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := exp.RunBenchmark(b, cfg)
+		done <- err
+	}()
+	<-inRun // first circuit finished, the rest are held back
+
+	base := "http://" + dbg.Addr()
+
+	code, metrics, hdr := get(t, base+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("/metrics: status %d", code)
+	}
+	if ct := hdr.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("/metrics content type %q", ct)
+	}
+	if !strings.Contains(metrics, "# TYPE engine_stage_wall_ns_total counter") {
+		t.Fatalf("/metrics lacks the stage wall family:\n%s", metrics)
+	}
+	if !strings.Contains(metrics, `engine_stage_queries_total{stage="one-cycle"}`) {
+		t.Fatalf("/metrics lacks the one-cycle series:\n%s", metrics)
+	}
+
+	code, vars, _ := get(t, base+"/debug/vars")
+	if code != http.StatusOK {
+		t.Fatalf("/debug/vars: status %d", code)
+	}
+	var ev struct {
+		Metrics map[string]any `json:"rsnsec_metrics"`
+	}
+	if err := json.Unmarshal([]byte(vars), &ev); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if v, ok := ev.Metrics[`engine_stage_calls_total{stage="one-cycle"}`]; !ok || v.(float64) < 1 {
+		t.Fatalf("expvar lacks live stage calls: %v", ev.Metrics)
+	}
+
+	if code, body, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK || body == "" {
+		t.Fatalf("/debug/pprof/cmdline: status %d", code)
+	}
+	if code, body, _ := get(t, base+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Fatalf("/debug/pprof/ index: status %d", code)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+
+	// After the run the counters only grew.
+	_, after, _ := get(t, base+"/metrics")
+	if !strings.Contains(after, `engine_stage_calls_total{stage="resolve"}`) {
+		t.Fatalf("post-run metrics lack the resolve stage:\n%s", after)
+	}
+}
+
+func TestDebugServerCloseStopsServing(t *testing.T) {
+	dbg, err := obs.StartDebug("127.0.0.1:0", obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dbg.Addr()
+	if err := dbg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	cl := &http.Client{Timeout: 2 * time.Second}
+	if _, err := cl.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("server still answering after Close")
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if c.Value() != 42 {
+		t.Fatalf("counter = %d, want 42", c.Value())
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-3)
+	if g.Value() != 4 {
+		t.Fatalf("gauge = %d, want 4", g.Value())
+	}
+}
+
+func TestNilMetricsNoOp(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter reads nonzero")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Fatal("nil gauge reads nonzero")
+	}
+	var h *Histogram
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("nil histogram reads nonzero")
+	}
+	var r *Registry
+	if r.Counter("x") != nil || r.Gauge("y") != nil || r.Histogram("z") != nil {
+		t.Fatal("nil registry handed out non-nil metrics")
+	}
+	if err := r.WritePrometheus(&strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	h := newHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 6 {
+		t.Fatalf("count = %d, want 6", h.Count())
+	}
+	if got := h.Sum(); math.Abs(got-109) > 1e-9 {
+		t.Fatalf("sum = %v, want 109", got)
+	}
+	// Cumulative: le=1 -> 2 (0.5 and the boundary value 1), le=2 -> 3,
+	// le=4 -> 5, +Inf -> 6.
+	if q := h.Quantile(0.5); q != 2 {
+		t.Fatalf("p50 = %v, want 2", q)
+	}
+	if q := h.Quantile(0.75); q != 4 {
+		t.Fatalf("p75 = %v, want 4", q)
+	}
+	if q := h.Quantile(1); !math.IsInf(q, 1) {
+		t.Fatalf("p100 = %v, want +Inf", q)
+	}
+	if h.Quantile(0.0001) != 1 {
+		t.Fatal("tiny quantile must hit the first non-empty bucket")
+	}
+}
+
+func TestRegistryGetOrCreateAndKindMismatch(t *testing.T) {
+	r := NewRegistry()
+	c1 := r.Counter("hits_total")
+	c2 := r.Counter("hits_total")
+	if c1 != c2 {
+		t.Fatal("same name returned different counters")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind mismatch did not panic")
+		}
+	}()
+	r.Gauge("hits_total")
+}
+
+func TestConcurrentMetricUpdates(t *testing.T) {
+	r := NewRegistry()
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Mix registration races with update races.
+			c := r.Counter("c_total")
+			g := r.Gauge("g")
+			h := r.Histogram("h_seconds", 0.001, 0.01, 0.1)
+			for i := 0; i < per; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%3) * 0.005)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v := r.Counter("c_total").Value(); v != workers*per {
+		t.Fatalf("counter = %d, want %d", v, workers*per)
+	}
+	if v := r.Gauge("g").Value(); v != workers*per {
+		t.Fatalf("gauge = %d, want %d", v, workers*per)
+	}
+	if n := r.Histogram("h_seconds").Count(); n != workers*per {
+		t.Fatalf("histogram count = %d, want %d", n, workers*per)
+	}
+}
+
+func TestSnapshotExpandsHistograms(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total").Add(3)
+	r.Histogram(`lat_seconds{stage="x"}`, 1).Observe(0.5)
+	snap := r.Snapshot()
+	if snap["a_total"] != int64(3) {
+		t.Fatalf("a_total = %v", snap["a_total"])
+	}
+	if snap[`lat_seconds_count{stage="x"}`] != int64(1) {
+		t.Fatalf("histogram count missing: %v", snap)
+	}
+	if snap[`lat_seconds_sum{stage="x"}`] != 0.5 {
+		t.Fatalf("histogram sum missing: %v", snap)
+	}
+}
+
+func TestWritePrometheus(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("req_total", "requests by stage")
+	r.Counter(`req_total{stage="a"}`).Add(2)
+	r.Counter(`req_total{stage="b"}`).Add(5)
+	r.Gauge("workers").Set(4)
+	r.Histogram("lat_seconds", 0.1, 1).Observe(0.05)
+	r.Histogram("lat_seconds").Observe(2)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP req_total requests by stage
+# TYPE req_total counter
+req_total{stage="a"} 2
+req_total{stage="b"} 5
+# TYPE workers gauge
+workers 4
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.1"} 1
+lat_seconds_bucket{le="1"} 1
+lat_seconds_bucket{le="+Inf"} 2
+lat_seconds_sum 2.05
+lat_seconds_count 2
+`
+	if sb.String() != want {
+		t.Fatalf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", sb.String(), want)
+	}
+}
+
+func TestMergeLabels(t *testing.T) {
+	if got := mergeLabels("", `le="1"`); got != `{le="1"}` {
+		t.Fatalf("empty labels: %s", got)
+	}
+	if got := mergeLabels(`{stage="x"}`, `le="1"`); got != `{stage="x",le="1"}` {
+		t.Fatalf("merged labels: %s", got)
+	}
+}

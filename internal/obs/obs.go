@@ -1,0 +1,65 @@
+// Package obs is the observability substrate of the pipeline: a
+// metrics registry (counters, gauges, histograms) with expvar and
+// Prometheus-text exposition, a structured hierarchical span tracer
+// with a pluggable JSONL sink and sampling for high-frequency spans,
+// an optional debug HTTP server that mounts the metrics endpoints and
+// net/http/pprof, and a schema-versioned machine-readable run report.
+//
+// The package is a leaf: it depends on the standard library only, so
+// every layer of the pipeline (engine, dep, hybrid, pure, exp, the
+// CLIs) can emit telemetry through it without import cycles. All types
+// tolerate nil receivers — a nil *Registry hands out nil metrics whose
+// methods no-op, and a nil *Tracer hands out nil spans — so
+// instrumented code never branches on whether observability is
+// enabled.
+package obs
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Attr is one key/value span or report attribute.
+type Attr struct {
+	Key string
+	Val any
+}
+
+// Str builds a string attribute.
+func Str(key, val string) Attr { return Attr{key, val} }
+
+// Int builds an integer attribute.
+func Int(key string, val int64) Attr { return Attr{key, val} }
+
+// Float builds a float attribute.
+func Float(key string, val float64) Attr { return Attr{key, val} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, val bool) Attr { return Attr{key, val} }
+
+// attrValue normalizes an attribute value for JSON emission: integers
+// stay integers, floats stay floats, everything else is stringified.
+func attrValue(v any) any {
+	switch x := v.(type) {
+	case string, bool, int64, float64:
+		return x
+	case int:
+		return int64(x)
+	case int32:
+		return int64(x)
+	case uint64:
+		return int64(x)
+	case float32:
+		return float64(x)
+	case fmt.Stringer:
+		return x.String()
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+// formatFloat renders a float in the shortest round-trip form, the
+// convention of the Prometheus text format.
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

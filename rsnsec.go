@@ -44,6 +44,7 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/icl"
 	"repro/internal/netlist"
+	"repro/internal/obs"
 	"repro/internal/paperex"
 	"repro/internal/pure"
 	"repro/internal/rsn"
@@ -224,6 +225,69 @@ type (
 
 // NewEngineStats returns an empty per-stage stats collector.
 func NewEngineStats() *EngineStats { return engine.NewStats() }
+
+// Observability: structured run tracing, a metrics registry with
+// expvar/Prometheus exposition, an optional pprof debug server, and
+// machine-readable run reports.
+type (
+	// Tracer emits hierarchical spans (run > circuit > stage > query)
+	// to a pluggable sink, with per-name sampling for high-frequency
+	// query spans.
+	Tracer = obs.Tracer
+	// TraceSpan is one timed region of the run hierarchy.
+	TraceSpan = obs.Span
+	// TraceAttr is one span attribute.
+	TraceAttr = obs.Attr
+	// TraceSink receives finished span events.
+	TraceSink = obs.Sink
+	// TraceEvent is one finished span as handed to the sink.
+	TraceEvent = obs.Event
+	// MetricsRegistry holds counters, gauges and histograms and renders
+	// them as Prometheus text or expvar JSON.
+	MetricsRegistry = obs.Registry
+	// DebugServer is the -debug-addr HTTP listener (expvar, Prometheus
+	// text metrics, net/http/pprof).
+	DebugServer = obs.DebugServer
+	// RunReport is the schema-versioned machine-readable outcome of an
+	// experimental run.
+	RunReport = obs.RunReport
+)
+
+// RunReportSchema is the run-report schema identifier accepted by
+// ReadRunReport.
+const RunReportSchema = obs.ReportSchema
+
+// NewTracer returns a tracer emitting finished spans to sink.
+func NewTracer(sink TraceSink) *Tracer { return obs.NewTracer(sink) }
+
+// NewJSONLTraceSink returns a sink writing one JSON event per line.
+func NewJSONLTraceSink(w io.Writer) TraceSink { return obs.NewJSONLSink(w) }
+
+// NewMetricsRegistry returns an empty metrics registry.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewEngineStatsOn returns a per-stage stats collector registering its
+// counters in the given registry, so a debug server can expose them
+// live during a run.
+func NewEngineStatsOn(reg *MetricsRegistry) *EngineStats { return engine.NewStatsOn(reg) }
+
+// StartDebugServer serves /metrics (Prometheus text), /debug/vars
+// (expvar) and /debug/pprof/ on addr in a background goroutine.
+func StartDebugServer(addr string, reg *MetricsRegistry) (*DebugServer, error) {
+	return obs.StartDebug(addr, reg)
+}
+
+// BuildRunReport assembles the machine-readable report of a protocol
+// run from per-benchmark results and the engine stats (may be nil).
+func BuildRunReport(tool, table string, cfg RunConfig, results []*RunResult, stats *EngineStats) *RunReport {
+	return exp.BuildReport(tool, table, cfg, results, stats)
+}
+
+// WriteRunReport serializes a report as indented JSON.
+func WriteRunReport(w io.Writer, r *RunReport) error { return obs.WriteReport(w, r) }
+
+// ReadRunReport parses and validates a report.
+func ReadRunReport(r io.Reader) (*RunReport, error) { return obs.ReadReport(r) }
 
 // NewAnalysisOpts is NewAnalysis under an engine configuration: the
 // SAT-classified 1-cycle dependencies fan out over the engine's worker
