@@ -184,11 +184,15 @@ func run(c benchConfig) error {
 	}
 
 	// Human-readable tables go to stdout unless -q; progress, warnings
-	// and the stats table always go to stderr so a -report - pipeline
-	// reads clean JSON from stdout.
+	// and the stats table go to stderr so a -report - pipeline reads
+	// clean JSON from stdout. -q is full machine mode: it also silences
+	// those stderr diagnostics (hard errors still reach stderr), so a
+	// quiet run emits nothing but the requested artifacts.
 	out := io.Writer(os.Stdout)
+	errw := io.Writer(os.Stderr)
 	if c.quiet {
 		out = io.Discard
+		errw = io.Discard
 	}
 
 	// Observability: the metrics registry backs the engine stats (and
@@ -215,7 +219,7 @@ func run(c benchConfig) error {
 			return err
 		}
 		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
+		fmt.Fprintf(errw, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
 	}
 
 	cfg := rsnsec.DefaultRunConfig()
@@ -228,7 +232,7 @@ func run(c benchConfig) error {
 	cfg.Stats = stats
 	cfg.Tracer = tracer
 	if c.verbose {
-		cfg.Progress = func(f string, a ...any) { fmt.Fprintf(os.Stderr, "  %s\n", fmt.Sprintf(f, a...)) }
+		cfg.Progress = func(f string, a ...any) { fmt.Fprintf(errw, "  %s\n", fmt.Sprintf(f, a...)) }
 	}
 	switch c.mode {
 	case "exact":
@@ -254,7 +258,7 @@ func run(c benchConfig) error {
 	}
 	if want("main") {
 		ran = true
-		mainResults, err = mainTable(ctx, out, benchmarks, cfg, c.csvPath)
+		mainResults, err = mainTable(ctx, out, errw, benchmarks, cfg, c.csvPath)
 		if err != nil {
 			return err
 		}
@@ -290,11 +294,11 @@ func run(c benchConfig) error {
 			return err
 		}
 		if c.reportPath != "-" {
-			fmt.Fprintf(os.Stderr, "run report written to %s\n", c.reportPath)
+			fmt.Fprintf(errw, "run report written to %s\n", c.reportPath)
 		}
 	}
 	if c.verbose && stats != nil {
-		fmt.Fprintf(os.Stderr, "engine stats:\n%s\n", stats)
+		fmt.Fprintf(errw, "engine stats:\n%s\n", stats)
 	}
 	return nil
 }
@@ -312,7 +316,7 @@ func sizesTable(out io.Writer, benchmarks []rsnsec.Benchmark) {
 	fmt.Fprintln(out)
 }
 
-func mainTable(ctx context.Context, out io.Writer, benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig, csvPath string) ([]*rsnsec.RunResult, error) {
+func mainTable(ctx context.Context, out, errw io.Writer, benchmarks []rsnsec.Benchmark, cfg rsnsec.RunConfig, csvPath string) ([]*rsnsec.RunResult, error) {
 	var csvW *csv.Writer
 	if csvPath != "" {
 		f, err := os.Create(csvPath)
@@ -339,16 +343,14 @@ func mainTable(ctx context.Context, out io.Writer, benchmarks []rsnsec.Benchmark
 		">#Reg w/ viol.", ">Chg pure", ">Chg hybrid", ">Chg total",
 		">Dep calc (s)", ">Pure (s)", ">Hybrid (s)", ">Total (s)",
 		">Runs", ">Skip(sec)", ">Skip(logic)")
-	var results []*rsnsec.RunResult
 	var sumPure, sumTotal float64
-	for _, b := range benchmarks {
-		res, err := rsnsec.RunBenchmarkCtx(ctx, b, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", b.Name, err)
-		}
-		results = append(results, res)
+	var csvErr error
+	// The protocol itself is the shared exp.RunProtocol driver (also
+	// behind rsnserved jobs); the observer renders each finished row.
+	results, err := rsnsec.RunProtocolCtx(ctx, benchmarks, cfg, func(res *rsnsec.RunResult) {
+		b := res.Benchmark
 		if res.Errors > 0 {
-			fmt.Fprintf(os.Stderr, "warning: %s: %d runs failed to resolve\n", b.Name, res.Errors)
+			fmt.Fprintf(errw, "warning: %s: %d runs failed to resolve\n", b.Name, res.Errors)
 		}
 		t.Add(b.Name,
 			report.Int(res.ScaledStats.Registers), report.Int(res.ScaledStats.ScanFFs), report.Int(res.ScaledStats.Muxes),
@@ -357,18 +359,22 @@ func mainTable(ctx context.Context, out io.Writer, benchmarks []rsnsec.Benchmark
 			report.Int(res.Runs), report.Int(res.SkippedNoViolation), report.Int(res.SkippedInsecureLogic))
 		sumPure += res.AvgPureChanges
 		sumTotal += res.AvgTotalChanges
-		if csvW != nil {
-			if err := csvW.Write([]string{
+		if csvW != nil && csvErr == nil {
+			csvErr = csvW.Write([]string{
 				b.Name, b.Family.String(),
 				report.Int(res.ScaledStats.Registers), report.Int(res.ScaledStats.ScanFFs), report.Int(res.ScaledStats.Muxes),
 				report.Int(res.FullStats.Registers), report.Int(res.FullStats.ScanFFs), report.Int(res.FullStats.Muxes),
 				report.F2(res.AvgViolatingRegs), report.F1(res.AvgPureChanges), report.F1(res.AvgHybridChanges), report.F1(res.AvgTotalChanges),
 				report.Secs(res.AvgDepTime), report.Secs(res.AvgPureTime), report.Secs(res.AvgHybridTime), report.Secs(res.AvgTotalTime),
 				report.Int(res.Runs), report.Int(res.SkippedNoViolation), report.Int(res.SkippedInsecureLogic), report.Int(res.Errors),
-			}); err != nil {
-				return nil, err
-			}
+			})
 		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if csvErr != nil {
+		return nil, csvErr
 	}
 	t.WriteTo(out)
 	if sumTotal > 0 {

@@ -6,7 +6,9 @@
 //
 // Exit status follows the SAT-competition convention: 10 for
 // satisfiable, 20 for unsatisfiable. -debug-addr serves pprof and
-// expvar while a hard formula solves.
+// expvar while a hard formula solves. -q keeps stdout to the bare
+// "s"/"v" result lines (no "c" comments) and silences the stderr
+// diagnostics.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 
 func main() {
 	stats := flag.Bool("stats", false, "print solver statistics")
+	quiet := flag.Bool("q", false, "result lines only: no \"c\" comments on stdout, no diagnostics on stderr")
 	debugAddr := flag.String("debug-addr", "", "serve expvar, Prometheus metrics and pprof on this address during the solve")
 	flag.Parse()
 	if *debugAddr != "" {
@@ -29,7 +32,9 @@ func main() {
 			os.Exit(2)
 		}
 		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
+		}
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rsnsat [-stats] formula.cnf")
@@ -47,7 +52,7 @@ func main() {
 		os.Exit(2)
 	}
 	res := s.Solve()
-	if *stats {
+	if *stats && !*quiet {
 		fmt.Printf("c vars=%d clauses=%d decisions=%d propagations=%d conflicts=%d learnt=%d deleted=%d restarts=%d\n",
 			s.NumVars(), s.NumClauses(), s.Stats.Decisions, s.Stats.Propagations,
 			s.Stats.Conflicts, s.Stats.Learnt, s.Stats.Deleted, s.Stats.Restarts)

@@ -21,8 +21,9 @@
 // checking the incremental resolution answered from the cached fixed
 // point (items = re-propagated nodes, saved = reused ones).
 //
-// Observability flags: -q silences the informational stdout lines
-// (progress and stats already go to stderr), -trace writes the
+// Observability flags: -q silences the informational stdout lines and
+// the stderr diagnostics (debug-endpoint banner, progress, stats) —
+// full machine mode, hard errors still reach stderr; -trace writes the
 // hierarchical span journal (run > secure > stage > query) as JSONL
 // with query spans sampled per -trace-sample, and -debug-addr serves
 // live expvar, Prometheus-text metrics and pprof during the run.
@@ -98,11 +99,14 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		defer cancel()
 	}
 
-	// Informational lines go to stdout unless -q; engine progress and
-	// the stats table always go to stderr.
+	// Informational lines go to stdout, engine progress and the stats
+	// table to stderr; -q silences both (hard errors still reach
+	// stderr through main).
 	out := io.Writer(os.Stdout)
+	errw := io.Writer(os.Stderr)
 	if ec.quiet {
 		out = io.Discard
+		errw = io.Discard
 	}
 	reg := rsnsec.NewMetricsRegistry()
 	var stats *rsnsec.EngineStats
@@ -111,7 +115,7 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		stats = rsnsec.NewEngineStatsOn(reg)
 	}
 	if ec.verbose {
-		progress = func(f string, a ...any) { fmt.Fprintf(os.Stderr, "  engine: %s\n", fmt.Sprintf(f, a...)) }
+		progress = func(f string, a ...any) { fmt.Fprintf(errw, "  engine: %s\n", fmt.Sprintf(f, a...)) }
 	}
 	var tracer *rsnsec.Tracer
 	if ec.tracePath != "" {
@@ -130,7 +134,7 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 			return err
 		}
 		defer dbg.Close()
-		fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
+		fmt.Fprintf(errw, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
 	}
 	runSpan := tracer.Start(nil, "run", obs.Str("tool", "rsnsec"), obs.Int("workers", int64(ec.workers)))
 	defer runSpan.End()
@@ -353,7 +357,7 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		fmt.Fprintf(out, "secured network written to %s\n", outPath)
 	}
 	if ec.verbose && stats != nil {
-		fmt.Fprintf(os.Stderr, "engine stats:\n%s\n", stats)
+		fmt.Fprintf(errw, "engine stats:\n%s\n", stats)
 	}
 	return nil
 }

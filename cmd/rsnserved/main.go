@@ -1,0 +1,111 @@
+// Command rsnserved is the analysis-as-a-service daemon: it runs the
+// secure-data-flow method behind an HTTP+JSON API, backed by a
+// content-addressed result store and a bounded job scheduler.
+//
+// Submit analyses with POST /v1/analyses, poll GET /v1/analyses/{id},
+// fetch the finished rsnsec.run-report/v1 document from
+// GET /v1/analyses/{id}/report, cancel with DELETE /v1/analyses/{id}.
+// Identical submissions are answered from the store (or coalesced onto
+// the in-flight run); a full queue answers 429. /metrics exposes queue
+// depth, cache hit/miss counters, per-endpoint latencies and the
+// engine stage counters; -debug-addr additionally serves expvar and
+// pprof. SIGINT/SIGTERM drain gracefully: queued and running jobs
+// finish (bounded by -drain-timeout), new submissions get 503.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	rsnsec "repro"
+	"repro/internal/obs"
+	"repro/internal/serve"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "rsnserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr         = flag.String("addr", "localhost:8341", "HTTP listen address")
+		workers      = flag.Int("workers", 1, "concurrent analysis jobs")
+		engWorkers   = flag.Int("engine-workers", 0, "SAT workers per job (0 = all CPUs)")
+		queueDepth   = flag.Int("queue-depth", 64, "pending-job queue bound (429 beyond it)")
+		jobTimeout   = flag.Duration("job-timeout", 10*time.Minute, "per-job run-time cap (0 = none)")
+		drainTimeout = flag.Duration("drain-timeout", time.Minute, "graceful-shutdown budget for in-flight jobs")
+		storeDir     = flag.String("store-dir", "", "persist results as <key>.json in this directory (empty = memory only)")
+		storeEntries = flag.Int("store-entries", 0, "in-memory store entry bound (0 = 512)")
+		maxScanFFs   = flag.Int("max-scan-ffs", 0, "largest accepted analysis in scan flip-flops (0 = 1500)")
+		tracePath    = flag.String("trace", "", "write the span journal as JSONL to this file")
+		debugAddr    = flag.String("debug-addr", "", "also serve expvar and pprof on this address")
+		quiet        = flag.Bool("q", false, "suppress the startup banner and per-job log lines on stderr")
+	)
+	flag.Parse()
+
+	errw := io.Writer(os.Stderr)
+	if *quiet {
+		errw = io.Discard
+	}
+
+	reg := obs.NewRegistry()
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tf, err := os.Create(*tracePath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		tracer = rsnsec.NewTracer(rsnsec.NewJSONLTraceSink(tf))
+	}
+
+	srv, err := serve.New(serve.Config{
+		Addr:          *addr,
+		Workers:       *workers,
+		EngineWorkers: *engWorkers,
+		QueueDepth:    *queueDepth,
+		JobTimeout:    *jobTimeout,
+		Store: serve.StoreConfig{
+			Dir:        *storeDir,
+			MaxEntries: *storeEntries,
+		},
+		Limits:   serve.Limits{MaxScanFFs: *maxScanFFs},
+		Registry: reg,
+		Tracer:   tracer,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(errw, "%s %s\n", time.Now().UTC().Format(time.RFC3339), fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if *debugAddr != "" {
+		dbg, err := rsnsec.StartDebugServer(*debugAddr, reg)
+		if err != nil {
+			return err
+		}
+		defer dbg.Close()
+		fmt.Fprintf(errw, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	signal.Stop(sig) // a second signal kills the process the hard way
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	return srv.Shutdown(ctx)
+}

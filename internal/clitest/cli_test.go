@@ -1,0 +1,154 @@
+// Package clitest builds every cmd/ binary and audits their output
+// discipline: under -q, stdout carries nothing but the machine
+// artifact (a JSON report, an ICL file, DIMACS result lines — or
+// nothing at all) and stderr stays empty, so the tools compose into
+// pipelines without stray writes corrupting the stream.
+package clitest
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "rsnsec-cli")
+	if err != nil {
+		panic(err)
+	}
+	binDir = dir
+	build := exec.Command("go", "build", "-o", binDir+string(os.PathSeparator),
+		"repro/cmd/rsnbench", "repro/cmd/rsnsec", "repro/cmd/rsnsat",
+		"repro/cmd/rsngen", "repro/cmd/rsnserved")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		os.RemoveAll(binDir)
+		panic("building CLIs: " + err.Error())
+	}
+	code := m.Run()
+	os.RemoveAll(binDir)
+	os.Exit(code)
+}
+
+// runCLI executes one built binary and returns stdout and stderr
+// separately.
+func runCLI(t *testing.T, name string, args ...string) (stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, name), args...)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Run(); err != nil {
+		t.Fatalf("%s %v: %v\nstderr: %s", name, args, err, errb.String())
+	}
+	return out.String(), errb.String()
+}
+
+func TestRsnbenchQuietStdoutIsPureJSON(t *testing.T) {
+	stdout, stderr := runCLI(t, "rsnbench",
+		"-table", "main", "-benchmarks", "TreeFlat",
+		"-circuits", "1", "-specs", "2", "-ffbudget", "60",
+		"-q", "-report", "-")
+	if stderr != "" {
+		t.Errorf("rsnbench -q wrote to stderr:\n%s", stderr)
+	}
+	var report map[string]any
+	if err := json.Unmarshal([]byte(stdout), &report); err != nil {
+		t.Fatalf("rsnbench -q -report - stdout is not a single JSON document: %v\n%s", err, stdout)
+	}
+	if report["schema"] != "rsnsec.run-report/v1" {
+		t.Errorf("unexpected schema: %v", report["schema"])
+	}
+}
+
+func TestRsnbenchQuietWithoutReportIsSilent(t *testing.T) {
+	stdout, stderr := runCLI(t, "rsnbench",
+		"-table", "sizes", "-benchmarks", "TreeFlat", "-q")
+	if stdout != "" || stderr != "" {
+		t.Errorf("rsnbench -q must be silent, got stdout=%q stderr=%q", stdout, stderr)
+	}
+}
+
+func TestRsnsecQuietIsSilent(t *testing.T) {
+	stdout, stderr := runCLI(t, "rsnsec",
+		"-benchmark", "TreeFlat", "-scale", "0.1", "-q", "-v")
+	if stdout != "" {
+		t.Errorf("rsnsec -q wrote to stdout:\n%s", stdout)
+	}
+	if stderr != "" {
+		t.Errorf("rsnsec -q wrote to stderr (even with -v, quiet wins):\n%s", stderr)
+	}
+}
+
+func TestRsngenQuietStdoutIsPureICL(t *testing.T) {
+	stdout, stderr := runCLI(t, "rsngen",
+		"-benchmark", "TreeFlat", "-scale", "0.05", "-q")
+	if stderr != "" {
+		t.Errorf("rsngen -q wrote to stderr:\n%s", stderr)
+	}
+	if !strings.HasPrefix(stdout, "ScanNetwork ") {
+		t.Fatalf("rsngen stdout is not an ICL document:\n%.200s", stdout)
+	}
+}
+
+func TestRsnsatQuietStdoutIsPureDIMACS(t *testing.T) {
+	cnf := filepath.Join(t.TempDir(), "f.cnf")
+	if err := os.WriteFile(cnf, []byte("p cnf 2 2\n1 2 0\n-1 2 0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(filepath.Join(binDir, "rsnsat"), "-q", "-stats", cnf)
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	var exit *exec.ExitError
+	if !errors.As(err, &exit) || exit.ExitCode() != 10 {
+		t.Fatalf("rsnsat on a satisfiable formula: err=%v", err)
+	}
+	if errb.Len() != 0 {
+		t.Errorf("rsnsat -q wrote to stderr:\n%s", errb.String())
+	}
+	for _, line := range strings.Split(strings.TrimRight(out.String(), "\n"), "\n") {
+		if !strings.HasPrefix(line, "s ") && !strings.HasPrefix(line, "v ") {
+			t.Errorf("rsnsat -q emitted a non-result line: %q", line)
+		}
+	}
+}
+
+func TestRsnservedQuietIsSilent(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "rsnserved"),
+		"-q", "-addr", "localhost:0", "-drain-timeout", "2s")
+	var out, errb bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let it bind and settle
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("rsnserved did not exit cleanly on SIGTERM: %v\nstderr: %s", err, errb.String())
+		}
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		t.Fatal("rsnserved ignored SIGTERM")
+	}
+	if out.Len() != 0 || errb.Len() != 0 {
+		t.Errorf("rsnserved -q must be silent, got stdout=%q stderr=%q", out.String(), errb.String())
+	}
+}

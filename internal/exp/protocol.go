@@ -1,0 +1,86 @@
+package exp
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/engine"
+	"repro/internal/obs"
+	"repro/internal/rsn"
+)
+
+// RunProtocol executes the Table I protocol over a benchmark list —
+// the shared driver behind cmd/rsnbench's main table and the
+// rsnserved analysis jobs, so the two can never drift. Benchmarks run
+// sequentially (each one parallelizes internally over cfg.Parallel
+// circuit workers); observe, when non-nil, receives every finished
+// result in order, letting a CLI render rows incrementally while a
+// server ignores it. The returned slice holds one result per
+// benchmark; on error the slice covers the benchmarks finished before
+// the failure.
+func RunProtocol(ctx context.Context, benchmarks []bench.Benchmark, cfg RunConfig, observe func(*Result)) ([]*Result, error) {
+	results := make([]*Result, 0, len(benchmarks))
+	for _, b := range benchmarks {
+		res, err := RunBenchmarkCtx(ctx, b, cfg)
+		if err != nil {
+			return results, fmt.Errorf("%s: %w", b.Name, err)
+		}
+		results = append(results, res)
+		if observe != nil {
+			observe(res)
+		}
+	}
+	return results, nil
+}
+
+// SecureReport wraps the outcome of one core.Secure run as a one-row
+// schema-versioned run report, so single-network analyses (the
+// rsnserved inline-ICL jobs) emit the same rsnsec.run-report/v1
+// documents as full protocol runs. An insecure-logic outcome reports
+// zero runs with SkippedInsecureLogic set, mirroring the protocol's
+// exclusion rule. Like BuildReport, it leaves StartedAt unset so
+// reports of identical runs stay byte-comparable.
+func SecureReport(tool, name string, mode dep.Mode, st rsn.Stats, rep *core.Report, stats *engine.Stats) *obs.RunReport {
+	row := obs.BenchmarkReport{
+		Name:   name,
+		Family: "inline",
+
+		Registers: st.Registers,
+		ScanFFs:   st.ScanFFs,
+		Muxes:     st.Muxes,
+
+		FullRegisters: st.Registers,
+		FullScanFFs:   st.ScanFFs,
+		FullMuxes:     st.Muxes,
+	}
+	if rep.InsecureLogic {
+		row.SkippedInsecureLogic = 1
+	} else {
+		row.Runs = 1
+		row.AvgViolatingRegs = float64(rep.ViolatingRegsBefore)
+		row.AvgPureChanges = float64(rep.PureChanges)
+		row.AvgHybridChanges = float64(rep.HybridChanges)
+		row.AvgTotalChanges = float64(rep.TotalChanges())
+		row.AvgDepNS = int64(rep.Times.DependencyCalc)
+		row.AvgPureNS = int64(rep.Times.PureStage)
+		row.AvgHybridNS = int64(rep.Times.HybridStage)
+		row.AvgTotalNS = int64(rep.Times.Total)
+	}
+	r := &obs.RunReport{
+		Schema: obs.ReportSchema,
+		Tool:   tool,
+		Config: obs.ReportConfig{
+			Table:    "secure",
+			Mode:     fmt.Sprint(mode),
+			Circuits: 1,
+			Specs:    1,
+		},
+		Benchmarks: []obs.BenchmarkReport{row},
+	}
+	r.Stages = stats.StageReports()
+	r.ComputeTotals()
+	return r
+}

@@ -1,0 +1,160 @@
+package netlist
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+)
+
+// CanonVersion is the versioned prefix of the canonical serialization.
+// It is hashed before any payload, so digests of different encoding
+// generations can never collide. Bump the suffix on any change to the
+// framing or to a structure's AppendCanonical field order — the digest
+// is a cache key (internal/serve addresses analysis results by it), and
+// a silent format drift would alias incompatible results.
+const CanonVersion = "rsnsec.canon/v1"
+
+// Hasher computes the canonical SHA-256 digest of analysis inputs.
+//
+// The encoding is framed, not concatenative: every primitive writes a
+// one-byte tag followed by a fixed- or length-prefixed payload, so
+// adjacent fields cannot alias each other ("ab","c" hashes differently
+// from "a","bc") and absent optional parts hash differently from empty
+// ones. Structures serialize their fields in a fixed, documented order
+// (netlist.Netlist, rsn.Network and secspec.Spec implement
+// AppendCanonical); maps never feed the hasher.
+type Hasher struct {
+	h   hash.Hash
+	buf [binary.MaxVarintLen64 + 1]byte
+}
+
+// NewHasher returns a hasher seeded with the CanonVersion prefix.
+func NewHasher() *Hasher {
+	h := &Hasher{h: sha256.New()}
+	h.Str(CanonVersion)
+	return h
+}
+
+// writeTagged writes tag, then payload.
+func (h *Hasher) writeTagged(tag byte, payload []byte) {
+	h.buf[0] = tag
+	h.h.Write(h.buf[:1])
+	h.h.Write(payload)
+}
+
+// Str hashes a length-prefixed string.
+func (h *Hasher) Str(s string) {
+	h.buf[0] = 'S'
+	n := binary.PutUvarint(h.buf[1:], uint64(len(s)))
+	h.h.Write(h.buf[:1+n])
+	h.h.Write([]byte(s))
+}
+
+// Int hashes a signed integer.
+func (h *Hasher) Int(v int64) {
+	h.buf[0] = 'I'
+	n := binary.PutVarint(h.buf[1:], v)
+	h.h.Write(h.buf[:1+n])
+}
+
+// Uint hashes an unsigned integer.
+func (h *Hasher) Uint(v uint64) {
+	h.buf[0] = 'U'
+	n := binary.PutUvarint(h.buf[1:], v)
+	h.h.Write(h.buf[:1+n])
+}
+
+// Float hashes a float64 by its IEEE-754 bit pattern, so canonical
+// digests never depend on decimal formatting.
+func (h *Hasher) Float(v float64) {
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], math.Float64bits(v))
+	h.writeTagged('F', p[:])
+}
+
+// Bool hashes a boolean.
+func (h *Hasher) Bool(v bool) {
+	if v {
+		h.writeTagged('B', []byte{1})
+	} else {
+		h.writeTagged('B', []byte{0})
+	}
+}
+
+// Section marks the start of a named substructure. Every
+// AppendCanonical implementation opens with a Section naming its type,
+// so digests of different structure kinds can never collide even when
+// their field payloads happen to agree.
+func (h *Hasher) Section(name string) {
+	h.buf[0] = 'T'
+	h.h.Write(h.buf[:1])
+	h.Str(name)
+}
+
+// List marks a list of n elements; the elements follow.
+func (h *Hasher) List(n int) {
+	h.buf[0] = 'L'
+	h.h.Write(h.buf[:1])
+	h.Uint(uint64(n))
+}
+
+// Sum returns the digest of everything hashed so far. The hasher
+// remains usable; later writes extend the stream.
+func (h *Hasher) Sum() [sha256.Size]byte {
+	var out [sha256.Size]byte
+	h.h.Sum(out[:0])
+	return out
+}
+
+// SumHex returns Sum as a lowercase hex string — the content-address
+// form used as store key and HTTP-visible identifier.
+func (h *Hasher) SumHex() string {
+	sum := h.Sum()
+	return hex.EncodeToString(sum[:])
+}
+
+// AppendCanonical hashes the netlist in canonical form: node table
+// (kind, gate, fan-in, name) in id order, flip-flop table (node, D,
+// module, name) in id order, primary inputs, then module names. All
+// orders are the construction orders the ids already fix, so two
+// structurally identical netlists built the same way hash identically
+// regardless of how they were assembled in memory.
+func (n *Netlist) AppendCanonical(h *Hasher) {
+	h.Section("netlist")
+	h.List(len(n.Nodes))
+	for i := range n.Nodes {
+		nd := &n.Nodes[i]
+		h.Int(int64(nd.Kind))
+		h.Int(int64(nd.Gate))
+		h.Str(nd.Name)
+		h.List(len(nd.Fanin))
+		for _, f := range nd.Fanin {
+			h.Int(int64(f))
+		}
+	}
+	h.List(len(n.FFs))
+	for i := range n.FFs {
+		ff := &n.FFs[i]
+		h.Int(int64(ff.Node))
+		h.Int(int64(ff.D))
+		h.Int(int64(ff.Module))
+		h.Str(ff.Name)
+	}
+	h.List(len(n.Inputs))
+	for _, in := range n.Inputs {
+		h.Int(int64(in))
+	}
+	h.List(len(n.Modules))
+	for _, m := range n.Modules {
+		h.Str(m)
+	}
+}
+
+// CanonicalHash returns the canonical digest of one netlist alone.
+func CanonicalHash(n *Netlist) string {
+	h := NewHasher()
+	n.AppendCanonical(h)
+	return h.SumHex()
+}

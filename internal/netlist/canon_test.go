@@ -1,0 +1,101 @@
+package netlist
+
+import "testing"
+
+// canonFixture builds a small fixed circuit: two modules, one input,
+// one AND gate, two flip-flops.
+func canonFixture() *Netlist {
+	n := New()
+	n.AddModule("m0")
+	n.AddModule("m1")
+	in := n.AddInput("pi0")
+	f0 := n.AddFF("m0.f0", 0)
+	f1 := n.AddFF("m1.f0", 1)
+	g := n.AddGate(And, in, n.FFs[f0].Node)
+	n.SetFFInput(f0, in)
+	n.SetFFInput(f1, g)
+	return n
+}
+
+// goldenNetlistHash pins the canonical digest of canonFixture under
+// CanonVersion "rsnsec.canon/v1". The digest is the analysis cache key
+// of internal/serve: if this test fails, the canonical encoding changed
+// and CanonVersion MUST be bumped (which rewrites this constant) so old
+// persisted results are not aliased.
+const goldenNetlistHash = "c35e9c0b5942b656d2e1da20b5b6ca96fe1be1ffe621dc2f43a5eb3b19a60c88"
+
+func TestCanonicalHashGolden(t *testing.T) {
+	got := CanonicalHash(canonFixture())
+	if got != goldenNetlistHash {
+		t.Fatalf("canonical netlist hash drifted:\n got  %s\n want %s\nbump CanonVersion if the encoding change is intended", got, goldenNetlistHash)
+	}
+}
+
+func TestCanonicalHashStable(t *testing.T) {
+	a, b := CanonicalHash(canonFixture()), CanonicalHash(canonFixture())
+	if a != b {
+		t.Fatalf("identical builds hash differently: %s vs %s", a, b)
+	}
+}
+
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := CanonicalHash(canonFixture())
+	mutations := map[string]func(n *Netlist){
+		"rename node":   func(n *Netlist) { n.Nodes[0].Name = "pi0x" },
+		"rename ff":     func(n *Netlist) { n.FFs[0].Name = "other" },
+		"move module":   func(n *Netlist) { n.FFs[1].Module = 0 },
+		"rewire d":      func(n *Netlist) { n.FFs[1].D = n.FFs[0].Node },
+		"gate type":     func(n *Netlist) { n.Nodes[len(n.Nodes)-1].Gate = Or },
+		"module rename": func(n *Netlist) { n.Modules[1] = "m1x" },
+	}
+	for name, mutate := range mutations {
+		n := canonFixture()
+		mutate(n)
+		if got := CanonicalHash(n); got == base {
+			t.Errorf("%s: hash unchanged after mutation", name)
+		}
+	}
+}
+
+// TestHasherFraming checks that adjacent fields cannot alias: the
+// framed encoding distinguishes ("ab","c") from ("a","bc") and an
+// empty string from an absent one.
+func TestHasherFraming(t *testing.T) {
+	sum := func(parts ...string) string {
+		h := NewHasher()
+		for _, p := range parts {
+			h.Str(p)
+		}
+		return h.SumHex()
+	}
+	if sum("ab", "c") == sum("a", "bc") {
+		t.Error(`("ab","c") aliases ("a","bc")`)
+	}
+	if sum("a") == sum("a", "") {
+		t.Error(`("a") aliases ("a","")`)
+	}
+	h1, h2 := NewHasher(), NewHasher()
+	h1.Int(1)
+	h2.Uint(1)
+	if h1.SumHex() == h2.SumHex() {
+		t.Error("Int(1) aliases Uint(1)")
+	}
+}
+
+// TestHasherSumIsIncremental checks Sum does not finalize the stream.
+func TestHasherSumIsIncremental(t *testing.T) {
+	h := NewHasher()
+	h.Str("a")
+	first := h.SumHex()
+	h.Str("b")
+	second := h.SumHex()
+	if first == second {
+		t.Fatal("Sum after more writes did not change")
+	}
+	h2 := NewHasher()
+	h2.Str("a")
+	h2.Str("b")
+	if h2.SumHex() != second {
+		t.Fatal("Sum mid-stream perturbed the digest")
+	}
+}

@@ -1,0 +1,56 @@
+package rsn
+
+import "repro/internal/netlist"
+
+// AppendCanonical hashes the network in canonical form: name, module
+// table, register table (name, length, scan input, module,
+// capture/update links) in id order, mux table (name, inputs) in id
+// order, then the scan-out source. Together with the canonical forms of
+// the attached circuit and the security specification this is the
+// content address of an analysis (see internal/serve); bump
+// netlist.CanonVersion when changing the field order.
+func (nw *Network) AppendCanonical(h *netlist.Hasher) {
+	h.Section("rsn")
+	h.Str(nw.Name)
+	h.List(len(nw.Modules))
+	for _, m := range nw.Modules {
+		h.Str(m)
+	}
+	ref := func(r Ref) {
+		h.Int(int64(r.Kind))
+		h.Int(int64(r.ID))
+	}
+	h.List(len(nw.Registers))
+	for i := range nw.Registers {
+		r := &nw.Registers[i]
+		h.Str(r.Name)
+		h.Int(int64(r.Len))
+		ref(r.In)
+		h.Int(int64(r.Module))
+		h.List(len(r.Capture))
+		for _, f := range r.Capture {
+			h.Int(int64(f))
+		}
+		h.List(len(r.Update))
+		for _, f := range r.Update {
+			h.Int(int64(f))
+		}
+	}
+	h.List(len(nw.Muxes))
+	for i := range nw.Muxes {
+		m := &nw.Muxes[i]
+		h.Str(m.Name)
+		h.List(len(m.Inputs))
+		for _, in := range m.Inputs {
+			ref(in)
+		}
+	}
+	ref(nw.OutSrc)
+}
+
+// CanonicalHash returns the canonical digest of one network alone.
+func CanonicalHash(nw *Network) string {
+	h := netlist.NewHasher()
+	nw.AppendCanonical(h)
+	return h.SumHex()
+}

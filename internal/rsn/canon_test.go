@@ -1,0 +1,74 @@
+package rsn
+
+import (
+	"testing"
+
+	"repro/internal/netlist"
+)
+
+// canonFixture builds a small fixed network: two registers behind a
+// bypass mux, one capture link.
+func canonFixture() *Network {
+	nw := New("canon")
+	m0 := nw.AddModule("m0")
+	m1 := nw.AddModule("m1")
+	r0 := nw.AddRegister("R0", 2, m0)
+	r1 := nw.AddRegister("R1", 1, m1)
+	nw.Connect(r0, ScanIn)
+	nw.Connect(r1, Reg(r0))
+	mx := nw.AddMux("M0", Reg(r1), Reg(r0))
+	nw.ConnectOut(Mx(mx))
+	nw.SetCapture(r0, 0, netlist.FFID(3))
+	nw.SetUpdate(r1, 0, netlist.FFID(1))
+	return nw
+}
+
+// goldenNetworkHash pins the canonical digest of canonFixture under
+// netlist.CanonVersion "rsnsec.canon/v1" — the RSN part of the
+// internal/serve cache key. A drift here means the canonical encoding
+// changed and CanonVersion must be bumped.
+const goldenNetworkHash = "b6094d821e3db87ac907c70b4b65bcb73e6455f5b0fcc7d63552cf9cf9d5520e"
+
+func TestCanonicalHashGolden(t *testing.T) {
+	got := CanonicalHash(canonFixture())
+	if got != goldenNetworkHash {
+		t.Fatalf("canonical network hash drifted:\n got  %s\n want %s\nbump netlist.CanonVersion if the encoding change is intended", got, goldenNetworkHash)
+	}
+}
+
+func TestCanonicalHashCloneStable(t *testing.T) {
+	nw := canonFixture()
+	if CanonicalHash(nw) != CanonicalHash(nw.Clone()) {
+		t.Fatal("Clone hashes differently from the original")
+	}
+}
+
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := CanonicalHash(canonFixture())
+	mutations := map[string]func(nw *Network){
+		"rename":       func(nw *Network) { nw.Name = "x" },
+		"register len": func(nw *Network) { nw.Registers[0].Len = 3 },
+		"rewire input": func(nw *Network) { nw.Registers[1].In = ScanIn },
+		"capture link": func(nw *Network) { nw.Registers[0].Capture[0] = netlist.NoFF },
+		"update link":  func(nw *Network) { nw.Registers[1].Update[0] = netlist.FFID(2) },
+		"mux input":    func(nw *Network) { nw.Muxes[0].Inputs[0] = ScanIn },
+		"out source":   func(nw *Network) { nw.OutSrc = Reg(0) },
+		"module":       func(nw *Network) { nw.Registers[1].Module = 0 },
+	}
+	for name, mutate := range mutations {
+		nw := canonFixture()
+		mutate(nw)
+		if CanonicalHash(nw) == base {
+			t.Errorf("%s: hash unchanged after mutation", name)
+		}
+	}
+}
+
+// TestCanonicalHashDistinguishesKinds ensures a network never hashes
+// like a netlist even over equal payload shapes (the Section tags
+// differ).
+func TestCanonicalHashDistinguishesKinds(t *testing.T) {
+	if CanonicalHash(New("x")) == netlist.CanonicalHash(netlist.New()) {
+		t.Fatal("empty network aliases empty netlist")
+	}
+}

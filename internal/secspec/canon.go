@@ -1,0 +1,28 @@
+package secspec
+
+import "repro/internal/netlist"
+
+// AppendCanonical hashes the specification in canonical form: the
+// category-universe size, then per module (in module-id order) its
+// trust category and accepted-category bit set. The encoding feeds the
+// content address of an analysis (see internal/serve); bump
+// netlist.CanonVersion when changing the field order.
+func (s *Spec) AppendCanonical(h *netlist.Hasher) {
+	h.Section("secspec")
+	h.Int(int64(s.NumCategories))
+	h.List(len(s.Trust))
+	for _, c := range s.Trust {
+		h.Int(int64(c))
+	}
+	h.List(len(s.Accepts))
+	for _, a := range s.Accepts {
+		h.Uint(uint64(a))
+	}
+}
+
+// CanonicalHash returns the canonical digest of one specification.
+func CanonicalHash(s *Spec) string {
+	h := netlist.NewHasher()
+	s.AppendCanonical(h)
+	return h.SumHex()
+}

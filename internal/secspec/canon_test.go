@@ -1,0 +1,43 @@
+package secspec
+
+import "testing"
+
+func canonFixture() *Spec {
+	s := New(3, 4)
+	s.SetTrust(1, 2)
+	s.SetAccepts(0, NewCatSet(0, 1))
+	s.SetAccepts(2, NewCatSet(3))
+	return s
+}
+
+// goldenSpecHash pins the canonical digest of canonFixture under
+// netlist.CanonVersion "rsnsec.canon/v1" — the specification part of
+// the internal/serve cache key. A drift here means the canonical
+// encoding changed and CanonVersion must be bumped.
+const goldenSpecHash = "9a3006c57bd6c5bde46e2bb83b2b6dac6d018472251b8e8650c8ed0b0ce5faf1"
+
+func TestCanonicalHashGolden(t *testing.T) {
+	got := CanonicalHash(canonFixture())
+	if got != goldenSpecHash {
+		t.Fatalf("canonical spec hash drifted:\n got  %s\n want %s\nbump netlist.CanonVersion if the encoding change is intended", got, goldenSpecHash)
+	}
+}
+
+func TestCanonicalHashSensitivity(t *testing.T) {
+	base := CanonicalHash(canonFixture())
+	mutations := map[string]func(s *Spec){
+		"trust":      func(s *Spec) { s.SetTrust(0, 1) },
+		"accepts":    func(s *Spec) { s.SetAccepts(0, NewCatSet(0)) },
+		"categories": func(s *Spec) { s.NumCategories = 5 },
+	}
+	for name, mutate := range mutations {
+		s := canonFixture()
+		mutate(s)
+		if CanonicalHash(s) == base {
+			t.Errorf("%s: hash unchanged after mutation", name)
+		}
+	}
+	if CanonicalHash(New(3, 4)) == base {
+		t.Error("unrestricted spec aliases the fixture")
+	}
+}

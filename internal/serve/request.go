@@ -1,0 +1,299 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dep"
+	"repro/internal/exp"
+	"repro/internal/icl"
+	"repro/internal/netlist"
+	"repro/internal/rsn"
+	"repro/internal/secspec"
+)
+
+// AnalysisRequest is the JSON body of POST /v1/analyses. Exactly one
+// input form is given:
+//
+//   - Benchmark names a Table I catalog network; the server runs the
+//     paper's protocol (Circuits × Specs random pairs) on it, exactly
+//     like rsnbench -table main.
+//   - ICL carries an inline network description whose module
+//     annotations embed the security specification; the server runs
+//     one full Secure pipeline on it. Bench optionally carries the
+//     .bench circuit backing the network's instrument links.
+//
+// Zero-valued protocol parameters fall back to the server's defaults;
+// values beyond the server's caps are rejected (400), bounding the
+// cost a single request can demand.
+type AnalysisRequest struct {
+	Benchmark string `json:"benchmark,omitempty"`
+	ICL       string `json:"icl,omitempty"`
+	Bench     string `json:"bench,omitempty"`
+
+	// Protocol parameters (Benchmark form only).
+	Circuits      int     `json:"circuits,omitempty"`
+	Specs         int     `json:"specs,omitempty"`
+	TargetScanFFs int     `json:"target_scan_ffs,omitempty"`
+	Scale         float64 `json:"scale,omitempty"`
+	Seed          int64   `json:"seed,omitempty"`
+
+	// Mode selects "exact" (default) or "structural" dependencies.
+	Mode string `json:"mode,omitempty"`
+
+	// Priority orders the queue: higher runs first (FIFO within a
+	// priority).
+	Priority int `json:"priority,omitempty"`
+	// TimeoutMS caps this job's run time; the server's job timeout is
+	// an upper bound.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// analysis is a resolved, validated submission: the materialized
+// structures, the derived run configuration and the content address.
+type analysis struct {
+	key   string
+	label string
+
+	// Benchmark form.
+	benchmark *bench.Benchmark
+	cfg       exp.RunConfig
+
+	// Inline-ICL form.
+	nw       *rsn.Network
+	circuit  *netlist.Netlist
+	internal []netlist.FFID
+	spec     *secspec.Spec
+	mode     dep.Mode
+}
+
+func (a *analysis) timeout(req *AnalysisRequest) time.Duration {
+	if req.TimeoutMS <= 0 {
+		return 0
+	}
+	return time.Duration(req.TimeoutMS) * time.Millisecond
+}
+
+// resolve validates the request against the server's limits,
+// materializes the analysis inputs and computes the content address —
+// the SHA-256 over the canonical serialization (netlist.Hasher) of
+// every result-determining input. Engine concurrency (worker counts)
+// is deliberately NOT part of the key: results are deterministic at
+// any worker count, so runs at different parallelism still share one
+// cache slot.
+func (s *Server) resolve(req *AnalysisRequest) (*analysis, error) {
+	mode := dep.Exact
+	switch req.Mode {
+	case "", "exact":
+		req.Mode = "exact"
+	case "structural":
+		mode = dep.StructuralApprox
+	default:
+		return nil, fmt.Errorf("unknown mode %q (want exact or structural)", req.Mode)
+	}
+	switch {
+	case req.Benchmark != "" && req.ICL != "":
+		return nil, fmt.Errorf("benchmark and icl are mutually exclusive")
+	case req.Benchmark != "":
+		return s.resolveBenchmark(req, mode)
+	case req.ICL != "":
+		return s.resolveICL(req, mode)
+	default:
+		return nil, fmt.Errorf("one of benchmark or icl is required")
+	}
+}
+
+// resolveBenchmark materializes a catalog protocol run.
+func (s *Server) resolveBenchmark(req *AnalysisRequest, mode dep.Mode) (*analysis, error) {
+	b, ok := bench.ByName(req.Benchmark)
+	if !ok {
+		return nil, fmt.Errorf("unknown benchmark %q", req.Benchmark)
+	}
+	lim := s.cfg.limits()
+	if req.Circuits == 0 {
+		req.Circuits = lim.DefaultCircuits
+	}
+	if req.Specs == 0 {
+		req.Specs = lim.DefaultSpecs
+	}
+	if req.Scale == 0 && req.TargetScanFFs == 0 {
+		req.TargetScanFFs = lim.DefaultScanFFs
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	switch {
+	case req.Circuits < 0 || req.Circuits > lim.MaxCircuits:
+		return nil, fmt.Errorf("circuits %d out of range (1..%d)", req.Circuits, lim.MaxCircuits)
+	case req.Specs < 0 || req.Specs > lim.MaxSpecs:
+		return nil, fmt.Errorf("specs %d out of range (1..%d)", req.Specs, lim.MaxSpecs)
+	case req.TargetScanFFs < 0 || req.TargetScanFFs > lim.MaxScanFFs:
+		return nil, fmt.Errorf("target_scan_ffs %d out of range (1..%d)", req.TargetScanFFs, lim.MaxScanFFs)
+	case req.Scale < 0 || req.Scale > 1:
+		return nil, fmt.Errorf("scale %g out of range (0..1]", req.Scale)
+	}
+	cfg := exp.DefaultRunConfig()
+	cfg.Circuits = req.Circuits
+	cfg.Specs = req.Specs
+	cfg.TargetScanFFs = req.TargetScanFFs
+	cfg.Scale = req.Scale
+	cfg.Seed = req.Seed
+	cfg.Mode = mode
+	if req.Scale > 0 {
+		// An explicit scale must not exceed the scan-FF cap either.
+		if ffs := b.Build(req.Scale).NumScanFFs(); ffs > lim.MaxScanFFs {
+			return nil, fmt.Errorf("scale %g yields %d scan FFs (cap %d)", req.Scale, ffs, lim.MaxScanFFs)
+		}
+	}
+
+	a := &analysis{label: b.Name, benchmark: &b, cfg: cfg}
+	h := netlist.NewHasher()
+	h.Section("serve.analysis")
+	h.Str("benchmark")
+	// The materialized network at the effective scale IS part of the
+	// key: a catalog change that alters the generated structure must
+	// miss the cache.
+	nw := b.Build(cfg.Scale)
+	if cfg.Scale == 0 {
+		nw = b.Build(b.ScaleForTarget(cfg.TargetScanFFs))
+	}
+	nw.AppendCanonical(h)
+	h.Section("protocol")
+	h.Str(b.Name)
+	h.Int(cfg.Seed)
+	h.Int(int64(cfg.Circuits))
+	h.Int(int64(cfg.Specs))
+	h.Int(int64(cfg.TargetScanFFs))
+	h.Float(cfg.Scale)
+	h.Str(fmt.Sprint(cfg.Mode))
+	hashCircuitConfig(h, cfg.Circuit)
+	hashSpecGen(h, cfg.SpecGen)
+	a.key = h.SumHex()
+	return a, nil
+}
+
+// hashCircuitConfig pins the circuit-attachment parameters that shape
+// the generated circuits (and therefore the results).
+func hashCircuitConfig(h *netlist.Hasher, c bench.CircuitConfig) {
+	h.Section("circuit-config")
+	h.Int(int64(c.MaxPortsPerModule))
+	h.Int(int64(c.InternalPerModule))
+	h.Float(c.InternalFrac)
+	h.Int(int64(c.MaxInternalPerModule))
+	h.Float(c.CrossEdgesPerModule)
+	h.Float(c.ReconvergenceRate)
+	h.Float(c.DataSourceFrac)
+	h.Int(int64(c.Depth))
+	h.Int(int64(c.Inputs))
+}
+
+// hashSpecGen pins the random-specification parameters.
+func hashSpecGen(h *netlist.Hasher, g secspec.GenConfig) {
+	h.Section("specgen")
+	h.Int(int64(g.NumCategories))
+	h.Float(g.ConfidentialFrac)
+	h.Float(g.UntrustedFrac)
+}
+
+// resolveICL parses an inline submission: the network and its embedded
+// specification, plus the optional .bench circuit backing instrument
+// links. Without a circuit, referenced instrument flip-flops are
+// synthesized as hold flip-flops (like rsnsec -icl without -bench), so
+// link-carrying files analyze standalone.
+func (s *Server) resolveICL(req *AnalysisRequest, mode dep.Mode) (*analysis, error) {
+	lim := s.cfg.limits()
+	a := &analysis{mode: mode}
+	var lookup func(string) (netlist.FFID, bool)
+	var lazy *netlist.Netlist
+	if req.Bench != "" {
+		circuit, err := netlist.ParseBench(strings.NewReader(req.Bench))
+		if err != nil {
+			return nil, fmt.Errorf("bench: %w", err)
+		}
+		a.circuit = circuit
+		byName := make(map[string]netlist.FFID, len(circuit.FFs))
+		linked := make([]bool, len(circuit.FFs))
+		for i := range circuit.FFs {
+			byName[circuit.FFs[i].Name] = netlist.FFID(i)
+		}
+		lookup = func(name string) (netlist.FFID, bool) {
+			id, ok := byName[name]
+			if ok {
+				linked[id] = true
+			}
+			return id, ok
+		}
+		defer func() {
+			// Flip-flops never referenced by a capture/update link are
+			// internal: the dependency analysis bridges over them.
+			for i, l := range linked {
+				if !l {
+					a.internal = append(a.internal, netlist.FFID(i))
+				}
+			}
+		}()
+	} else {
+		// No circuit given: synthesize a hold flip-flop for every
+		// instrument name the file references.
+		lazy = netlist.New()
+		byName := map[string]netlist.FFID{}
+		lookup = func(name string) (netlist.FFID, bool) {
+			if id, ok := byName[name]; ok {
+				return id, true
+			}
+			f := lazy.AddFF(name, 0)
+			lazy.SetFFInput(f, lazy.FFs[f].Node)
+			byName[name] = f
+			return f, true
+		}
+	}
+	nw, spec, err := icl.ParseNetworkAndSpec(req.ICL, lookup)
+	if err != nil {
+		return nil, fmt.Errorf("icl: %w", err)
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("icl: no embedded security specification (annotate modules with Trust/Accepts)")
+	}
+	if ffs := nw.NumScanFFs(); ffs > lim.MaxScanFFs {
+		return nil, fmt.Errorf("network has %d scan FFs (cap %d)", ffs, lim.MaxScanFFs)
+	}
+	a.nw = nw
+	a.spec = spec
+	if a.circuit == nil {
+		// The synthesized circuit needs the network's module table;
+		// hold flip-flops re-add in lookup order so their IDs match the
+		// links just parsed. Modules resolve by "module." name prefix.
+		a.circuit = netlist.New()
+		for _, name := range nw.Modules {
+			a.circuit.AddModule(name)
+		}
+		for i := range lazy.FFs {
+			name := lazy.FFs[i].Name
+			mod := 0
+			for mi, mn := range nw.Modules {
+				if strings.HasPrefix(name, mn+".") {
+					mod = mi
+					break
+				}
+			}
+			f := a.circuit.AddFF(name, mod)
+			a.circuit.SetFFInput(f, a.circuit.FFs[f].Node)
+		}
+	}
+	a.label = nw.Name
+	h := netlist.NewHasher()
+	h.Section("serve.analysis")
+	h.Str("icl")
+	a.circuit.AppendCanonical(h)
+	h.List(len(a.internal))
+	for _, f := range a.internal {
+		h.Int(int64(f))
+	}
+	nw.AppendCanonical(h)
+	spec.AppendCanonical(h)
+	h.Str(fmt.Sprint(mode))
+	a.key = h.SumHex()
+	return a, nil
+}

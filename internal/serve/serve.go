@@ -1,0 +1,278 @@
+// Package serve is the rsnserved analysis service: a daemon that runs
+// the secure-data-flow method (and the Table I experimental protocol)
+// behind an HTTP+JSON API, backed by a content-addressed result store
+// and a bounded job scheduler.
+//
+// The pieces compose as
+//
+//	HTTP API  ──►  content address (canonical SHA-256 of the inputs)
+//	   │                 │
+//	   │           store hit? ── yes ──► finished record, cached report
+//	   │                 │ no
+//	   └──────►  scheduler (coalesce identical in-flight jobs,
+//	             bounded queue with priority, 429 backpressure)
+//	                     │
+//	              worker pool ──► internal/exp / internal/core
+//	                     │
+//	              store.Put(key, report) — rsnsec.run-report/v1
+//
+// Analysis results (counts, changes, violations) are deterministic by
+// construction, which is what makes content addressing sound; the
+// byte-identical responses for repeated submissions come from serving
+// the stored document instead of re-running.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/exp"
+	"repro/internal/obs"
+)
+
+// Limits bounds and defaults the per-request protocol parameters.
+type Limits struct {
+	// DefaultCircuits/DefaultSpecs/DefaultScanFFs fill zero-valued
+	// submissions; defaults are deliberately small — a service answers
+	// many users, so the heavyweight full protocol must be asked for
+	// explicitly.
+	DefaultCircuits int
+	DefaultSpecs    int
+	DefaultScanFFs  int
+	// MaxCircuits/MaxSpecs/MaxScanFFs reject submissions that would
+	// monopolize the workers.
+	MaxCircuits int
+	MaxSpecs    int
+	MaxScanFFs  int
+}
+
+// Config parameterizes a Server. The zero value is usable: ephemeral
+// port, memory-only store, one worker.
+type Config struct {
+	// Addr is the listen address; "" means "localhost:0" (ephemeral).
+	Addr string
+	// Workers is the number of concurrent analysis jobs; <= 0 uses 1.
+	Workers int
+	// EngineWorkers bounds each job's inner SAT worker pool; <= 0 lets
+	// the engine size itself.
+	EngineWorkers int
+	// QueueDepth bounds the pending-job queue; <= 0 uses 64.
+	QueueDepth int
+	// JobTimeout caps each job's run time; 0 means no cap.
+	JobTimeout time.Duration
+	// FinishedJobs bounds the retained finished-job records; <= 0 uses
+	// 1024.
+	FinishedJobs int
+	// Store sizes the content-addressed result store.
+	Store StoreConfig
+	// Limits bounds request parameters; zero fields use the package
+	// defaults (see limits).
+	Limits Limits
+	// Registry receives the server's metrics (request latencies, queue
+	// depth, store hit/miss counters, engine stage counters); nil
+	// creates a private registry.
+	Registry *obs.Registry
+	// Tracer, when non-nil, receives hierarchical spans:
+	// server > job > (engine stages).
+	Tracer *obs.Tracer
+	// Logf, when non-nil, receives one line per lifecycle event
+	// (startup, job transitions, shutdown).
+	Logf func(format string, args ...any)
+}
+
+// limits resolves the configured bounds against the defaults.
+func (c *Config) limits() Limits {
+	l := c.Limits
+	if l.DefaultCircuits <= 0 {
+		l.DefaultCircuits = 2
+	}
+	if l.DefaultSpecs <= 0 {
+		l.DefaultSpecs = 4
+	}
+	if l.DefaultScanFFs <= 0 {
+		l.DefaultScanFFs = 120
+	}
+	if l.MaxCircuits <= 0 {
+		l.MaxCircuits = 16
+	}
+	if l.MaxSpecs <= 0 {
+		l.MaxSpecs = 64
+	}
+	if l.MaxScanFFs <= 0 {
+		l.MaxScanFFs = 1500
+	}
+	return l
+}
+
+// Server is the rsnserved daemon: HTTP API + scheduler + store.
+type Server struct {
+	cfg    Config
+	reg    *obs.Registry
+	store  *Store
+	sched  *Scheduler
+	stats  *engine.Stats
+	tracer *obs.Tracer
+	root   *obs.Span
+
+	httpSrv *http.Server
+	ln      net.Listener
+
+	// runJob executes one resolved analysis; a field so tests can
+	// substitute controllable workloads for the real engine.
+	runJob runFunc
+}
+
+// New builds a Server (scheduler workers start immediately; the HTTP
+// listener starts in Start).
+func New(cfg Config) (*Server, error) {
+	if cfg.Registry == nil {
+		cfg.Registry = obs.NewRegistry()
+	}
+	store, err := NewStore(cfg.Store, cfg.Registry)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:    cfg,
+		reg:    cfg.Registry,
+		store:  store,
+		tracer: cfg.Tracer,
+		// Engine stage counters aggregate across jobs on the server
+		// registry (engine_stage_*_total{stage=...}): per-job numbers
+		// stay out of the report documents (they would break
+		// byte-identical caching) but remain observable live.
+		stats: engine.NewStatsOn(cfg.Registry),
+	}
+	s.runJob = s.execute
+	s.sched = NewScheduler(SchedulerConfig{
+		Workers:      cfg.Workers,
+		QueueDepth:   cfg.QueueDepth,
+		JobTimeout:   cfg.JobTimeout,
+		FinishedJobs: cfg.FinishedJobs,
+	}, cfg.Registry, func(ctx context.Context, j *Job) ([]byte, error) {
+		return s.runJob(ctx, j)
+	})
+	s.httpSrv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	return s, nil
+}
+
+// Start binds the listen address and serves in a background goroutine.
+func (s *Server) Start() error {
+	addr := s.cfg.Addr
+	if addr == "" {
+		addr = "localhost:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen: %w", err)
+	}
+	s.ln = ln
+	if s.tracer != nil {
+		s.root = s.tracer.Start(nil, "server", obs.Str("addr", ln.Addr().String()))
+	}
+	s.logf("rsnserved listening on http://%s", ln.Addr())
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			s.logf("serve: http: %v", err)
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (host:port); "" before Start.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Registry returns the server's metrics registry.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// Shutdown drains gracefully: new submissions are refused immediately
+// (503), queued and running jobs are given until ctx's deadline to
+// finish, then any stragglers are canceled, and finally the HTTP
+// listener closes. An accepted job is never silently dropped: it ends
+// done, failed or canceled, and its record stays queryable until the
+// process exits.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.logf("rsnserved draining (%d queued, %d running)", s.sched.Queued(), s.sched.Running())
+	s.sched.Drain(ctx)
+	err := s.httpSrv.Shutdown(ctx)
+	if s.root != nil {
+		s.root.End()
+	}
+	s.logf("rsnserved stopped")
+	return err
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// execute runs one resolved analysis to a serialized
+// rsnsec.run-report/v1 document and stores it under the job's content
+// address. Job-level engine instrumentation feeds the server-wide
+// stats (live /metrics) but NOT the report document: a report is a
+// function of the analysis inputs, not of this process's cumulative
+// counters, so its Stages section is left empty and StartedAt unset.
+func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
+	a := j.Payload.(*analysis)
+	var span *obs.Span
+	if s.tracer != nil {
+		span = s.tracer.Start(s.root, "job",
+			obs.Str("id", j.ID), obs.Str("label", a.label), obs.Str("key", a.key[:12]))
+		defer span.End()
+	}
+	var rep *obs.RunReport
+	if a.benchmark != nil {
+		cfg := a.cfg
+		cfg.Workers = s.cfg.EngineWorkers
+		cfg.Parallel = 1 // job concurrency comes from the scheduler pool
+		cfg.Stats = s.stats
+		cfg.Tracer = s.tracer
+		cfg.TraceParent = span
+		results, err := exp.RunProtocol(ctx, []bench.Benchmark{*a.benchmark}, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		rep = exp.BuildReport("rsnserved", "main", cfg, results, nil)
+	} else {
+		nw := a.nw.Clone()
+		crep, err := core.Secure(nw, a.circuit, a.internal, a.spec, core.Options{
+			Mode:        a.mode,
+			Workers:     s.cfg.EngineWorkers,
+			Context:     ctx,
+			Stats:       s.stats,
+			Tracer:      s.tracer,
+			TraceParent: span,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rep = exp.SecureReport("rsnserved", a.label, a.mode, a.nw.Stats(), crep, nil)
+	}
+	var buf bytes.Buffer
+	if err := obs.WriteReport(&buf, rep); err != nil {
+		return nil, fmt.Errorf("serve: encode report: %w", err)
+	}
+	if err := s.store.Put(j.Key, buf.Bytes()); err != nil {
+		// The result is still served from the job record; only future
+		// identical submissions lose the cache hit.
+		s.logf("serve: store put %s: %v", j.Key[:12], err)
+	}
+	return buf.Bytes(), nil
+}

@@ -1,0 +1,213 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Handler returns the rsnserved HTTP API:
+//
+//	POST   /v1/analyses             submit (200 cached, 202 accepted, 429 full)
+//	GET    /v1/analyses/{id}        job status
+//	GET    /v1/analyses/{id}/report finished job's rsnsec.run-report/v1
+//	DELETE /v1/analyses/{id}        cancel a queued or running job
+//	GET    /healthz                 liveness
+//	GET    /readyz                  readiness (503 while draining)
+//	GET    /metrics                 Prometheus text metrics
+//
+// Every endpoint is instrumented with per-endpoint latency histograms
+// and status-code counters on the server registry.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("POST /v1/analyses", s.instrument("submit", s.handleSubmit))
+	mux.Handle("GET /v1/analyses/{id}", s.instrument("status", s.handleStatus))
+	mux.Handle("GET /v1/analyses/{id}/report", s.instrument("report", s.handleReport))
+	mux.Handle("DELETE /v1/analyses/{id}", s.instrument("cancel", s.handleCancel))
+	mux.Handle("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	}))
+	mux.Handle("GET /readyz", s.instrument("readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.sched.Draining() {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}))
+	mux.Handle("GET /metrics", s.instrument("metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = s.reg.WritePrometheus(w)
+	}))
+	return mux
+}
+
+// statusRecorder captures the response code for the request counters.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a handler with the per-endpoint latency histogram
+// (serve_request_seconds{endpoint=...}) and status-code counters
+// (serve_requests_total{endpoint=...,code=...}).
+func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
+	hist := s.reg.Histogram(fmt.Sprintf("serve_request_seconds{endpoint=%q}", endpoint),
+		0.001, 0.01, 0.1, 1, 10, 60)
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h(rec, r)
+		hist.Observe(time.Since(start).Seconds())
+		s.reg.Counter(fmt.Sprintf("serve_requests_total{endpoint=%q,code=\"%d\"}",
+			endpoint, rec.code)).Inc()
+	})
+}
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// handleSubmit resolves, caches or schedules one analysis:
+//
+//	store hit             → 200, finished record, cache "hit"
+//	identical in flight   → 202, the existing job, cache "coalesced"
+//	fresh                 → 202, new queued job, cache "miss"
+//	queue full            → 429 + Retry-After
+//	draining              → 503
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req AnalysisRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	a, err := s.resolve(&req)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if data, ok := s.store.Get(a.key); ok {
+		j := s.sched.InsertFinished(a.key, a.label, "hit", data)
+		s.logf("job %s: %s served from store (%s)", j.ID, a.label, shortKey(a.key))
+		writeJSON(w, http.StatusOK, s.status(j))
+		return
+	}
+	j, joined, err := s.sched.Submit(a.key, a.label, req.Priority, a.timeout(&req), a)
+	switch {
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new analyses")
+		return
+	case errors.Is(err, ErrQueueFull):
+		w.Header().Set("Retry-After", "5")
+		writeError(w, http.StatusTooManyRequests, "analysis queue full, retry later")
+		return
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if joined {
+		s.logf("job %s: %s coalesced identical submission (%s)", j.ID, a.label, shortKey(a.key))
+		writeJSON(w, http.StatusAccepted, s.statusAs(j, "coalesced"))
+		return
+	}
+	s.logf("job %s: %s queued (%s)", j.ID, a.label, shortKey(a.key))
+	writeJSON(w, http.StatusAccepted, s.status(j))
+}
+
+func shortKey(key string) string {
+	if len(key) > 12 {
+		return key[:12]
+	}
+	return key
+}
+
+// status snapshots a job via the scheduler (taking its lock).
+func (s *Server) status(j *Job) JobStatus {
+	st, err := s.sched.Status(j.ID)
+	if err != nil {
+		// The record was evicted between creation and snapshot — only
+		// possible under absurdly small retention; synthesize minimally.
+		return JobStatus{ID: j.ID, Key: j.Key, State: StateDone}
+	}
+	return st
+}
+
+// statusAs snapshots a job but reports a submission-specific cache
+// disposition: a coalesced caller joined an existing "miss" job, and
+// the record's own field must not be rewritten under it.
+func (s *Server) statusAs(j *Job, cache string) JobStatus {
+	st := s.status(j)
+	st.Cache = cache
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sched.Status(r.PathValue("id"))
+	if errors.Is(err, ErrUnknownJob) {
+		writeError(w, http.StatusNotFound, "unknown analysis %q", r.PathValue("id"))
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleReport streams the finished job's run-report document. For
+// unfinished jobs it answers 409 with the job status, so pollers can
+// use one URL.
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	data, st, err := s.sched.Result(r.PathValue("id"))
+	if errors.Is(err, ErrUnknownJob) {
+		writeError(w, http.StatusNotFound, "unknown analysis %q", r.PathValue("id"))
+		return
+	}
+	switch st.State {
+	case StateDone:
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Cache", st.Cache)
+		w.Header().Set("X-Content-Key", st.Key)
+		_, _ = w.Write(data)
+	case StateFailed, StateCanceled:
+		writeError(w, http.StatusGone, "analysis %s: %s", st.ID, st.Error)
+	default:
+		writeJSON(w, http.StatusConflict, st)
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	st, err := s.sched.Cancel(r.PathValue("id"))
+	switch {
+	case errors.Is(err, ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "unknown analysis %q", r.PathValue("id"))
+	case errors.Is(err, ErrJobFinished):
+		writeJSON(w, http.StatusConflict, st)
+	default:
+		s.logf("job %s: cancel requested", st.ID)
+		writeJSON(w, http.StatusOK, st)
+	}
+}
+
+// Tracer returns the server's tracer (nil when tracing is off); the
+// CLI uses it to flush spans at exit.
+func (s *Server) Tracer() *obs.Tracer { return s.tracer }

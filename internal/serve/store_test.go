@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func testKey(i int) string {
+	return fmt.Sprintf("%064x", i)
+}
+
+func TestStoreEntryLRU(t *testing.T) {
+	st, err := NewStore(StoreConfig{MaxEntries: 2}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := st.Put(testKey(i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Len() != 2 {
+		t.Fatalf("entries = %d, want 2", st.Len())
+	}
+	if _, ok := st.Get(testKey(0)); ok {
+		t.Fatal("oldest entry must be evicted")
+	}
+	for i := 1; i < 3; i++ {
+		if data, ok := st.Get(testKey(i)); !ok || !bytes.Equal(data, []byte{byte(i)}) {
+			t.Fatalf("entry %d lost", i)
+		}
+	}
+	// A Get refreshes recency: 1 was just touched, so adding 3 must
+	// evict 2... but Get(2) above was more recent. Re-touch 1 and check.
+	st.Get(testKey(1))
+	st.Put(testKey(3), []byte{3})
+	if _, ok := st.Get(testKey(2)); ok {
+		t.Fatal("least recently used entry (2) must be evicted")
+	}
+	if _, ok := st.Get(testKey(1)); !ok {
+		t.Fatal("recently used entry (1) must survive")
+	}
+}
+
+func TestStoreByteBound(t *testing.T) {
+	st, err := NewStore(StoreConfig{MaxEntries: 100, MaxBytes: 10}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(testKey(0), make([]byte, 6))
+	st.Put(testKey(1), make([]byte, 6))
+	if st.Len() != 1 {
+		t.Fatalf("entries = %d, want 1 (byte bound)", st.Len())
+	}
+	// An oversized single entry stays resident: the bound evicts down
+	// to at least one entry, it does not refuse storage.
+	st.Put(testKey(2), make([]byte, 64))
+	if _, ok := st.Get(testKey(2)); !ok {
+		t.Fatal("oversized entry must still be stored")
+	}
+}
+
+func TestStoreDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	reg := obs.NewRegistry()
+	st, err := NewStore(StoreConfig{Dir: dir}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(7)
+	want := []byte(`{"report":true}`)
+	if err := st.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := os.ReadFile(filepath.Join(dir, key+".json")); err != nil || !bytes.Equal(data, want) {
+		t.Fatalf("disk copy missing or wrong: %v", err)
+	}
+	for _, e := range []string{"put-*.tmp"} {
+		if m, _ := filepath.Glob(filepath.Join(dir, e)); len(m) != 0 {
+			t.Fatalf("leftover temp files: %v", m)
+		}
+	}
+
+	// A fresh store over the same directory (a restarted daemon) still
+	// hits.
+	st2, err := NewStore(StoreConfig{Dir: dir}, obs.NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := st2.Get(key); !ok || !bytes.Equal(data, want) {
+		t.Fatal("restart lost the stored report")
+	}
+	if !st2.Contains(key) {
+		t.Fatal("Contains must see the disk entry")
+	}
+}
+
+func TestStoreDiskFallbackAfterEviction(t *testing.T) {
+	reg := obs.NewRegistry()
+	st, err := NewStore(StoreConfig{MaxEntries: 1, Dir: t.TempDir()}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Put(testKey(0), []byte("a"))
+	st.Put(testKey(1), []byte("b")) // evicts 0 from memory, not disk
+	if data, ok := st.Get(testKey(0)); !ok || !bytes.Equal(data, []byte("a")) {
+		t.Fatal("memory-evicted entry must fall back to disk")
+	}
+	if got := reg.Counter("serve_store_disk_hits_total").Value(); got != 1 {
+		t.Fatalf("disk hits = %d, want 1", got)
+	}
+	if got := reg.Counter("serve_store_hits_total").Value(); got != 1 {
+		t.Fatalf("hits = %d, want 1", got)
+	}
+}
+
+func TestStoreMissCounters(t *testing.T) {
+	reg := obs.NewRegistry()
+	st, err := NewStore(StoreConfig{}, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := st.Get(testKey(0)); ok {
+		t.Fatal("empty store cannot hit")
+	}
+	st.Put(testKey(0), []byte("x"))
+	st.Get(testKey(0))
+	if h, m := reg.Counter("serve_store_hits_total").Value(), reg.Counter("serve_store_misses_total").Value(); h != 1 || m != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", h, m)
+	}
+	if g := reg.Gauge("serve_store_entries").Value(); g != 1 {
+		t.Fatalf("entries gauge = %d, want 1", g)
+	}
+}

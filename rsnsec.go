@@ -389,6 +389,14 @@ func RunBenchmarkCtx(ctx context.Context, b Benchmark, cfg RunConfig) (*RunResul
 	return exp.RunBenchmarkCtx(ctx, b, cfg)
 }
 
+// RunProtocolCtx executes the Table I protocol over a benchmark list —
+// the shared driver behind rsnbench's main table and the rsnserved
+// analysis jobs. observe (may be nil) receives every finished
+// per-benchmark result in order.
+func RunProtocolCtx(ctx context.Context, benchmarks []Benchmark, cfg RunConfig, observe func(*RunResult)) ([]*RunResult, error) {
+	return exp.RunProtocol(ctx, benchmarks, cfg, observe)
+}
+
 // RunBridging measures the bridging reductions for one benchmark.
 func RunBridging(b Benchmark, cfg RunConfig) (*BridgingResult, error) {
 	return exp.RunBridging(b, cfg)
@@ -407,6 +415,17 @@ func RunApprox(b Benchmark, cfg RunConfig) (*ApproxResult, error) { return exp.R
 func RunApproxCtx(ctx context.Context, b Benchmark, cfg RunConfig) (*ApproxResult, error) {
 	return exp.RunApproxCtx(ctx, b, cfg)
 }
+
+// Canonical serialization: versioned, framed SHA-256 digests of
+// analysis inputs. Netlist, Network and Spec expose AppendCanonical;
+// the digest is the content address rsnserved caches results under.
+type CanonHasher = netlist.Hasher
+
+// CanonVersion is the versioned prefix of the canonical encoding.
+const CanonVersion = netlist.CanonVersion
+
+// NewCanonHasher returns a hasher seeded with the CanonVersion prefix.
+func NewCanonHasher() *CanonHasher { return netlist.NewHasher() }
 
 // Verification.
 type (
