@@ -31,6 +31,15 @@
 // metrics and pprof during the run. -validate-report checks a report
 // artifact against the schema, and -diff-report old.json,new.json
 // prints the regression deltas between two reports.
+//
+// Performance observatory: -bench-out FILE measures the protocol
+// -reps times per benchmark and writes a schema-versioned bench
+// record (per-stage medians with MAD noise estimates, SAT totals,
+// memory peaks, environment fingerprint); -baseline FILE gates the
+// fresh record against a committed baseline with the noise-aware
+// comparator (exit 1 on regression; -bench-threshold and -bench-mad-k
+// tune the allowance). -validate-bench checks a record artifact, and
+// -compare-bench old.json,new.json gates two existing records.
 package main
 
 import (
@@ -68,6 +77,14 @@ type benchConfig struct {
 	tracePath   string
 	traceSample int
 	debugAddr   string
+
+	// Performance observatory (-bench-out mode).
+	benchOut       string
+	baseline       string
+	reps           int
+	benchThreshold float64
+	benchMADK      float64
+	commit         string
 }
 
 func main() {
@@ -89,8 +106,16 @@ func main() {
 	flag.StringVar(&c.tracePath, "trace", "", "write the span journal as JSONL to this file")
 	flag.IntVar(&c.traceSample, "trace-sample", 64, "record every n-th high-frequency query span")
 	flag.StringVar(&c.debugAddr, "debug-addr", "", "serve expvar, Prometheus metrics and pprof on this address during the run")
+	flag.StringVar(&c.benchOut, "bench-out", "", "measure the protocol -reps times and write the bench record JSON to this file (\"-\" = stdout)")
+	flag.StringVar(&c.baseline, "baseline", "", "baseline bench record to gate -bench-out against (nonzero exit on regression)")
+	flag.IntVar(&c.reps, "reps", 3, "repetitions per benchmark for -bench-out (medians and MADs are taken across reps)")
+	flag.Float64Var(&c.benchThreshold, "bench-threshold", 0, "relative slowdown threshold for the -baseline gate (0 = default 0.10)")
+	flag.Float64Var(&c.benchMADK, "bench-mad-k", 0, "MAD multiplier of the noise allowance (0 = default 4)")
+	flag.StringVar(&c.commit, "commit", os.Getenv("GITHUB_SHA"), "VCS revision stamped into the bench record's environment")
 	validatePath := flag.String("validate-report", "", "validate a run-report JSON file against the schema and exit")
 	diffSpec := flag.String("diff-report", "", "compare two run reports (old.json,new.json) and print the deltas")
+	validateBench := flag.String("validate-bench", "", "validate a bench-record JSON file against the schema and exit")
+	compareBench := flag.String("compare-bench", "", "gate two bench records (old.json,new.json); nonzero exit on regression")
 	flag.Parse()
 
 	switch {
@@ -101,6 +126,21 @@ func main() {
 		}
 	case *diffSpec != "":
 		if err := diffReports(*diffSpec); err != nil {
+			fmt.Fprintln(os.Stderr, "rsnbench:", err)
+			os.Exit(1)
+		}
+	case *validateBench != "":
+		if err := validateBenchRecord(*validateBench); err != nil {
+			fmt.Fprintln(os.Stderr, "rsnbench:", err)
+			os.Exit(1)
+		}
+	case *compareBench != "":
+		if err := compareBenchRecords(*compareBench, c); err != nil {
+			fmt.Fprintln(os.Stderr, "rsnbench:", err)
+			os.Exit(1)
+		}
+	case c.benchOut != "":
+		if err := runBenchRecord(c); err != nil {
 			fmt.Fprintln(os.Stderr, "rsnbench:", err)
 			os.Exit(1)
 		}
@@ -152,6 +192,132 @@ func diffReports(spec string) error {
 	}
 	fmt.Println(reportdiff.Compare(oldR, newR))
 	return nil
+}
+
+// validateBenchRecord implements -validate-bench: parse + schema check.
+func validateBenchRecord(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := rsnsec.ReadBenchRecord(f)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "%s: valid %s record (%d benchmarks, %d reps, %s/%s %s)\n",
+		path, r.Schema, len(r.Benchmarks), r.Reps, r.Env.GOOS, r.Env.GOARCH, r.Env.GoVersion)
+	return nil
+}
+
+// benchLimits resolves the gate parameters from the command line.
+func (c benchConfig) benchLimits() rsnsec.BenchLimits {
+	return rsnsec.BenchLimits{MinPct: c.benchThreshold, MADK: c.benchMADK}
+}
+
+// loadBenchRecord reads and validates one bench record file.
+func loadBenchRecord(path string) (*rsnsec.BenchRecord, error) {
+	f, err := os.Open(strings.TrimSpace(path))
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return rsnsec.ReadBenchRecord(f)
+}
+
+// gateBenchRecords prints the gate outcome and returns an error when
+// any regression flags (the nonzero-exit path).
+func gateBenchRecords(old, new *rsnsec.BenchRecord, lim rsnsec.BenchLimits) error {
+	regs := rsnsec.CompareBenchRecords(old, new, lim)
+	fmt.Println(rsnsec.FormatBenchRegressions(regs))
+	if !old.Env.Matches(new.Env) {
+		fmt.Fprintf(os.Stderr, "note: records come from different environments (%s/%s %d CPUs vs %s/%s %d CPUs)\n",
+			old.Env.GOOS, old.Env.GOARCH, old.Env.NumCPU, new.Env.GOOS, new.Env.GOARCH, new.Env.NumCPU)
+	}
+	if len(regs) > 0 {
+		return fmt.Errorf("%d performance regression(s)", len(regs))
+	}
+	return nil
+}
+
+// compareBenchRecords implements -compare-bench old.json,new.json.
+func compareBenchRecords(spec string, c benchConfig) error {
+	parts := strings.Split(spec, ",")
+	if len(parts) != 2 {
+		return fmt.Errorf("-compare-bench wants old.json,new.json")
+	}
+	oldR, err := loadBenchRecord(parts[0])
+	if err != nil {
+		return err
+	}
+	newR, err := loadBenchRecord(parts[1])
+	if err != nil {
+		return err
+	}
+	return gateBenchRecords(oldR, newR, c.benchLimits())
+}
+
+// runBenchRecord implements -bench-out: collect a fresh record over
+// the selected benchmarks, write it, and optionally gate it against
+// -baseline (nonzero exit on regression).
+func runBenchRecord(c benchConfig) error {
+	benchmarks, err := selectBenchmarks(c.only)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	if c.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, c.timeout)
+		defer cancel()
+	}
+	cfg := rsnsec.DefaultRunConfig()
+	cfg.Scale = c.scale
+	cfg.TargetScanFFs = c.ffBudget
+	cfg.Circuits = c.circuits
+	cfg.Specs = c.specs
+	cfg.Seed = c.seed
+	cfg.Workers = c.workers
+	switch c.mode {
+	case "exact":
+		cfg.Mode = rsnsec.Exact
+	case "structural":
+		cfg.Mode = rsnsec.StructuralApprox
+	default:
+		return fmt.Errorf("unknown mode %q", c.mode)
+	}
+	opts := rsnsec.BenchCollectOptions{Reps: c.reps, Commit: c.commit}
+	if c.verbose {
+		opts.Progress = func(f string, a ...any) { fmt.Fprintf(os.Stderr, "  %s\n", fmt.Sprintf(f, a...)) }
+	}
+	rec, err := rsnsec.CollectBenchRecord(ctx, benchmarks, cfg, opts)
+	if err != nil {
+		return err
+	}
+	rec.CreatedAt = time.Now().UTC().Format(time.RFC3339)
+	w := io.Writer(os.Stdout)
+	if c.benchOut != "-" {
+		f, err := os.Create(c.benchOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := rsnsec.WriteBenchRecord(w, rec); err != nil {
+		return err
+	}
+	if c.benchOut != "-" && !c.quiet {
+		fmt.Fprintf(os.Stderr, "bench record written to %s\n", c.benchOut)
+	}
+	if c.baseline == "" {
+		return nil
+	}
+	base, err := loadBenchRecord(c.baseline)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	return gateBenchRecords(base, rec, c.benchLimits())
 }
 
 func selectBenchmarks(filter string) ([]rsnsec.Benchmark, error) {
@@ -209,7 +375,9 @@ func run(c benchConfig) error {
 			return err
 		}
 		defer tf.Close()
-		tracer = rsnsec.NewTracer(rsnsec.NewJSONLTraceSink(tf))
+		sink := obs.NewBufferedJSONLSink(tf)
+		defer sink.Flush()
+		tracer = rsnsec.NewTracer(sink)
 		tracer.SampleEvery("query", c.traceSample)
 		tracer.SampleEvery("propagate-delta", c.traceSample)
 	}

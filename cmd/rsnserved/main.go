@@ -10,7 +10,14 @@
 // depth, cache hit/miss counters, per-endpoint latencies and the
 // engine stage counters; -debug-addr additionally serves expvar and
 // pprof. SIGINT/SIGTERM drain gracefully: queued and running jobs
-// finish (bounded by -drain-timeout), new submissions get 503.
+// finish (bounded by -drain-timeout), new submissions get 503, and
+// the trace journal and slow-job log flush before the process exits.
+//
+// Performance observatory: -slow-job-threshold DUR dumps the full
+// span tree of any job slower than DUR as one JSONL record to
+// -slow-job-log; POST /v1/analyses?profile=cpu (or heap) forces a
+// real run with pprof capture around it, retrievable from
+// GET /v1/analyses/{id}/profile.
 package main
 
 import (
@@ -47,6 +54,8 @@ func run() error {
 		storeEntries = flag.Int("store-entries", 0, "in-memory store entry bound (0 = 512)")
 		maxScanFFs   = flag.Int("max-scan-ffs", 0, "largest accepted analysis in scan flip-flops (0 = 1500)")
 		tracePath    = flag.String("trace", "", "write the span journal as JSONL to this file")
+		slowJobThr   = flag.Duration("slow-job-threshold", 0, "dump the span tree of jobs slower than this to -slow-job-log (0 = off)")
+		slowJobPath  = flag.String("slow-job-log", "", "slow-job JSONL log file (default <stderr> when -slow-job-threshold is set)")
 		debugAddr    = flag.String("debug-addr", "", "also serve expvar and pprof on this address")
 		quiet        = flag.Bool("q", false, "suppress the startup banner and per-job log lines on stderr")
 	)
@@ -59,13 +68,30 @@ func run() error {
 
 	reg := obs.NewRegistry()
 	var tracer *obs.Tracer
+	var traceSink *obs.BufferedJSONLSink
 	if *tracePath != "" {
 		tf, err := os.Create(*tracePath)
 		if err != nil {
 			return err
 		}
 		defer tf.Close()
-		tracer = rsnsec.NewTracer(rsnsec.NewJSONLTraceSink(tf))
+		// Buffered: flushed after graceful shutdown, before the file
+		// closes, so no spans of drained jobs are lost.
+		traceSink = obs.NewBufferedJSONLSink(tf)
+		defer traceSink.Flush()
+		tracer = rsnsec.NewTracer(traceSink)
+	}
+	var slowJobLog io.Writer
+	if *slowJobThr > 0 {
+		slowJobLog = os.Stderr
+		if *slowJobPath != "" {
+			sf, err := os.Create(*slowJobPath)
+			if err != nil {
+				return err
+			}
+			defer sf.Close()
+			slowJobLog = sf
+		}
 	}
 
 	srv, err := serve.New(serve.Config{
@@ -78,9 +104,11 @@ func run() error {
 			Dir:        *storeDir,
 			MaxEntries: *storeEntries,
 		},
-		Limits:   serve.Limits{MaxScanFFs: *maxScanFFs},
-		Registry: reg,
-		Tracer:   tracer,
+		Limits:           serve.Limits{MaxScanFFs: *maxScanFFs},
+		Registry:         reg,
+		Tracer:           tracer,
+		SlowJobThreshold: *slowJobThr,
+		SlowJobLog:       slowJobLog,
 		Logf: func(format string, args ...any) {
 			fmt.Fprintf(errw, "%s %s\n", time.Now().UTC().Format(time.RFC3339), fmt.Sprintf(format, args...))
 		},

@@ -233,7 +233,9 @@ func RunBenchmarkCtx(ctx context.Context, b bench.Benchmark, cfg RunConfig) (*Re
 
 			t1 := time.Now()
 			pureDone := ceng.Stage("pure-resolve").Start()
+			pureSpan := ceng.StartSpan("pure-resolve")
 			pres, err := pure.Resolve(run, spec)
+			pureSpan.End()
 			pureDone()
 			pureTime := time.Since(t1)
 			if err != nil {

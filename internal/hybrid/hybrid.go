@@ -434,6 +434,8 @@ func (a *Analysis) runWorklist(nw *rsn.Network, wdep [][]int32, p *propagation, 
 func (a *Analysis) propagate(nw *rsn.Network) *propagation {
 	stage := a.eng.Stage("propagate")
 	defer stage.Start()()
+	span := a.eng.StartSpan("propagate")
+	defer span.End()
 	all := secspec.AllCats(a.Spec.NumCategories)
 	size := a.total + len(nw.Muxes)
 	p := &propagation{

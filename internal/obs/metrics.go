@@ -119,12 +119,18 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
-// Quantile returns an upper bound for the q-quantile (0..1) from the
-// bucket counts — the bound of the first bucket whose cumulative count
+// Quantile returns an upper bound for the q-quantile from the bucket
+// counts — the bound of the first bucket whose cumulative count
 // reaches q, or +Inf when the sample lands in the overflow bucket.
+// q must lie in (0, 1]; anything else returns NaN. An empty histogram
+// returns 0 (nothing observed bounds at zero), matching the nil
+// receiver.
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
+	}
+	if math.IsNaN(q) || q <= 0 || q > 1 {
+		return math.NaN()
 	}
 	total := h.count.Load()
 	if total == 0 {

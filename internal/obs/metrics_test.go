@@ -76,6 +76,35 @@ func TestHistogramBucketsAndQuantile(t *testing.T) {
 	}
 }
 
+func TestHistogramQuantileEdgeCases(t *testing.T) {
+	// q outside (0,1] is a caller error: NaN, never a bucket bound.
+	h := newHistogram([]float64{1, 2})
+	h.Observe(1)
+	for _, q := range []float64{0, -0.5, 1.0001, 2, math.NaN()} {
+		if got := h.Quantile(q); !math.IsNaN(got) {
+			t.Errorf("Quantile(%v) = %v, want NaN", q, got)
+		}
+	}
+	// An empty histogram answers 0 for every valid q (nothing observed),
+	// matching the nil receiver.
+	empty := newHistogram([]float64{1, 2})
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := empty.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	// Every observation beyond the last bound: any quantile is +Inf —
+	// the histogram honestly reports it cannot bound the value.
+	over := newHistogram([]float64{1, 2})
+	over.Observe(50)
+	over.Observe(100)
+	for _, q := range []float64{0.01, 0.5, 1} {
+		if got := over.Quantile(q); !math.IsInf(got, 1) {
+			t.Errorf("overflow-only Quantile(%v) = %v, want +Inf", q, got)
+		}
+	}
+}
+
 func TestRegistryGetOrCreateAndKindMismatch(t *testing.T) {
 	r := NewRegistry()
 	c1 := r.Counter("hits_total")

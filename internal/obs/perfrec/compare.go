@@ -1,0 +1,179 @@
+package perfrec
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Limits parameterizes the noise-aware regression gate. A new median
+// only counts as a regression when it exceeds the old one by more than
+// every allowance: the relative threshold, k·MAD of either record, and
+// the absolute floor. The zero value resolves to the defaults.
+type Limits struct {
+	// MinPct is the relative slowdown threshold (0.10 = +10%); <= 0
+	// uses 0.10.
+	MinPct float64
+	// MADK scales the per-stage MAD noise estimate; a delta inside
+	// k·max(oldMAD, newMAD) is jitter, not signal. <= 0 uses 4 (≈ 2.7σ
+	// for normal noise, MAD·1.4826 ≈ σ).
+	MADK float64
+	// MinNS is the absolute wall-time floor: deltas on stages faster
+	// than this are ignored entirely (microsecond stages jitter by
+	// whole multiples). <= 0 uses 500µs.
+	MinNS int64
+	// MemPct is the relative threshold for HeapAllocPeakBytes; 0 uses
+	// 0.50, NoMemGate disables the heap-peak comparison.
+	MemPct float64
+	// MinBytes is the absolute heap-peak floor; <= 0 uses 16 MiB.
+	MinBytes int64
+}
+
+// NoMemGate disables the heap-peak comparison when assigned to MemPct.
+const NoMemGate = -1
+
+// DefaultLimits are the resolved default gate parameters.
+func DefaultLimits() Limits {
+	return Limits{MinPct: 0.10, MADK: 4, MinNS: 500_000, MemPct: 0.50, MinBytes: 16 << 20}
+}
+
+func (l Limits) resolved() Limits {
+	d := DefaultLimits()
+	if l.MinPct <= 0 {
+		l.MinPct = d.MinPct
+	}
+	if l.MADK <= 0 {
+		l.MADK = d.MADK
+	}
+	if l.MinNS <= 0 {
+		l.MinNS = d.MinNS
+	}
+	if l.MemPct == 0 {
+		l.MemPct = d.MemPct
+	}
+	if l.MinBytes <= 0 {
+		l.MinBytes = d.MinBytes
+	}
+	return l
+}
+
+// Regression is one gated delta that exceeded its noise allowance.
+type Regression struct {
+	// Path locates the regressed quantity, e.g.
+	// "TreeFlat/closure/median_ns" or "TreeFlat/heap_alloc_peak_bytes".
+	Path string `json:"path"`
+	Old  int64  `json:"old"`
+	New  int64  `json:"new"`
+	// AllowedDelta is the noise allowance the delta exceeded:
+	// max(threshold·old, k·MAD, floor).
+	AllowedDelta int64 `json:"allowed_delta"`
+}
+
+// Delta returns the absolute increase.
+func (r Regression) Delta() int64 { return r.New - r.Old }
+
+// Pct returns the relative increase (0 old → +Inf is avoided: 0 old
+// never regresses, see Compare).
+func (r Regression) Pct() float64 {
+	if r.Old == 0 {
+		return 0
+	}
+	return float64(r.New-r.Old) / float64(r.Old)
+}
+
+// String renders one regression line with sign and percent.
+func (r Regression) String() string {
+	return fmt.Sprintf("%s  %d -> %d  (+%d, %+.1f%%, allowed +%d)",
+		r.Path, r.Old, r.New, r.Delta(), 100*r.Pct(), r.AllowedDelta)
+}
+
+// FormatRegressions renders the gate outcome as one line per
+// regression ("performance gate clean" when empty).
+func FormatRegressions(regs []Regression) string {
+	if len(regs) == 0 {
+		return "performance gate clean"
+	}
+	lines := make([]string, len(regs))
+	for i, r := range regs {
+		lines[i] = r.String()
+	}
+	return strings.Join(lines, "\n")
+}
+
+// allowance resolves the noise allowance for one stage pair:
+// max(threshold·old, k·max(oldMAD, newMAD)).
+func (l Limits) allowance(old, oldMAD, newMAD int64) int64 {
+	allowed := int64(l.MinPct * float64(old))
+	mad := oldMAD
+	if newMAD > mad {
+		mad = newMAD
+	}
+	if k := int64(l.MADK * float64(mad)); k > allowed {
+		allowed = k
+	}
+	return allowed
+}
+
+// Compare gates new against old and returns every regression: a
+// per-stage median that grew beyond max(MinPct·old, MADK·MAD, MinNS),
+// or a heap peak that grew beyond max(MemPct·old, MinBytes). Only
+// benchmarks and stages present in both records are compared, so a
+// committed baseline may cover a superset of the smoke subset CI runs.
+// Improvements never flag. Results are ordered by relative increase,
+// largest first.
+func Compare(old, new *Record, lim Limits) []Regression {
+	lim = lim.resolved()
+	oldB := make(map[string]*Benchmark, len(old.Benchmarks))
+	for i := range old.Benchmarks {
+		oldB[old.Benchmarks[i].Name] = &old.Benchmarks[i]
+	}
+	var regs []Regression
+	for i := range new.Benchmarks {
+		nb := &new.Benchmarks[i]
+		ob, ok := oldB[nb.Name]
+		if !ok {
+			continue
+		}
+		oldS := make(map[string]*Stage, len(ob.Stages))
+		for j := range ob.Stages {
+			oldS[ob.Stages[j].Name] = &ob.Stages[j]
+		}
+		for j := range nb.Stages {
+			ns := &nb.Stages[j]
+			os, ok := oldS[ns.Name]
+			if !ok || os.MedianNS < lim.MinNS {
+				// Sub-floor stages jitter by whole multiples of their
+				// own runtime; they cannot carry a meaningful signal.
+				continue
+			}
+			delta := ns.MedianNS - os.MedianNS
+			if allowed := lim.allowance(os.MedianNS, os.MADNS, ns.MADNS); delta > allowed {
+				regs = append(regs, Regression{
+					Path: nb.Name + "/" + ns.Name + "/median_ns",
+					Old:  os.MedianNS, New: ns.MedianNS, AllowedDelta: allowed,
+				})
+			}
+		}
+		if lim.MemPct != NoMemGate && ob.HeapAllocPeakBytes > 0 {
+			delta := nb.HeapAllocPeakBytes - ob.HeapAllocPeakBytes
+			allowed := int64(lim.MemPct * float64(ob.HeapAllocPeakBytes))
+			if lim.MinBytes > allowed {
+				allowed = lim.MinBytes
+			}
+			if delta > allowed {
+				regs = append(regs, Regression{
+					Path: nb.Name + "/heap_alloc_peak_bytes",
+					Old:  ob.HeapAllocPeakBytes, New: nb.HeapAllocPeakBytes, AllowedDelta: allowed,
+				})
+			}
+		}
+	}
+	sort.SliceStable(regs, func(i, j int) bool {
+		pi, pj := regs[i].Pct(), regs[j].Pct()
+		if pi != pj {
+			return pi > pj
+		}
+		return regs[i].Path < regs[j].Path
+	})
+	return regs
+}

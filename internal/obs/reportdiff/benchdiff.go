@@ -1,0 +1,85 @@
+package reportdiff
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/obs/perfrec"
+)
+
+// CompareBenchRecords diffs two bench records the same way Compare
+// diffs run reports: stage timing deltas (with sign and percent via
+// Delta.Rel), SAT and memory counters, and added/removed rows for
+// benchmarks or stages present in only one record. Unlike
+// perfrec.Compare — the gate, which applies noise allowances and only
+// flags slowdowns — this is the full symmetric diff for humans and
+// trend dashboards; Filter by a relative threshold to cut jitter.
+func CompareBenchRecords(old, new *perfrec.Record) *Diff {
+	d := &Diff{}
+	oldB := make(map[string]*perfrec.Benchmark, len(old.Benchmarks))
+	for i := range old.Benchmarks {
+		oldB[old.Benchmarks[i].Name] = &old.Benchmarks[i]
+	}
+	newB := make(map[string]*perfrec.Benchmark, len(new.Benchmarks))
+	for i := range new.Benchmarks {
+		b := &new.Benchmarks[i]
+		newB[b.Name] = b
+		if _, ok := oldB[b.Name]; !ok {
+			d.Added = append(d.Added, "benchmark/"+b.Name)
+		}
+	}
+	for i := range old.Benchmarks {
+		o := &old.Benchmarks[i]
+		n, ok := newB[o.Name]
+		if !ok {
+			d.Removed = append(d.Removed, "benchmark/"+o.Name)
+			continue
+		}
+		p := "benchmark/" + o.Name + "/"
+		d.add(p+"runs", float64(o.Runs), float64(n.Runs))
+		d.add(p+"sat_queries", float64(o.SATQueries), float64(n.SATQueries))
+		d.add(p+"sat_decisions", float64(o.SATDecisions), float64(n.SATDecisions))
+		d.add(p+"sat_conflicts", float64(o.SATConflicts), float64(n.SATConflicts))
+		d.add(p+"heap_alloc_peak_bytes", float64(o.HeapAllocPeakBytes), float64(n.HeapAllocPeakBytes))
+		d.add(p+"total_alloc_bytes", float64(o.TotalAllocBytes), float64(n.TotalAllocBytes))
+
+		oldS := make(map[string]*perfrec.Stage, len(o.Stages))
+		for j := range o.Stages {
+			oldS[o.Stages[j].Name] = &o.Stages[j]
+		}
+		newS := make(map[string]*perfrec.Stage, len(n.Stages))
+		for j := range n.Stages {
+			st := &n.Stages[j]
+			newS[st.Name] = st
+			if _, ok := oldS[st.Name]; !ok {
+				d.Added = append(d.Added, "benchmark/"+o.Name+"/stage/"+st.Name)
+			}
+		}
+		for j := range o.Stages {
+			os := &o.Stages[j]
+			ns, ok := newS[os.Name]
+			if !ok {
+				d.Removed = append(d.Removed, "benchmark/"+o.Name+"/stage/"+os.Name)
+				continue
+			}
+			sp := p + "stage/" + os.Name + "/"
+			d.add(sp+"median_ns", float64(os.MedianNS), float64(ns.MedianNS))
+			d.add(sp+"mad_ns", float64(os.MADNS), float64(ns.MADNS))
+			d.add(sp+"calls", float64(os.Calls), float64(ns.Calls))
+			d.add(sp+"queries", float64(os.Queries), float64(ns.Queries))
+			d.add(sp+"items", float64(os.Items), float64(ns.Items))
+			d.add(sp+"saved", float64(os.Saved), float64(ns.Saved))
+		}
+	}
+
+	sort.Strings(d.Added)
+	sort.Strings(d.Removed)
+	sort.SliceStable(d.Deltas, func(i, j int) bool {
+		ri, rj := math.Abs(d.Deltas[i].Rel()), math.Abs(d.Deltas[j].Rel())
+		if ri != rj {
+			return ri > rj
+		}
+		return d.Deltas[i].Path < d.Deltas[j].Path
+	})
+	return d
+}

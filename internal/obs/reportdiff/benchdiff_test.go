@@ -1,0 +1,98 @@
+package reportdiff
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs/perfrec"
+)
+
+func benchRecord(closureNS int64) *perfrec.Record {
+	return &perfrec.Record{
+		Schema: perfrec.BenchSchema,
+		Tool:   "test",
+		Reps:   1,
+		Benchmarks: []perfrec.Benchmark{{
+			Name: "TreeFlat", ScanFFs: 60, Runs: 5,
+			Stages: []perfrec.Stage{
+				perfrec.NewStage("closure", []int64{closureNS}),
+				perfrec.NewStage("one-cycle", []int64{40_000_000}),
+			},
+			SATQueries: 100, SATDecisions: 2000, SATConflicts: 50,
+			HeapAllocPeakBytes: 64 << 20, TotalAllocBytes: 128 << 20,
+		}},
+	}
+}
+
+func TestCompareBenchRecordsIdentical(t *testing.T) {
+	r := benchRecord(10_000_000)
+	d := CompareBenchRecords(r, r)
+	if !d.Empty() {
+		t.Fatalf("identical records diff: %s", d)
+	}
+	if d.String() != "reports agree" {
+		t.Errorf("String = %q", d.String())
+	}
+}
+
+func TestCompareBenchRecordsDeltasAndOrdering(t *testing.T) {
+	old := benchRecord(10_000_000)
+	new := benchRecord(25_000_000) // closure +150%
+	new.Benchmarks[0].SATDecisions = 2200
+	d := CompareBenchRecords(old, new)
+	if len(d.Added) != 0 || len(d.Removed) != 0 {
+		t.Fatalf("unexpected added/removed: %+v", d)
+	}
+	if len(d.Deltas) != 2 {
+		t.Fatalf("want 2 deltas, got %d: %s", len(d.Deltas), d)
+	}
+	// Largest |Rel| first: closure +150% before sat_decisions +10%.
+	if d.Deltas[0].Path != "benchmark/TreeFlat/stage/closure/median_ns" {
+		t.Errorf("first delta = %s, want the closure timing", d.Deltas[0].Path)
+	}
+	if rel := d.Deltas[0].Rel(); rel < 1.49 || rel > 1.51 {
+		t.Errorf("closure Rel = %v, want 1.5", rel)
+	}
+	// Sign and percent render in the table.
+	if s := d.String(); !strings.Contains(s, "+150.00%") {
+		t.Errorf("String lacks signed percent:\n%s", s)
+	}
+	// An improvement renders negative.
+	back := CompareBenchRecords(new, old)
+	if s := back.String(); !strings.Contains(s, "-60.00%") {
+		t.Errorf("reverse diff lacks negative percent:\n%s", s)
+	}
+}
+
+func TestCompareBenchRecordsAddedRemoved(t *testing.T) {
+	old := benchRecord(10_000_000)
+	new := benchRecord(10_000_000)
+	new.Benchmarks[0].Stages = new.Benchmarks[0].Stages[:1] // drop one-cycle
+	new.Benchmarks = append(new.Benchmarks, perfrec.Benchmark{
+		Name: "Fresh", Runs: 1,
+		Stages: []perfrec.Stage{perfrec.NewStage("closure", []int64{1})},
+	})
+	d := CompareBenchRecords(old, new)
+	if len(d.Added) != 1 || d.Added[0] != "benchmark/Fresh" {
+		t.Errorf("Added = %v", d.Added)
+	}
+	if len(d.Removed) != 1 || d.Removed[0] != "benchmark/TreeFlat/stage/one-cycle" {
+		t.Errorf("Removed = %v", d.Removed)
+	}
+	// Added/removed rows are structural: they never produce deltas.
+	for _, dd := range d.Deltas {
+		if strings.Contains(dd.Path, "one-cycle") || strings.Contains(dd.Path, "Fresh") {
+			t.Errorf("disjoint row produced a delta: %+v", dd)
+		}
+	}
+}
+
+func TestCompareBenchRecordsFilter(t *testing.T) {
+	old := benchRecord(10_000_000)
+	new := benchRecord(10_500_000)     // +5%
+	new.Benchmarks[0].SATQueries = 300 // +200%
+	d := CompareBenchRecords(old, new).Filter(0.50)
+	if len(d.Deltas) != 1 || d.Deltas[0].Path != "benchmark/TreeFlat/sat_queries" {
+		t.Fatalf("Filter(0.50) kept %s", d)
+	}
+}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"bufio"
 	"encoding/json"
 	"io"
 	"sync"
@@ -50,6 +51,51 @@ func (s *JSONLSink) Emit(ev Event) {
 
 // Err returns the first write error, if any.
 func (s *JSONLSink) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// BufferedJSONLSink is a JSONL sink over a buffered writer: span
+// events amortize into large writes, and Flush pushes everything
+// buffered down to the underlying writer. Long-running processes
+// (rsnserved) flush on graceful shutdown so no buffered spans are
+// lost; short-lived CLIs flush before closing the file.
+type BufferedJSONLSink struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// NewBufferedJSONLSink returns a buffered sink emitting JSON lines to
+// w. Call Flush before the underlying writer closes.
+func NewBufferedJSONLSink(w io.Writer) *BufferedJSONLSink {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	return &BufferedJSONLSink{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+// Emit buffers the event as one JSON line.
+func (s *BufferedJSONLSink) Emit(ev Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err == nil {
+		s.err = s.enc.Encode(ev)
+	}
+}
+
+// Flush writes all buffered events to the underlying writer.
+func (s *BufferedJSONLSink) Flush() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.err != nil {
+		return s.err
+	}
+	return s.bw.Flush()
+}
+
+// Err returns the first write error, if any.
+func (s *BufferedJSONLSink) Err() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.err

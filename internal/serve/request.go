@@ -56,6 +56,9 @@ type AnalysisRequest struct {
 type analysis struct {
 	key   string
 	label string
+	// profile requests on-demand pprof capture around the run: "",
+	// "cpu" or "heap" (from the ?profile= query parameter).
+	profile string
 
 	// Benchmark form.
 	benchmark *bench.Benchmark
@@ -67,6 +70,18 @@ type analysis struct {
 	internal []netlist.FFID
 	spec     *secspec.Spec
 	mode     dep.Mode
+}
+
+// schedKey is the scheduler/coalescing key: profiled submissions get
+// a decorated key so they never coalesce with (or get short-circuited
+// by) unprofiled runs of the same inputs — a profile request must
+// force a real execution. The content address a.key stays undecorated
+// for the store.
+func (a *analysis) schedKey() string {
+	if a.profile == "" {
+		return a.key
+	}
+	return a.key + "#profile-" + a.profile
 }
 
 func (a *analysis) timeout(req *AnalysisRequest) time.Duration {

@@ -70,6 +70,14 @@ type Job struct {
 	startedAt  time.Time
 	finishedAt time.Time
 
+	// Per-job tracing, set by the server's dispatch wrapper before the
+	// run function executes (worker-goroutine access only).
+	tracer *obs.Tracer
+	span   *obs.Span
+	// Captured pprof blob (scheduler-lock guarded, like state).
+	profileKind string
+	profile     []byte
+
 	ctx       context.Context
 	cancel    context.CancelFunc
 	canceling bool
@@ -95,6 +103,7 @@ type JobStatus struct {
 	StartedAt  string   `json:"started_at,omitempty"`
 	FinishedAt string   `json:"finished_at,omitempty"`
 	ReportURL  string   `json:"report_url,omitempty"`
+	ProfileURL string   `json:"profile_url,omitempty"`
 }
 
 func stamp(t time.Time) string {
@@ -114,6 +123,9 @@ func (j *Job) statusLocked() JobStatus {
 	}
 	if j.state == StateDone {
 		st.ReportURL = "/v1/analyses/" + j.ID + "/report"
+	}
+	if len(j.profile) > 0 {
+		st.ProfileURL = "/v1/analyses/" + j.ID + "/profile"
 	}
 	return st
 }
@@ -374,6 +386,26 @@ func (s *Scheduler) recordFinishedLocked(j *Job) {
 		delete(s.byID, s.finished[0])
 		s.finished = s.finished[1:]
 	}
+}
+
+// SetProfile attaches a captured pprof blob to the job record.
+func (s *Scheduler) SetProfile(j *Job, kind string, data []byte) {
+	s.mu.Lock()
+	j.profileKind = kind
+	j.profile = data
+	s.mu.Unlock()
+}
+
+// Profile returns the job's captured pprof blob (empty when the job
+// did not request profiling or capture failed) with a status snapshot.
+func (s *Scheduler) Profile(id string) (kind string, data []byte, st JobStatus, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[id]
+	if !ok {
+		return "", nil, JobStatus{}, ErrUnknownJob
+	}
+	return j.profileKind, j.profile, j.statusLocked(), nil
 }
 
 // Status returns a snapshot of the identified job.

@@ -26,8 +26,10 @@ import (
 	"bytes"
 	"context"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"repro/internal/bench"
@@ -82,6 +84,15 @@ type Config struct {
 	// Tracer, when non-nil, receives hierarchical spans:
 	// server > job > (engine stages).
 	Tracer *obs.Tracer
+	// SlowJobThreshold enables the slow-job log: a job whose run time
+	// reaches it dumps its full span tree as one JSONL record to
+	// SlowJobLog; 0 disables. While enabled, jobs trace into a private
+	// unsampled per-job tracer (the span tree appears in the dump, not
+	// in Tracer's journal; lifecycle spans still do).
+	SlowJobThreshold time.Duration
+	// SlowJobLog receives the slow-job JSONL records; buffered, flushed
+	// on Shutdown. Required for SlowJobThreshold to take effect.
+	SlowJobLog io.Writer
 	// Logf, when non-nil, receives one line per lifecycle event
 	// (startup, job transitions, shutdown).
 	Logf func(format string, args ...any)
@@ -121,6 +132,10 @@ type Server struct {
 	tracer *obs.Tracer
 	root   *obs.Span
 
+	slowLog  *slowJobLog
+	slowJobs *obs.Counter
+	profMu   sync.Mutex // the CPU profiler is process-global
+
 	httpSrv *http.Server
 	ln      net.Listener
 
@@ -151,14 +166,19 @@ func New(cfg Config) (*Server, error) {
 		stats: engine.NewStatsOn(cfg.Registry),
 	}
 	s.runJob = s.execute
+	if cfg.SlowJobThreshold > 0 && cfg.SlowJobLog != nil {
+		s.slowLog = newSlowJobLog(cfg.SlowJobLog)
+		cfg.Registry.SetHelp("serve_slow_jobs_total", "Jobs that breached the slow-job threshold and dumped their span tree.")
+		s.slowJobs = cfg.Registry.Counter("serve_slow_jobs_total")
+	}
+	// dispatch wraps the substitutable runJob seam with per-job
+	// tracing, the slow-job log and profile capture.
 	s.sched = NewScheduler(SchedulerConfig{
 		Workers:      cfg.Workers,
 		QueueDepth:   cfg.QueueDepth,
 		JobTimeout:   cfg.JobTimeout,
 		FinishedJobs: cfg.FinishedJobs,
-	}, cfg.Registry, func(ctx context.Context, j *Job) ([]byte, error) {
-		return s.runJob(ctx, j)
-	})
+	}, cfg.Registry, s.dispatch)
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -213,6 +233,13 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	if s.root != nil {
 		s.root.End()
 	}
+	// All jobs are terminal now — flush the buffered slow-job records
+	// so none are lost with the process.
+	if s.slowLog != nil {
+		if ferr := s.slowLog.Flush(); ferr != nil && err == nil {
+			err = ferr
+		}
+	}
 	s.logf("rsnserved stopped")
 	return err
 }
@@ -231,20 +258,14 @@ func (s *Server) logf(format string, args ...any) {
 // counters, so its Stages section is left empty and StartedAt unset.
 func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 	a := j.Payload.(*analysis)
-	var span *obs.Span
-	if s.tracer != nil {
-		span = s.tracer.Start(s.root, "job",
-			obs.Str("id", j.ID), obs.Str("label", a.label), obs.Str("key", a.key[:12]))
-		defer span.End()
-	}
 	var rep *obs.RunReport
 	if a.benchmark != nil {
 		cfg := a.cfg
 		cfg.Workers = s.cfg.EngineWorkers
 		cfg.Parallel = 1 // job concurrency comes from the scheduler pool
 		cfg.Stats = s.stats
-		cfg.Tracer = s.tracer
-		cfg.TraceParent = span
+		cfg.Tracer = j.tracer
+		cfg.TraceParent = j.span
 		results, err := exp.RunProtocol(ctx, []bench.Benchmark{*a.benchmark}, cfg, nil)
 		if err != nil {
 			return nil, err
@@ -257,8 +278,8 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 			Workers:     s.cfg.EngineWorkers,
 			Context:     ctx,
 			Stats:       s.stats,
-			Tracer:      s.tracer,
-			TraceParent: span,
+			Tracer:      j.tracer,
+			TraceParent: j.span,
 		})
 		if err != nil {
 			return nil, err
@@ -269,10 +290,14 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 	if err := obs.WriteReport(&buf, rep); err != nil {
 		return nil, fmt.Errorf("serve: encode report: %w", err)
 	}
-	if err := s.store.Put(j.Key, buf.Bytes()); err != nil {
+	// The store key is the undecorated content address (a.key): a
+	// profiled job's scheduler key carries a "#profile-..." suffix so
+	// it never coalesces with (or short-circuits as) an unprofiled
+	// submission, but its result still warms the cache for plain ones.
+	if err := s.store.Put(a.key, buf.Bytes()); err != nil {
 		// The result is still served from the job record; only future
 		// identical submissions lose the cache hit.
-		s.logf("serve: store put %s: %v", j.Key[:12], err)
+		s.logf("serve: store put %s: %v", shortKey(a.key), err)
 	}
 	return buf.Bytes(), nil
 }

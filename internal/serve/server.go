@@ -13,8 +13,11 @@ import (
 // Handler returns the rsnserved HTTP API:
 //
 //	POST   /v1/analyses             submit (200 cached, 202 accepted, 429 full)
+//	                                ?profile=cpu|heap forces a real run and
+//	                                captures a pprof profile around it
 //	GET    /v1/analyses/{id}        job status
 //	GET    /v1/analyses/{id}/report finished job's rsnsec.run-report/v1
+//	GET    /v1/analyses/{id}/profile captured pprof blob (octet-stream)
 //	DELETE /v1/analyses/{id}        cancel a queued or running job
 //	GET    /healthz                 liveness
 //	GET    /readyz                  readiness (503 while draining)
@@ -27,6 +30,7 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("POST /v1/analyses", s.instrument("submit", s.handleSubmit))
 	mux.Handle("GET /v1/analyses/{id}", s.instrument("status", s.handleStatus))
 	mux.Handle("GET /v1/analyses/{id}/report", s.instrument("report", s.handleReport))
+	mux.Handle("GET /v1/analyses/{id}/profile", s.instrument("profile", s.handleProfile))
 	mux.Handle("DELETE /v1/analyses/{id}", s.instrument("cancel", s.handleCancel))
 	mux.Handle("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -109,13 +113,24 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	if data, ok := s.store.Get(a.key); ok {
-		j := s.sched.InsertFinished(a.key, a.label, "hit", data)
-		s.logf("job %s: %s served from store (%s)", j.ID, a.label, shortKey(a.key))
-		writeJSON(w, http.StatusOK, s.status(j))
+	switch prof := r.URL.Query().Get("profile"); prof {
+	case "", "cpu", "heap":
+		a.profile = prof
+	default:
+		writeError(w, http.StatusBadRequest, "unknown profile %q (want cpu or heap)", prof)
 		return
 	}
-	j, joined, err := s.sched.Submit(a.key, a.label, req.Priority, a.timeout(&req), a)
+	// A profile request skips the store lookup: the point is to watch a
+	// real run, so a cached report must not short-circuit it.
+	if a.profile == "" {
+		if data, ok := s.store.Get(a.key); ok {
+			j := s.sched.InsertFinished(a.key, a.label, "hit", data)
+			s.logf("job %s: %s served from store (%s)", j.ID, a.label, shortKey(a.key))
+			writeJSON(w, http.StatusOK, s.status(j))
+			return
+		}
+	}
+	j, joined, err := s.sched.Submit(a.schedKey(), a.label, req.Priority, a.timeout(&req), a)
 	switch {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new analyses")
@@ -193,6 +208,30 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	default:
 		writeJSON(w, http.StatusConflict, st)
 	}
+}
+
+// handleProfile streams the pprof blob captured around a
+// ?profile=cpu|heap job: 409 with the status while the job is still
+// running (poll and retry), 404 when the job never requested
+// profiling (or capture failed), 200 with the raw protobuf otherwise.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	kind, data, st, err := s.sched.Profile(r.PathValue("id"))
+	if errors.Is(err, ErrUnknownJob) {
+		writeError(w, http.StatusNotFound, "unknown analysis %q", r.PathValue("id"))
+		return
+	}
+	if !st.State.Finished() {
+		writeJSON(w, http.StatusConflict, st)
+		return
+	}
+	if len(data) == 0 {
+		writeError(w, http.StatusNotFound, "analysis %s has no captured profile (submit with ?profile=cpu or ?profile=heap)", st.ID)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Profile-Kind", kind)
+	w.Header().Set("X-Content-Key", st.Key)
+	_, _ = w.Write(data)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"runtime"
+	"runtime/pprof"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// slowJobEntry is one JSONL record of the slow-job log: the job's
+// identity, its measured duration against the configured threshold,
+// and the full span tree of the run.
+type slowJobEntry struct {
+	Time        string      `json:"time"`
+	JobID       string      `json:"job_id"`
+	Label       string      `json:"label,omitempty"`
+	Key         string      `json:"key"`
+	DurMS       int64       `json:"dur_ms"`
+	ThresholdMS int64       `json:"threshold_ms"`
+	Spans       []obs.Event `json:"spans,omitempty"`
+}
+
+// slowJobLog serializes slow-job entries as buffered JSON lines.
+// Flush on graceful shutdown pushes buffered entries to the
+// underlying writer.
+type slowJobLog struct {
+	mu  sync.Mutex
+	bw  *bufio.Writer
+	enc *json.Encoder
+}
+
+func newSlowJobLog(w io.Writer) *slowJobLog {
+	bw := bufio.NewWriterSize(w, 64<<10)
+	return &slowJobLog{bw: bw, enc: json.NewEncoder(bw)}
+}
+
+func (l *slowJobLog) record(e slowJobEntry) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.enc.Encode(e)
+}
+
+func (l *slowJobLog) Flush() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bw.Flush()
+}
+
+// dispatch is the scheduler's run function: it wraps the job execution
+// seam (s.runJob, substitutable by tests) with per-job tracing, the
+// slow-job log and on-demand profile capture, so those paths are
+// exercised regardless of the workload behind them.
+//
+// When slow-job logging is on, the job runs under a private per-job
+// tracer over a collector sink — full fidelity, no sampling — and the
+// complete span tree is journaled only if the job breaches the
+// threshold; the server-wide tracer keeps the lifecycle spans. With
+// logging off, the job traces into the server tracer as before.
+func (s *Server) dispatch(ctx context.Context, j *Job) ([]byte, error) {
+	tracer := s.tracer
+	var collector *obs.CollectorSink
+	var parent *obs.Span
+	if s.slowLog != nil {
+		collector = &obs.CollectorSink{}
+		tracer = obs.NewTracer(collector)
+	} else {
+		parent = s.root
+	}
+	label, key := j.Label, j.Key
+	span := tracer.Start(parent, "job",
+		obs.Str("id", j.ID), obs.Str("label", label), obs.Str("key", shortKey(key)))
+	j.tracer, j.span = tracer, span
+
+	start := time.Now()
+	data, err := s.runWithProfile(ctx, j)
+	span.End()
+	dur := time.Since(start)
+
+	if s.slowLog != nil && dur >= s.cfg.SlowJobThreshold {
+		s.slowJobs.Inc()
+		entry := slowJobEntry{
+			Time:        time.Now().UTC().Format(time.RFC3339Nano),
+			JobID:       j.ID,
+			Label:       label,
+			Key:         key,
+			DurMS:       dur.Milliseconds(),
+			ThresholdMS: s.cfg.SlowJobThreshold.Milliseconds(),
+			Spans:       collector.Events(),
+		}
+		if lerr := s.slowLog.record(entry); lerr != nil {
+			s.logf("serve: slow-job log: %v", lerr)
+		} else {
+			s.logf("job %s: slow (%s > %s threshold), span tree dumped (%d spans)",
+				j.ID, dur.Round(time.Millisecond), s.cfg.SlowJobThreshold, len(entry.Spans))
+		}
+	}
+	return data, err
+}
+
+// runWithProfile runs the job, capturing a CPU or heap profile around
+// it when the submission asked for one (?profile=cpu|heap). The CPU
+// profiler is process-global, so concurrent CPU-profiled jobs
+// serialize on profMu (the profile then covers only its own job plus
+// whatever else the process does meanwhile — that is inherent to
+// runtime profiling). Profile capture failures degrade to an
+// unprofiled run; the analysis result always wins.
+func (s *Server) runWithProfile(ctx context.Context, j *Job) ([]byte, error) {
+	a, _ := j.Payload.(*analysis)
+	kind := ""
+	if a != nil {
+		kind = a.profile
+	}
+	switch kind {
+	case "cpu":
+		var buf bytes.Buffer
+		s.profMu.Lock()
+		if err := pprof.StartCPUProfile(&buf); err != nil {
+			s.profMu.Unlock()
+			s.logf("job %s: cpu profile: %v", j.ID, err)
+			return s.runJob(ctx, j)
+		}
+		data, runErr := s.runJob(ctx, j)
+		pprof.StopCPUProfile()
+		s.profMu.Unlock()
+		if runErr == nil {
+			s.saveProfile(j, a, "cpu", buf.Bytes())
+		}
+		return data, runErr
+	case "heap":
+		data, runErr := s.runJob(ctx, j)
+		if runErr == nil {
+			runtime.GC() // fold transient garbage so the profile shows live allocations
+			var buf bytes.Buffer
+			if err := pprof.WriteHeapProfile(&buf); err != nil {
+				s.logf("job %s: heap profile: %v", j.ID, err)
+			} else {
+				s.saveProfile(j, a, "heap", buf.Bytes())
+			}
+		}
+		return data, runErr
+	default:
+		return s.runJob(ctx, j)
+	}
+}
+
+// saveProfile attaches the pprof blob to the job record (served by
+// GET /v1/analyses/{id}/profile) and persists it next to the cached
+// report when the store has a disk tier.
+func (s *Server) saveProfile(j *Job, a *analysis, kind string, data []byte) {
+	s.sched.SetProfile(j, kind, data)
+	if err := s.store.PutProfile(a.key, kind, data); err != nil {
+		s.logf("job %s: store profile: %v", j.ID, err)
+	}
+	s.logf("job %s: %s profile captured (%d bytes)", j.ID, kind, len(data))
+}

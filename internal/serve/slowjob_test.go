@@ -1,0 +1,229 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"compress/gzip"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a mutex-guarded bytes.Buffer: the slow-job log writes
+// from scheduler workers while the test reads after shutdown.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) Bytes() []byte {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]byte(nil), b.buf.Bytes()...)
+}
+
+// TestSlowJobDump exercises the slow-job path: one deliberately slow
+// job must produce exactly one span-tree dump, and a fast job under
+// the same threshold must produce none.
+func TestSlowJobDump(t *testing.T) {
+	var log syncBuffer
+	threshold := 50 * time.Millisecond
+	srv, ts := testServer(t, Config{
+		Workers:          2,
+		SlowJobThreshold: threshold,
+		SlowJobLog:       &log,
+	}, func(ctx context.Context, j *Job) ([]byte, error) {
+		// The dispatch wrapper hands every job a private tracer; emit a
+		// child span like the real engine would.
+		sp := j.tracer.Start(j.span, "work")
+		if j.Label == "TreeFlat" {
+			time.Sleep(threshold + 30*time.Millisecond)
+		}
+		sp.End()
+		return []byte(`{}`), nil
+	})
+
+	code, _, data := postJSON(t, ts.URL+"/v1/analyses", `{"benchmark":"TreeFlat"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("slow submit: HTTP %d: %s", code, data)
+	}
+	slow := decodeStatus(t, data)
+	code, _, data = postJSON(t, ts.URL+"/v1/analyses", `{"benchmark":"BasicSCB"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("fast submit: HTTP %d: %s", code, data)
+	}
+	fast := decodeStatus(t, data)
+	pollDone(t, ts.URL, slow.ID)
+	pollDone(t, ts.URL, fast.ID)
+
+	// Shutdown drains and flushes the buffered log.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	var entries []slowJobEntry
+	sc := bufio.NewScanner(bytes.NewReader(log.Bytes()))
+	for sc.Scan() {
+		var e slowJobEntry
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			t.Fatalf("bad slow-job line: %v\n%s", err, sc.Text())
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want exactly 1 slow-job dump, got %d: %+v", len(entries), entries)
+	}
+	e := entries[0]
+	if e.JobID != slow.ID {
+		t.Errorf("dumped job %s, want the slow job %s", e.JobID, slow.ID)
+	}
+	if e.ThresholdMS != threshold.Milliseconds() {
+		t.Errorf("threshold_ms = %d, want %d", e.ThresholdMS, threshold.Milliseconds())
+	}
+	if e.DurMS < e.ThresholdMS {
+		t.Errorf("dur_ms %d below threshold_ms %d", e.DurMS, e.ThresholdMS)
+	}
+	names := map[string]bool{}
+	for _, sp := range e.Spans {
+		names[sp.Name] = true
+	}
+	if !names["job"] || !names["work"] {
+		t.Errorf("span tree lacks job/work spans: %v", e.Spans)
+	}
+	if n := srv.reg.Counter("serve_slow_jobs_total").Value(); n != 1 {
+		t.Errorf("serve_slow_jobs_total = %d, want 1", n)
+	}
+}
+
+// TestSlowJobThresholdGating: with a threshold no job reaches, nothing
+// is dumped.
+func TestSlowJobThresholdGating(t *testing.T) {
+	var log syncBuffer
+	srv, ts := testServer(t, Config{
+		SlowJobThreshold: time.Hour,
+		SlowJobLog:       &log,
+	}, func(ctx context.Context, j *Job) ([]byte, error) {
+		return []byte(`{}`), nil
+	})
+	code, _, data := postJSON(t, ts.URL+"/v1/analyses", `{"benchmark":"BasicSCB"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", code, data)
+	}
+	pollDone(t, ts.URL, decodeStatus(t, data).ID)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = srv.Shutdown(ctx)
+	if out := log.Bytes(); len(out) != 0 {
+		t.Fatalf("sub-threshold job dumped: %s", out)
+	}
+}
+
+// gunzip decompresses a pprof blob (pprof profiles are gzipped
+// protobufs; the gzip layer is the stdlib-checkable part).
+func gunzip(t *testing.T, data []byte) []byte {
+	t.Helper()
+	zr, err := gzip.NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatalf("profile is not gzip: %v", err)
+	}
+	defer zr.Close()
+	raw, err := io.ReadAll(zr)
+	if err != nil {
+		t.Fatalf("profile gunzip: %v", err)
+	}
+	return raw
+}
+
+// TestProfileCaptureCPU runs a real engine job under ?profile=cpu and
+// checks the captured blob parses as a pprof profile (gzip-framed
+// protobuf), that the profiled run still warms the content cache for
+// plain submissions, and the 404 path for unprofiled jobs.
+func TestProfileCaptureCPU(t *testing.T) {
+	_, ts := testServer(t, Config{}, nil) // real engine execute
+	body := `{"benchmark":"BasicSCB","circuits":1,"specs":2,"target_scan_ffs":60}`
+
+	code, _, data := postJSON(t, ts.URL+"/v1/analyses?profile=cpu", body)
+	if code != http.StatusAccepted {
+		t.Fatalf("profiled submit: HTTP %d (want 202, a profile must force a real run): %s", code, data)
+	}
+	st := pollDone(t, ts.URL, decodeStatus(t, data).ID)
+	if st.State != StateDone {
+		t.Fatalf("profiled job ended %s: %s", st.State, st.Error)
+	}
+	if st.ProfileURL == "" {
+		t.Fatalf("finished profiled job has no profile_url: %+v", st)
+	}
+
+	code, hdr, blob := getBody(t, ts.URL+st.ProfileURL)
+	if code != http.StatusOK {
+		t.Fatalf("profile fetch: HTTP %d: %s", code, blob)
+	}
+	if kind := hdr.Get("X-Profile-Kind"); kind != "cpu" {
+		t.Errorf("X-Profile-Kind = %q, want cpu", kind)
+	}
+	if len(blob) < 2 || blob[0] != 0x1f || blob[1] != 0x8b {
+		t.Fatalf("profile blob lacks gzip magic: % x", blob[:min(8, len(blob))])
+	}
+	if raw := gunzip(t, blob); len(raw) == 0 {
+		t.Error("profile decompressed to nothing")
+	}
+
+	// The profiled run stored its report under the undecorated content
+	// key: an identical plain submission is a cache hit.
+	code, _, data = postJSON(t, ts.URL+"/v1/analyses", body)
+	if code != http.StatusOK {
+		t.Fatalf("plain resubmit after profiled run: HTTP %d (want 200 cache hit): %s", code, data)
+	}
+	if st := decodeStatus(t, data); st.Cache != "hit" {
+		t.Errorf("cache = %q, want hit", st.Cache)
+	}
+	// ...and the plain job has no profile.
+	code, _, data = getBody(t, ts.URL+"/v1/analyses/"+decodeStatus(t, data).ID+"/profile")
+	if code != http.StatusNotFound {
+		t.Errorf("unprofiled job profile fetch: HTTP %d (want 404): %s", code, data)
+	}
+}
+
+// TestProfileCaptureHeap checks the heap kind end to end with a
+// substituted workload (heap profiles do not depend on the engine).
+func TestProfileCaptureHeap(t *testing.T) {
+	_, ts := testServer(t, Config{}, func(ctx context.Context, j *Job) ([]byte, error) {
+		return []byte(`{}`), nil
+	})
+	code, _, data := postJSON(t, ts.URL+"/v1/analyses?profile=heap", `{"benchmark":"BasicSCB"}`)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d: %s", code, data)
+	}
+	st := pollDone(t, ts.URL, decodeStatus(t, data).ID)
+	code, hdr, blob := getBody(t, ts.URL+"/v1/analyses/"+st.ID+"/profile")
+	if code != http.StatusOK {
+		t.Fatalf("profile fetch: HTTP %d: %s", code, blob)
+	}
+	if kind := hdr.Get("X-Profile-Kind"); kind != "heap" {
+		t.Errorf("X-Profile-Kind = %q, want heap", kind)
+	}
+	gunzip(t, blob)
+}
+
+// TestProfileParamValidation rejects unknown profile kinds.
+func TestProfileParamValidation(t *testing.T) {
+	_, ts := testServer(t, Config{}, func(ctx context.Context, j *Job) ([]byte, error) {
+		return []byte(`{}`), nil
+	})
+	code, _, data := postJSON(t, ts.URL+"/v1/analyses?profile=wallclock", `{"benchmark":"BasicSCB"}`)
+	if code != http.StatusBadRequest {
+		t.Fatalf("bad profile kind: HTTP %d (want 400): %s", code, data)
+	}
+}

@@ -156,6 +156,35 @@ func (s *Store) Put(key string, data []byte) error {
 	return nil
 }
 
+// PutProfile persists a captured pprof blob next to the cached report
+// (<key>.<kind>.pprof) when the store has a disk tier; memory-only
+// stores keep profiles on the job record alone. Written atomically
+// like reports.
+func (s *Store) PutProfile(key, kind string, data []byte) error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	tmp, err := os.CreateTemp(s.cfg.Dir, "prof-*.tmp")
+	if err != nil {
+		return fmt.Errorf("serve: profile write: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: profile write: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: profile write: %w", err)
+	}
+	dst := filepath.Join(s.cfg.Dir, key+"."+kind+".pprof")
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: profile write: %w", err)
+	}
+	return nil
+}
+
 // insert adds or refreshes the in-memory entry and evicts LRU tails
 // beyond the entry and byte bounds.
 func (s *Store) insert(key string, data []byte, overwrite bool) {

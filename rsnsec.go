@@ -45,6 +45,7 @@ import (
 	"repro/internal/icl"
 	"repro/internal/netlist"
 	"repro/internal/obs"
+	"repro/internal/obs/perfrec"
 	"repro/internal/paperex"
 	"repro/internal/pure"
 	"repro/internal/rsn"
@@ -288,6 +289,60 @@ func WriteRunReport(w io.Writer, r *RunReport) error { return obs.WriteReport(w,
 
 // ReadRunReport parses and validates a report.
 func ReadRunReport(r io.Reader) (*RunReport, error) { return obs.ReadReport(r) }
+
+// Performance observatory: schema-versioned bench records with
+// noise-aware regression gating.
+type (
+	// BenchRecord is the schema-versioned performance record of a
+	// protocol run: per-stage wall-time medians with MAD noise
+	// estimates, SAT totals, memory peaks and the environment
+	// fingerprint.
+	BenchRecord = perfrec.Record
+	// BenchRegression is one gated delta that exceeded its noise
+	// allowance.
+	BenchRegression = perfrec.Regression
+	// BenchLimits parameterizes the noise-aware regression gate.
+	BenchLimits = perfrec.Limits
+	// BenchEnvironment is a record's machine fingerprint.
+	BenchEnvironment = perfrec.Environment
+	// BenchCollectOptions parameterizes CollectBenchRecord.
+	BenchCollectOptions = exp.CollectOptions
+)
+
+// BenchRecordSchema is the bench-record schema identifier accepted by
+// ReadBenchRecord.
+const BenchRecordSchema = perfrec.BenchSchema
+
+// CollectBenchRecord measures the Table I protocol opts.Reps times per
+// benchmark under private instrumentation and returns the assembled
+// schema-valid bench record; stage wall times come from real trace
+// spans of the runs.
+func CollectBenchRecord(ctx context.Context, benchmarks []Benchmark, cfg RunConfig, opts BenchCollectOptions) (*BenchRecord, error) {
+	return exp.CollectBenchRecord(ctx, benchmarks, cfg, opts)
+}
+
+// CompareBenchRecords gates new against old and returns every
+// regression exceeding max(threshold·old, k·MAD) (plus the memory
+// gate); the zero Limits value uses the defaults.
+func CompareBenchRecords(old, new *BenchRecord, lim BenchLimits) []BenchRegression {
+	return perfrec.Compare(old, new, lim)
+}
+
+// WriteBenchRecord serializes a record as indented JSON.
+func WriteBenchRecord(w io.Writer, r *BenchRecord) error { return perfrec.Write(w, r) }
+
+// ReadBenchRecord parses and validates a bench record.
+func ReadBenchRecord(r io.Reader) (*BenchRecord, error) { return perfrec.Read(r) }
+
+// CaptureBenchEnvironment fingerprints the current machine and
+// toolchain for a bench record.
+func CaptureBenchEnvironment(commit string) BenchEnvironment {
+	return perfrec.CaptureEnvironment(commit)
+}
+
+// FormatBenchRegressions renders the gate outcome, one line per
+// regression ("performance gate clean" when empty).
+func FormatBenchRegressions(regs []BenchRegression) string { return perfrec.FormatRegressions(regs) }
 
 // NewAnalysisOpts is NewAnalysis under an engine configuration: the
 // SAT-classified 1-cycle dependencies fan out over the engine's worker
