@@ -13,7 +13,16 @@
 //	    the pure-path stage against a random specification.
 //
 // Use -mode structural for the Section IV-C over-approximation and
-// -out to write the secured network back as ICL. Engine flags:
+// -out to write the secured network back as ICL.
+//
+// Incremental mode: -delta script.json secures the base network, then
+// applies the JSON edit script and re-secures the derived network
+// incrementally — wiring-only scripts reuse the dependency analysis
+// entirely — and prints the rsnsec.delta-report/v1 document (the delta
+// run's report plus the structured diff against the base run) on
+// stdout. Under -q stdout carries nothing but that document.
+//
+// Engine flags:
 // -workers bounds the SAT worker pool (the hybrid resolve stage also
 // fans candidate trials out over it), -timeout cancels the run after
 // a duration, and -v prints per-stage engine progress and a stats
@@ -61,6 +70,7 @@ func main() {
 		specSeed  = flag.Int64("spec-seed", 1, "security specification seed")
 		mode      = flag.String("mode", "exact", "dependency mode: exact or structural")
 		outPath   = flag.String("out", "", "write the secured network as ICL to this file")
+		deltaPath = flag.String("delta", "", "JSON edit script: secure the base, apply the script, re-secure incrementally and print the delta report on stdout")
 		benchPath = flag.String("bench", "", "circuit (.bench) backing the -icl network's instrument links")
 		doVerify  = flag.Bool("verify", false, "re-check the result with the independent verifier")
 		explain   = flag.Int("explain", 0, "print up to N violating data flows before resolving")
@@ -75,13 +85,13 @@ func main() {
 	flag.Parse()
 	ec := engineConfig{workers: *workers, timeout: *timeout, verbose: *verbose,
 		quiet: *quiet, tracePath: *trace, traceSample: *traceSmp, debugAddr: *debugAddr}
-	if err := run(*benchName, *iclPath, *benchPath, *scale, *seed, *specSeed, *mode, *outPath, *doVerify, *explain, ec); err != nil {
+	if err := run(*benchName, *iclPath, *benchPath, *scale, *seed, *specSeed, *mode, *outPath, *deltaPath, *doVerify, *explain, ec); err != nil {
 		fmt.Fprintln(os.Stderr, "rsnsec:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int64, modeName, outPath string, doVerify bool, explain int, ec engineConfig) error {
+func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int64, modeName, outPath, deltaPath string, doVerify bool, explain int, ec engineConfig) error {
 	var m rsnsec.Mode
 	switch modeName {
 	case "exact":
@@ -277,17 +287,7 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		}
 		return nil
 	}
-	var rep *rsnsec.Report
-	var err error
-	if spec != nil {
-		if err := showFlows(spec); err != nil {
-			return err
-		}
-		rep, err = rsnsec.Secure(nw, circuit, internal, spec, secOpts)
-		if err != nil {
-			return err
-		}
-	} else {
+	if spec == nil {
 		// Like the paper's protocol, skip generated specifications under
 		// which the circuit logic itself is insecure: no scan network
 		// transformation can help those.
@@ -315,13 +315,19 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		if chosen != specSeed {
 			fmt.Fprintf(out, "using spec seed %d (earlier seeds classified the circuit logic insecure)\n", chosen)
 		}
-		if err := showFlows(spec); err != nil {
-			return err
+	}
+	if err := showFlows(spec); err != nil {
+		return err
+	}
+	if deltaPath != "" {
+		if outPath != "" || doVerify {
+			return fmt.Errorf("-delta is incompatible with -out and -verify (its result is the delta report, not a transformed network)")
 		}
-		rep, err = rsnsec.Secure(nw, circuit, internal, spec, secOpts)
-		if err != nil {
-			return err
-		}
+		return runDelta(nw, circuit, internal, spec, deltaPath, m, engOpts, secOpts, out)
+	}
+	rep, err := rsnsec.Secure(nw, circuit, internal, spec, secOpts)
+	if err != nil {
+		return err
 	}
 	switch {
 	case rep.InsecureLogic:
@@ -360,4 +366,47 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 		fmt.Fprintf(errw, "engine stats:\n%s\n", stats)
 	}
 	return nil
+}
+
+// runDelta is the -delta mode: secure the base network on a clone (so
+// the base wiring survives for the edit), apply the script, re-secure
+// the derived network through the incremental path, and print the
+// rsnsec.delta-report/v1 document on stdout — under -q the only bytes
+// stdout carries, so the mode pipes into jq and friends.
+func runDelta(nw *rsnsec.Network, circuit *rsnsec.Netlist, internal []rsnsec.FFID, spec *rsnsec.Spec, deltaPath string, m rsnsec.Mode, engOpts rsnsec.EngineOptions, secOpts rsnsec.Options, out io.Writer) error {
+	data, err := os.ReadFile(deltaPath)
+	if err != nil {
+		return err
+	}
+	script, err := rsnsec.ParseEditScript(data)
+	if err != nil {
+		return err
+	}
+	scriptHash, err := script.CanonicalHash()
+	if err != nil {
+		return err
+	}
+	an, err := rsnsec.NewAnalysisOpts(nw, circuit, internal, spec, m, engOpts)
+	if err != nil {
+		return err
+	}
+	base, err := rsnsec.SecureWithAnalysis(an, nw.Clone(), secOpts)
+	if err != nil {
+		return err
+	}
+	baseRep := rsnsec.SecureRunReport("rsnsec", nw.Name, m, nw.Stats(), base, nil)
+	fmt.Fprintf(out, "base run: secured=%v, %d changes\n", base.Secured, base.TotalChanges())
+	res, err := rsnsec.SecureDelta("rsnsec", nw.Name, an, nw, script, secOpts)
+	if err != nil {
+		return err
+	}
+	kind := "incremental, dependencies reused"
+	if res.Structural {
+		kind = "structural, dependencies recomputed"
+	}
+	fmt.Fprintf(out, "delta run (%d ops, %s): secured=%v, %d changes in %s\n",
+		len(script.Ops), kind, res.Core.Secured, res.Core.TotalChanges(),
+		res.Core.Times.Total.Round(time.Millisecond))
+	doc := rsnsec.NewDeltaDoc("", "", scriptHash, len(script.Ops), baseRep, res.Report)
+	return rsnsec.WriteDeltaDoc(os.Stdout, doc)
 }

@@ -18,6 +18,13 @@
 // -slow-job-log; POST /v1/analyses?profile=cpu (or heap) forces a
 // real run with pprof capture around it, retrievable from
 // GET /v1/analyses/{id}/profile.
+//
+// Incremental sessions: finished ICL submissions keep a session (the
+// parsed network plus the analysis's propagated fixed point; persisted
+// with -store-dir). POST /v1/analyses/{id}/delta applies a JSON edit
+// script against it and re-secures incrementally, returning a
+// rsnsec.delta-report/v1 document; -max-sessions bounds the hydrated
+// sessions held in memory.
 package main
 
 import (
@@ -53,6 +60,7 @@ func run() error {
 		storeDir     = flag.String("store-dir", "", "persist results as <key>.json in this directory (empty = memory only)")
 		storeEntries = flag.Int("store-entries", 0, "in-memory store entry bound (0 = 512)")
 		maxScanFFs   = flag.Int("max-scan-ffs", 0, "largest accepted analysis in scan flip-flops (0 = 1500)")
+		maxSessions  = flag.Int("max-sessions", 0, "hydrated incremental sessions kept in memory (0 = 16)")
 		tracePath    = flag.String("trace", "", "write the span journal as JSONL to this file")
 		slowJobThr   = flag.Duration("slow-job-threshold", 0, "dump the span tree of jobs slower than this to -slow-job-log (0 = off)")
 		slowJobPath  = flag.String("slow-job-log", "", "slow-job JSONL log file (default <stderr> when -slow-job-threshold is set)")
@@ -105,6 +113,7 @@ func run() error {
 			MaxEntries: *storeEntries,
 		},
 		Limits:           serve.Limits{MaxScanFFs: *maxScanFFs},
+		MaxSessions:      *maxSessions,
 		Registry:         reg,
 		Tracer:           tracer,
 		SlowJobThreshold: *slowJobThr,

@@ -89,6 +89,34 @@ func TestRsnsecQuietIsSilent(t *testing.T) {
 	}
 }
 
+func TestRsnsecDeltaQuietStdoutIsPureJSON(t *testing.T) {
+	script := filepath.Join(t.TempDir(), "edit.json")
+	// add-register applies on any network, independent of the base
+	// wiring, so the test is deterministic across benchmarks.
+	if err := os.WriteFile(script, []byte(
+		`{"ops":[{"op":"add-register","pin":"R0","src":"SI","name":"dx","len":1,"module":0}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout, stderr := runCLI(t, "rsnsec",
+		"-benchmark", "TreeFlat", "-scale", "0.1", "-delta", script, "-q")
+	if stderr != "" {
+		t.Errorf("rsnsec -delta -q wrote to stderr:\n%s", stderr)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(stdout), &doc); err != nil {
+		t.Fatalf("rsnsec -delta -q stdout is not a single JSON document: %v\n%s", err, stdout)
+	}
+	if doc["schema"] != "rsnsec.delta-report/v1" {
+		t.Errorf("unexpected schema: %v", doc["schema"])
+	}
+	if doc["diff"] == nil || doc["report"] == nil {
+		t.Errorf("delta document missing diff or report:\n%s", stdout)
+	}
+	if doc["script_ops"] != float64(1) {
+		t.Errorf("script_ops = %v, want 1", doc["script_ops"])
+	}
+}
+
 func TestRsngenQuietStdoutIsPureICL(t *testing.T) {
 	stdout, stderr := runCLI(t, "rsngen",
 		"-benchmark", "TreeFlat", "-scale", "0.05", "-q")

@@ -58,6 +58,12 @@ func (o Options) engineOptions() engine.Options {
 		Stats: o.Stats, Tracer: o.Tracer, TraceParent: o.TraceParent}
 }
 
+// EngineOptions derives the engine configuration of one run — exposed
+// so session holders (internal/exp, internal/serve) can build a
+// hybrid.Analysis under exactly the configuration a Secure call with
+// these options would use.
+func (o Options) EngineOptions() engine.Options { return o.engineOptions() }
+
 // StageTimes records wall-clock runtimes per pipeline stage, matching
 // the runtime columns of Table I.
 type StageTimes struct {
@@ -139,10 +145,53 @@ func Secure(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, 
 		return rep, fmt.Errorf("core: dependency analysis: %w", err)
 	}
 	rep.Times.DependencyCalc = time.Since(t0)
-	rep.DepStats = an.DepStats
-	rep.PresetDeps = an.PresetDeps
 	logf("dependency calculation: %d denoted FFs, %d dependencies (%d preset), %d SAT calls",
 		an.DepStats.FFsDenoted, an.DepStats.DepsMultiCycle, an.PresetDeps, an.DepStats.SATCalls)
+	return rep, securePipeline(an, nw, eng, rep, logf, start)
+}
+
+// SecureWithAnalysis runs the pipeline stages after the dependency
+// calculation against an existing Analysis — the incremental-session
+// entry point: the caller amortizes the expensive fixed-infrastructure
+// analysis (and its cached attribute fixed point) across a chain of
+// derived networks, each run re-propagating only its dirty cone. nw
+// must share the analysis's register set (its wiring may differ
+// arbitrarily). The analysis runs under the engine configuration
+// derived from opts for this call (workers, stats, tracing,
+// cancellation) while keeping its incremental cache, and the report's
+// DependencyCalc time is zero — that cost was paid when the analysis
+// was built.
+func SecureWithAnalysis(an *hybrid.Analysis, nw *rsn.Network, opts Options) (*Report, error) {
+	logf := opts.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	if err := nw.Validate(); err != nil {
+		return nil, fmt.Errorf("core: input network invalid: %w", err)
+	}
+	rep := &Report{}
+	start := time.Now()
+	eng := opts.engineOptions()
+	st := nw.Stats()
+	span := eng.StartSpan("secure",
+		obs.Str("network", nw.Name), obs.Int("registers", int64(st.Registers)),
+		obs.Int("scan_ffs", int64(st.ScanFFs)), obs.Int("muxes", int64(st.Muxes)))
+	defer span.End()
+	defer func() {
+		span.SetAttrs(obs.Bool("secured", rep.Secured), obs.Bool("insecure_logic", rep.InsecureLogic),
+			obs.Int("pure_changes", int64(rep.PureChanges)), obs.Int("hybrid_changes", int64(rep.HybridChanges)))
+	}()
+	return rep, securePipeline(an.WithEngine(eng.WithParent(span)), nw, eng.WithParent(span), rep, logf, start)
+}
+
+// securePipeline runs every stage after the dependency calculation:
+// violating-register census, insecure-logic check, pure resolution,
+// hybrid resolution, and the final no-violations verification. It
+// mutates nw toward a secure network and fills rep in place.
+func securePipeline(an *hybrid.Analysis, nw *rsn.Network, eng engine.Options, rep *Report, logf func(string, ...any), start time.Time) error {
+	spec := an.Spec
+	rep.DepStats = an.DepStats
+	rep.PresetDeps = an.PresetDeps
 
 	// Violating registers of the original network (pure and hybrid).
 	rep.ViolatingRegsBefore = len(an.ViolatingRegisters(nw))
@@ -150,7 +199,7 @@ func Secure(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, 
 
 	// Insecure circuit logic (Section III-B): violations that exist
 	// over the fixed infrastructure alone.
-	t0 = time.Now()
+	t0 := time.Now()
 	pairs := an.InsecureModulePairs()
 	rep.Times.InsecureCheck = time.Since(t0)
 	if len(pairs) > 0 {
@@ -158,7 +207,7 @@ func Secure(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, 
 		rep.InsecureModulePairs = pairs
 		rep.Times.Total = time.Since(start)
 		logf("insecure circuit logic: %d module pairs — circuit redesign required", len(pairs))
-		return rep, nil
+		return nil
 	}
 
 	// Pure scan paths (Section III-C first half, the IOLTS 2018 stage).
@@ -174,7 +223,7 @@ func Secure(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, 
 	pureDone()
 	rep.Times.PureStage = time.Since(t0)
 	if err != nil {
-		return rep, fmt.Errorf("core: pure stage: %w", err)
+		return fmt.Errorf("core: pure stage: %w", err)
 	}
 	rep.PureChanges = len(pres.Changes)
 	rep.PureChangeList = pres.Changes
@@ -185,20 +234,20 @@ func Secure(nw *rsn.Network, circuit *netlist.Netlist, internal []netlist.FFID, 
 	hres, err := hybrid.Resolve(an, nw)
 	rep.Times.HybridStage = time.Since(t0)
 	if err != nil {
-		return rep, fmt.Errorf("core: hybrid stage: %w", err)
+		return fmt.Errorf("core: hybrid stage: %w", err)
 	}
 	rep.HybridChanges = len(hres.Changes)
 	rep.HybridChangeList = hres.Changes
 	logf("hybrid scan paths: %d violating nodes resolved with %d changes", hres.ViolationsBefore, len(hres.Changes))
 
 	if err := nw.Validate(); err != nil {
-		return rep, fmt.Errorf("core: network invalid after transformation: %w", err)
+		return fmt.Errorf("core: network invalid after transformation: %w", err)
 	}
 	if v := an.Violations(nw); len(v) != 0 {
-		return rep, fmt.Errorf("core: %d violations remain after the method", len(v))
+		return fmt.Errorf("core: %d violations remain after the method", len(v))
 	}
 	rep.Secured = true
 	rep.Times.Total = time.Since(start)
 	logf("network is data-flow secure (%d total changes)", rep.TotalChanges())
-	return rep, nil
+	return nil
 }

@@ -1,0 +1,257 @@
+package exp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/dep"
+	"repro/internal/engine"
+	"repro/internal/hybrid"
+	"repro/internal/paperex"
+	"repro/internal/rsn"
+	"repro/internal/secspec"
+)
+
+// firstWiringScript finds a wiring-only edit on base for which both the
+// incremental and the from-scratch pipeline succeed, returning the
+// script and the two reports for comparison.
+func firstWiringScript(t *testing.T, an *hybrid.Analysis, base *rsn.Network, opts core.Options) (*rsn.EditScript, *DeltaResult, *core.Report) {
+	t.Helper()
+	for reg := range base.Registers {
+		for cand := -1; cand < len(base.Registers); cand++ {
+			src := rsn.ScanIn
+			if cand >= 0 {
+				if cand == reg {
+					continue
+				}
+				src = rsn.Reg(cand)
+			}
+			scr := &rsn.EditScript{Ops: []rsn.EditOp{
+				{Op: rsn.OpCutReconnect, Pin: rsn.Reg(reg).String(), Src: src.String()},
+			}}
+			derived, err := scr.Apply(base)
+			if err != nil {
+				continue
+			}
+			full, err := core.Secure(derived.Clone(), an.Circuit, an.InternalFFs(), an.Spec, opts)
+			if err != nil || !full.Secured {
+				continue
+			}
+			res, err := SecureDelta("test", "paperex", an, base, scr, opts)
+			if err != nil {
+				t.Fatalf("full pipeline succeeded but SecureDelta failed on %v: %v", scr.Ops, err)
+			}
+			return scr, res, full
+		}
+	}
+	t.Fatal("no wiring edit with a securable outcome found")
+	return nil, nil, nil
+}
+
+// TestSecureDeltaWiringOnly checks the incremental path end to end on
+// the running example: a wiring-only script reuses the caller's
+// analysis (no dependency recalculation) and produces the same pipeline
+// outcome as a from-scratch core.Secure on the derived network.
+func TestSecureDeltaWiringOnly(t *testing.T) {
+	e := paperex.New()
+	opts := core.Options{Mode: dep.Exact}
+	an, err := hybrid.NewAnalysisOpts(e.Network, e.Circuit, e.Internal, e.Spec, dep.Exact, opts.EngineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr, res, full := firstWiringScript(t, an, e.Network, opts)
+	if res.Structural {
+		t.Fatal("wiring-only script flagged structural")
+	}
+	if res.Analysis != an {
+		t.Fatal("wiring-only delta must reuse the caller's analysis")
+	}
+	if res.Core.Times.DependencyCalc != 0 {
+		t.Fatalf("incremental run recomputed dependencies (%v)", res.Core.Times.DependencyCalc)
+	}
+	if res.Core.Secured != full.Secured ||
+		res.Core.ViolatingRegsBefore != full.ViolatingRegsBefore ||
+		res.Core.PureChanges != full.PureChanges ||
+		res.Core.HybridChanges != full.HybridChanges {
+		t.Fatalf("incremental outcome diverges from full run:\n inc  %+v\n full %+v", res.Core, full)
+	}
+	// Derived must be the pre-resolution wiring: applying the script to
+	// the base again reproduces it exactly.
+	again, err := scr.Apply(e.Network)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rsn.CanonicalHash(res.Derived) != rsn.CanonicalHash(again) {
+		t.Fatal("Derived is not the pre-resolution edited network")
+	}
+	if res.Report == nil || res.Report.Validate() != nil {
+		t.Fatalf("delta run report invalid: %+v", res.Report)
+	}
+	if res.Report.Benchmarks[0].AvgDepNS != 0 {
+		t.Fatal("incremental run report charges dependency time")
+	}
+}
+
+// TestSecureDeltaStructuralFallback checks the other leg: a script that
+// adds a register cannot reuse the fixed infrastructure, so SecureDelta
+// builds a fresh analysis, charges the dependency time, and still
+// matches the from-scratch pipeline.
+func TestSecureDeltaStructuralFallback(t *testing.T) {
+	e := paperex.New()
+	opts := core.Options{Mode: dep.Exact}
+	an, err := hybrid.NewAnalysisOpts(e.Network, e.Circuit, e.Internal, e.Spec, dep.Exact, opts.EngineOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scr := &rsn.EditScript{Ops: []rsn.EditOp{
+		{Op: rsn.OpAddRegister, Pin: "R0", Src: "SI", Name: "nx", Len: 2, Module: 0},
+	}}
+	res, err := SecureDelta("test", "paperex", an, e.Network, scr, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Structural {
+		t.Fatal("add-register script not flagged structural")
+	}
+	if res.Analysis == an {
+		t.Fatal("structural delta must build a fresh analysis")
+	}
+	if res.Analysis.NumRegisters() != len(e.Network.Registers)+1 {
+		t.Fatalf("fresh analysis has %d registers", res.Analysis.NumRegisters())
+	}
+	if res.Core.Times.DependencyCalc <= 0 {
+		t.Fatal("structural run must charge the dependency recalculation")
+	}
+	full, err := core.Secure(res.Derived.Clone(), an.Circuit, an.InternalFFs(), an.Spec, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Core.Secured != full.Secured ||
+		res.Core.ViolatingRegsBefore != full.ViolatingRegsBefore ||
+		res.Core.PureChanges != full.PureChanges ||
+		res.Core.HybridChanges != full.HybridChanges {
+		t.Fatalf("structural outcome diverges from full run:\n inc  %+v\n full %+v", res.Core, full)
+	}
+}
+
+// deltaBenchCase builds a scaled catalog benchmark with an attached
+// circuit and a generated spec that yields resolvable violations — the
+// same setup the hybrid package benchmarks on, through public API only.
+func deltaBenchCase(tb testing.TB, name string) (*hybrid.Analysis, *rsn.Network) {
+	tb.Helper()
+	b, ok := bench.ByName(name)
+	if !ok {
+		tb.Fatalf("unknown benchmark %q", name)
+	}
+	nw := b.Build(0.15)
+	att := bench.AttachCircuit(nw, bench.DefaultCircuitConfig(), 7)
+	for seed := int64(0); seed < 24; seed++ {
+		spec := secspec.Generate(len(nw.Modules), secspec.DefaultGenConfig(), seed)
+		an, err := hybrid.NewAnalysisOpts(nw, att.Circuit, att.Internal, spec, dep.Exact, engine.Options{})
+		if err != nil {
+			continue
+		}
+		if len(an.InsecureModulePairs()) > 0 || len(an.Violations(nw)) == 0 {
+			continue
+		}
+		return an, nw
+	}
+	tb.Fatalf("%s: no spec seed with violations found", name)
+	return nil, nil
+}
+
+// benchChain precomputes a deterministic chain of wiring-only scripts
+// (validated step by step on an evolving clone) plus the derived
+// network of every step, and verifies during setup that both the
+// incremental and the from-scratch pipeline secure every step.
+func benchChain(tb testing.TB, an *hybrid.Analysis, base *rsn.Network, steps int) []*rsn.EditScript {
+	tb.Helper()
+	r := rand.New(rand.NewSource(11))
+	scripts := make([]*rsn.EditScript, 0, steps)
+	nw := base
+	for len(scripts) < steps {
+		var ops []rsn.EditOp
+		for tries := 0; len(ops) == 0 && tries < 100; tries++ {
+			reg := r.Intn(len(nw.Registers))
+			cur := nw.Registers[reg].In
+			src := rsn.ScanIn
+			if cand := r.Intn(len(nw.Registers) + 1); cand < len(nw.Registers) && cand != reg {
+				src = rsn.Reg(cand)
+			}
+			if src == cur {
+				continue
+			}
+			trial := nw.Clone()
+			if _, err := trial.CutAndReconnect(rsn.Sink{Elem: rsn.Reg(reg), Idx: 0}, src); err != nil || trial.Validate() != nil {
+				continue
+			}
+			ops = append(ops, rsn.EditOp{Op: rsn.OpCutReconnect, Pin: rsn.Reg(reg).String(), Src: src.String()})
+		}
+		if len(ops) == 0 {
+			tb.Fatalf("step %d: no legal edit found", len(scripts))
+		}
+		scr := &rsn.EditScript{Ops: ops}
+		derived, err := scr.Apply(nw)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		if _, err := core.Secure(derived.Clone(), an.Circuit, an.InternalFFs(), an.Spec, core.Options{Mode: an.Mode}); err != nil {
+			// This step is not securable; skip it and look for another.
+			continue
+		}
+		scripts = append(scripts, scr)
+		nw = derived
+	}
+	return scripts
+}
+
+// BenchmarkSecureDeltaChain measures one incremental session: a chain
+// of wiring-only deltas secured through SecureDelta on a single
+// long-lived analysis. Compare against BenchmarkSecureFullChain (same
+// chain, from-scratch core.Secure per step) for the per-delta speedup —
+// the incremental runs skip the dependency calculation entirely.
+func BenchmarkSecureDeltaChain(b *testing.B) {
+	an, base := deltaBenchCase(b, "MBIST_1_5_5")
+	scripts := benchChain(b, an, base, 6)
+	opts := core.Options{Mode: an.Mode}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := base
+		for _, scr := range scripts {
+			res, err := SecureDelta("bench", "chain", an, nw, scr, opts)
+			if err != nil {
+				b.Fatal(err)
+			}
+			nw = res.Derived
+		}
+	}
+}
+
+// BenchmarkSecureFullChain is the baseline for BenchmarkSecureDeltaChain:
+// the same edit chain, but every step pays a from-scratch core.Secure
+// (dependency analysis included).
+func BenchmarkSecureFullChain(b *testing.B) {
+	an, base := deltaBenchCase(b, "MBIST_1_5_5")
+	scripts := benchChain(b, an, base, 6)
+	opts := core.Options{Mode: an.Mode}
+	networks := make([]*rsn.Network, 0, len(scripts))
+	nw := base
+	for _, scr := range scripts {
+		derived, err := scr.Apply(nw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		networks = append(networks, derived)
+		nw = derived
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, derived := range networks {
+			if _, err := core.Secure(derived.Clone(), an.Circuit, an.InternalFFs(), an.Spec, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,0 +1,80 @@
+// Golden-hash coverage for the rsn.EditScript canonical encoding. It
+// lives here (as an external test package — netlist is below rsn in
+// the import graph) next to the netlist golden hash because both pin
+// the same contract: content keys derived under CanonVersion must not
+// drift silently. Delta analysis keys are H(base-key, script), so an
+// encoding change aliases previously stored delta reports unless
+// CanonVersion is bumped.
+package netlist_test
+
+import (
+	"testing"
+
+	"repro/internal/rsn"
+)
+
+// goldenEditScriptHash pins the canonical digest of a representative
+// edit script under CanonVersion "rsnsec.canon/v1". If this test
+// fails, the script encoding changed and CanonVersion MUST be bumped
+// (which rewrites this constant) so old persisted delta results are
+// not aliased.
+const goldenEditScriptHash = "1598e5152c94d06070b2ae7ddd6afdccac4bd0433fecff531c3fa71d6fccd09f"
+
+func goldenScript() *rsn.EditScript {
+	return &rsn.EditScript{
+		Base: "net",
+		Ops: []rsn.EditOp{
+			{Op: rsn.OpCutReconnect, Pin: "R2", Src: "SI"},
+			{Op: rsn.OpConnect, Pin: "M1", PinIdx: 1, Src: "R0"},
+			{Op: rsn.OpAddRegister, Pin: "SO", Src: "R2", Name: "n", Len: 3, Module: 1},
+		},
+	}
+}
+
+func TestEditScriptCanonicalHashGolden(t *testing.T) {
+	got, err := goldenScript().CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != goldenEditScriptHash {
+		t.Fatalf("canonical edit-script hash drifted:\n got  %s\n want %s\nbump CanonVersion if the encoding change is intended", got, goldenEditScriptHash)
+	}
+}
+
+// TestEditScriptHashFieldOrderIndependent feeds the same script through
+// two JSON spellings with reordered fields and mixed-case references:
+// the canonical hash depends only on normalized field values, never on
+// the wire order the submission happened to use.
+func TestEditScriptHashFieldOrderIndependent(t *testing.T) {
+	a := []byte(`{"base":"net","ops":[
+		{"op":"cut-reconnect","pin":"R2","src":"SI"},
+		{"op":"connect","pin":"M1","pin_idx":1,"src":"R0"},
+		{"op":"add-register","pin":"SO","src":"R2","name":"n","len":3,"module":1}]}`)
+	b := []byte(`{"ops":[
+		{"src":"si","pin":"r2","op":"CUT-RECONNECT"},
+		{"pin_idx":1,"src":"r0","op":"Connect","pin":"m1"},
+		{"module":1,"len":3,"name":"n","src":"r2","pin":"so","op":"add-register"}],
+		"base":"net"}`)
+	sa, err := rsn.ParseEditScript(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := rsn.ParseEditScript(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ha, err := sa.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := sb.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ha != hb {
+		t.Fatalf("field order changed the hash:\n a %s\n b %s", ha, hb)
+	}
+	if ha != goldenEditScriptHash {
+		t.Fatalf("parsed script hash %s does not match the golden constant", ha)
+	}
+}

@@ -70,14 +70,31 @@ type analysis struct {
 	internal []netlist.FFID
 	spec     *secspec.Spec
 	mode     dep.Mode
+	// iclText/benchText are the submitted sources, kept for the session
+	// record so a delta chain can re-hydrate after a restart.
+	iclText   string
+	benchText string
+
+	// Delta form (POST /v1/analyses/{id}/delta): an edit script against
+	// the session of a finished base analysis. key is derived from
+	// (baseKey, script hash).
+	baseKey    string
+	script     *rsn.EditScript
+	scriptHash string
 }
 
-// schedKey is the scheduler/coalescing key: profiled submissions get
-// a decorated key so they never coalesce with (or get short-circuited
+// schedKey is the scheduler/coalescing key. Profiled submissions get a
+// decorated key so they never coalesce with (or get short-circuited
 // by) unprofiled runs of the same inputs — a profile request must
-// force a real execution. The content address a.key stays undecorated
-// for the store.
+// force a real execution. Delta jobs get a "#delta" decoration on top
+// of their already-derived key: a delta may only coalesce with the
+// identical (base-key, script-hash) pair, never with a plain
+// submission. The content address a.key stays undecorated for the
+// store.
 func (a *analysis) schedKey() string {
+	if a.script != nil {
+		return a.key + "#delta"
+	}
 	if a.profile == "" {
 		return a.key
 	}
@@ -212,24 +229,36 @@ func hashSpecGen(h *netlist.Hasher, g secspec.GenConfig) {
 	h.Float(g.UntrustedFrac)
 }
 
-// resolveICL parses an inline submission: the network and its embedded
-// specification, plus the optional .bench circuit backing instrument
-// links. Without a circuit, referenced instrument flip-flops are
-// synthesized as hold flip-flops (like rsnsec -icl without -bench), so
-// link-carrying files analyze standalone.
-func (s *Server) resolveICL(req *AnalysisRequest, mode dep.Mode) (*analysis, error) {
-	lim := s.cfg.limits()
-	a := &analysis{mode: mode}
+// parsedICL is a materialized inline submission: the network, its
+// embedded specification, and the backing (or synthesized) circuit.
+type parsedICL struct {
+	nw       *rsn.Network
+	spec     *secspec.Spec
+	circuit  *netlist.Netlist
+	internal []netlist.FFID
+}
+
+// parseICLSubmission parses an inline network description and its
+// optional .bench circuit. Without a circuit, referenced instrument
+// flip-flops are synthesized as hold flip-flops (like rsnsec -icl
+// without -bench), so link-carrying files analyze standalone. The
+// construction is deterministic in (iclText, benchText): session
+// re-hydration (see session.go) relies on re-parsing the recorded
+// sources to rebuild the exact flip-flop numbering a persisted
+// snapshot's attribute arrays are indexed by.
+func parseICLSubmission(iclText, benchText string) (*parsedICL, error) {
+	p := &parsedICL{}
 	var lookup func(string) (netlist.FFID, bool)
 	var lazy *netlist.Netlist
-	if req.Bench != "" {
-		circuit, err := netlist.ParseBench(strings.NewReader(req.Bench))
+	var linked []bool
+	if benchText != "" {
+		circuit, err := netlist.ParseBench(strings.NewReader(benchText))
 		if err != nil {
 			return nil, fmt.Errorf("bench: %w", err)
 		}
-		a.circuit = circuit
+		p.circuit = circuit
 		byName := make(map[string]netlist.FFID, len(circuit.FFs))
-		linked := make([]bool, len(circuit.FFs))
+		linked = make([]bool, len(circuit.FFs))
 		for i := range circuit.FFs {
 			byName[circuit.FFs[i].Name] = netlist.FFID(i)
 		}
@@ -240,15 +269,6 @@ func (s *Server) resolveICL(req *AnalysisRequest, mode dep.Mode) (*analysis, err
 			}
 			return id, ok
 		}
-		defer func() {
-			// Flip-flops never referenced by a capture/update link are
-			// internal: the dependency analysis bridges over them.
-			for i, l := range linked {
-				if !l {
-					a.internal = append(a.internal, netlist.FFID(i))
-				}
-			}
-		}()
 	} else {
 		// No circuit given: synthesize a hold flip-flop for every
 		// instrument name the file references.
@@ -264,25 +284,22 @@ func (s *Server) resolveICL(req *AnalysisRequest, mode dep.Mode) (*analysis, err
 			return f, true
 		}
 	}
-	nw, spec, err := icl.ParseNetworkAndSpec(req.ICL, lookup)
+	nw, spec, err := icl.ParseNetworkAndSpec(iclText, lookup)
 	if err != nil {
 		return nil, fmt.Errorf("icl: %w", err)
 	}
 	if spec == nil {
 		return nil, fmt.Errorf("icl: no embedded security specification (annotate modules with Trust/Accepts)")
 	}
-	if ffs := nw.NumScanFFs(); ffs > lim.MaxScanFFs {
-		return nil, fmt.Errorf("network has %d scan FFs (cap %d)", ffs, lim.MaxScanFFs)
-	}
-	a.nw = nw
-	a.spec = spec
-	if a.circuit == nil {
+	p.nw = nw
+	p.spec = spec
+	if p.circuit == nil {
 		// The synthesized circuit needs the network's module table;
 		// hold flip-flops re-add in lookup order so their IDs match the
 		// links just parsed. Modules resolve by "module." name prefix.
-		a.circuit = netlist.New()
+		p.circuit = netlist.New()
 		for _, name := range nw.Modules {
-			a.circuit.AddModule(name)
+			p.circuit.AddModule(name)
 		}
 		for i := range lazy.FFs {
 			name := lazy.FFs[i].Name
@@ -293,21 +310,47 @@ func (s *Server) resolveICL(req *AnalysisRequest, mode dep.Mode) (*analysis, err
 					break
 				}
 			}
-			f := a.circuit.AddFF(name, mod)
-			a.circuit.SetFFInput(f, a.circuit.FFs[f].Node)
+			f := p.circuit.AddFF(name, mod)
+			p.circuit.SetFFInput(f, p.circuit.FFs[f].Node)
+		}
+	} else {
+		// Flip-flops never referenced by a capture/update link are
+		// internal: the dependency analysis bridges over them.
+		for i, l := range linked {
+			if !l {
+				p.internal = append(p.internal, netlist.FFID(i))
+			}
 		}
 	}
-	a.label = nw.Name
+	return p, nil
+}
+
+// resolveICL parses an inline submission and computes its content
+// address over the materialized circuit, internal list, network,
+// specification and mode.
+func (s *Server) resolveICL(req *AnalysisRequest, mode dep.Mode) (*analysis, error) {
+	lim := s.cfg.limits()
+	p, err := parseICLSubmission(req.ICL, req.Bench)
+	if err != nil {
+		return nil, err
+	}
+	if ffs := p.nw.NumScanFFs(); ffs > lim.MaxScanFFs {
+		return nil, fmt.Errorf("network has %d scan FFs (cap %d)", ffs, lim.MaxScanFFs)
+	}
+	a := &analysis{
+		mode: mode, nw: p.nw, circuit: p.circuit, internal: p.internal,
+		spec: p.spec, label: p.nw.Name, iclText: req.ICL, benchText: req.Bench,
+	}
 	h := netlist.NewHasher()
 	h.Section("serve.analysis")
 	h.Str("icl")
-	a.circuit.AppendCanonical(h)
-	h.List(len(a.internal))
-	for _, f := range a.internal {
+	p.circuit.AppendCanonical(h)
+	h.List(len(p.internal))
+	for _, f := range p.internal {
 		h.Int(int64(f))
 	}
-	nw.AppendCanonical(h)
-	spec.AppendCanonical(h)
+	p.nw.AppendCanonical(h)
+	p.spec.AppendCanonical(h)
 	h.Str(fmt.Sprint(mode))
 	a.key = h.SumHex()
 	return a, nil

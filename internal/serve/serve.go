@@ -36,6 +36,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/exp"
+	"repro/internal/hybrid"
 	"repro/internal/obs"
 )
 
@@ -72,6 +73,10 @@ type Config struct {
 	// FinishedJobs bounds the retained finished-job records; <= 0 uses
 	// 1024.
 	FinishedJobs int
+	// MaxSessions bounds the live (in-memory) analysis sessions kept
+	// for delta submissions; <= 0 uses 16. Evicted sessions re-hydrate
+	// from their persisted records on the next delta.
+	MaxSessions int
 	// Store sizes the content-addressed result store.
 	Store StoreConfig
 	// Limits bounds request parameters; zero fields use the package
@@ -136,6 +141,11 @@ type Server struct {
 	slowJobs *obs.Counter
 	profMu   sync.Mutex // the CPU profiler is process-global
 
+	// sessions holds the live analysis sessions deltas build on,
+	// keyed by content address (see session.go).
+	sessMu   sync.Mutex
+	sessions map[string]*session
+
 	httpSrv *http.Server
 	ln      net.Listener
 
@@ -155,10 +165,11 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:    cfg,
-		reg:    cfg.Registry,
-		store:  store,
-		tracer: cfg.Tracer,
+		cfg:      cfg,
+		reg:      cfg.Registry,
+		store:    store,
+		tracer:   cfg.Tracer,
+		sessions: make(map[string]*session),
 		// Engine stage counters aggregate across jobs on the server
 		// registry (engine_stage_*_total{stage=...}): per-job numbers
 		// stay out of the report documents (they would break
@@ -258,6 +269,9 @@ func (s *Server) logf(format string, args ...any) {
 // counters, so its Stages section is left empty and StartedAt unset.
 func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 	a := j.Payload.(*analysis)
+	if a.script != nil {
+		return s.executeDelta(ctx, j, a)
+	}
 	var rep *obs.RunReport
 	if a.benchmark != nil {
 		cfg := a.cfg
@@ -272,19 +286,37 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 		}
 		rep = exp.BuildReport("rsnserved", "main", cfg, results, nil)
 	} else {
-		nw := a.nw.Clone()
-		crep, err := core.Secure(nw, a.circuit, a.internal, a.spec, core.Options{
+		// Build the dependency analysis here (not inside core.Secure)
+		// so it outlives the run as an incremental session: deltas
+		// against this analysis skip the dependency calculation and
+		// re-propagate only their dirty cone.
+		opts := core.Options{
 			Mode:        a.mode,
 			Workers:     s.cfg.EngineWorkers,
 			Context:     ctx,
 			Stats:       s.stats,
 			Tracer:      j.tracer,
 			TraceParent: j.span,
-		})
+		}
+		t0 := time.Now()
+		an, err := hybrid.NewAnalysisOpts(a.nw, a.circuit, a.internal, a.spec, a.mode, opts.EngineOptions())
 		if err != nil {
 			return nil, err
 		}
+		depDur := time.Since(t0)
+		crep, err := core.SecureWithAnalysis(an, a.nw.Clone(), opts)
+		if err != nil {
+			return nil, err
+		}
+		crep.Times.DependencyCalc = depDur
+		crep.Times.Total += depDur
 		rep = exp.SecureReport("rsnserved", a.label, a.mode, a.nw.Stats(), crep, nil)
+		s.saveSession(&session{
+			hydrated: true, key: a.key, label: a.label, mode: a.mode,
+			iclText: a.iclText, benchText: a.benchText,
+			an: an.WithEngine(engine.Options{Workers: s.cfg.EngineWorkers, Stats: s.stats}),
+			nw: a.nw, circuit: a.circuit, internal: a.internal, spec: a.spec,
+		})
 	}
 	var buf bytes.Buffer
 	if err := obs.WriteReport(&buf, rep); err != nil {

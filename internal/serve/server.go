@@ -15,6 +15,9 @@ import (
 //	POST   /v1/analyses             submit (200 cached, 202 accepted, 429 full)
 //	                                ?profile=cpu|heap forces a real run and
 //	                                captures a pprof profile around it
+//	POST   /v1/analyses/{id}/delta  submit an edit script against a finished
+//	                                analysis's session; {id} is a job ID or a
+//	                                raw content key (restart resume)
 //	GET    /v1/analyses/{id}        job status
 //	GET    /v1/analyses/{id}/report finished job's rsnsec.run-report/v1
 //	GET    /v1/analyses/{id}/profile captured pprof blob (octet-stream)
@@ -28,6 +31,7 @@ import (
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/analyses", s.instrument("submit", s.handleSubmit))
+	mux.Handle("POST /v1/analyses/{id}/delta", s.instrument("delta", s.handleDelta))
 	mux.Handle("GET /v1/analyses/{id}", s.instrument("status", s.handleStatus))
 	mux.Handle("GET /v1/analyses/{id}/report", s.instrument("report", s.handleReport))
 	mux.Handle("GET /v1/analyses/{id}/profile", s.instrument("profile", s.handleProfile))
@@ -130,26 +134,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	j, joined, err := s.sched.Submit(a.schedKey(), a.label, req.Priority, a.timeout(&req), a)
-	switch {
-	case errors.Is(err, ErrDraining):
-		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new analyses")
-		return
-	case errors.Is(err, ErrQueueFull):
-		w.Header().Set("Retry-After", "5")
-		writeError(w, http.StatusTooManyRequests, "analysis queue full, retry later")
-		return
-	case err != nil:
-		writeError(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	if joined {
-		s.logf("job %s: %s coalesced identical submission (%s)", j.ID, a.label, shortKey(a.key))
-		writeJSON(w, http.StatusAccepted, s.statusAs(j, "coalesced"))
-		return
-	}
-	s.logf("job %s: %s queued (%s)", j.ID, a.label, shortKey(a.key))
-	writeJSON(w, http.StatusAccepted, s.status(j))
+	s.scheduleJob(w, a, req.Priority, a.timeout(&req))
 }
 
 func shortKey(key string) string {
@@ -201,7 +186,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	case StateDone:
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Cache", st.Cache)
-		w.Header().Set("X-Content-Key", st.Key)
+		w.Header().Set("X-Content-Key", contentKey(st.Key))
 		_, _ = w.Write(data)
 	case StateFailed, StateCanceled:
 		writeError(w, http.StatusGone, "analysis %s: %s", st.ID, st.Error)
@@ -230,7 +215,7 @@ func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	w.Header().Set("X-Profile-Kind", kind)
-	w.Header().Set("X-Content-Key", st.Key)
+	w.Header().Set("X-Content-Key", contentKey(st.Key))
 	_, _ = w.Write(data)
 }
 

@@ -46,6 +46,7 @@ import (
 	"repro/internal/netlist"
 	"repro/internal/obs"
 	"repro/internal/obs/perfrec"
+	"repro/internal/obs/reportdiff"
 	"repro/internal/paperex"
 	"repro/internal/pure"
 	"repro/internal/rsn"
@@ -351,6 +352,107 @@ func FormatBenchRegressions(regs []BenchRegression) string { return perfrec.Form
 func NewAnalysisOpts(nw *Network, circuit *Netlist, internal []FFID, spec *Spec, mode Mode, opts EngineOptions) (*Analysis, error) {
 	return hybrid.NewAnalysisOpts(nw, circuit, internal, spec, mode, opts)
 }
+
+// Incremental analysis sessions: first-class edit scripts over the
+// scan network, snapshot/restore of an Analysis's propagated fixed
+// point, and the incremental re-secure path that skips the dependency
+// calculation for wiring-only edits. The aliased Analysis type carries
+// the session methods directly: Snapshot, Restore, ApplyDelta and
+// WithEngine.
+type (
+	// EditScript is an ordered list of structural edit operations on a
+	// network, with a canonical content-addressable encoding
+	// (AppendCanonical/CanonicalHash) and Apply producing the derived
+	// network without mutating the base.
+	EditScript = rsn.EditScript
+	// EditOp is one edit-script operation.
+	EditOp = rsn.EditOp
+	// AnalysisSnapshot is the serializable propagated fixed point of an
+	// Analysis over one network wiring (Encode/ReadAnalysisSnapshot
+	// round trip, Analysis.Restore to install).
+	AnalysisSnapshot = hybrid.Snapshot
+	// DeltaResult is the outcome of one incremental SecureDelta run.
+	DeltaResult = exp.DeltaResult
+	// DeltaDoc pairs a delta run's report with the structured diff
+	// against its parent report — the rsnsec.delta-report/v1 document
+	// served by rsnserved and printed by rsnsec -delta.
+	DeltaDoc = reportdiff.DeltaDoc
+	// ReportDiff is the structured comparison of two run reports.
+	ReportDiff = reportdiff.Diff
+)
+
+// Edit-script operations, re-exported.
+const (
+	OpCutReconnect = rsn.OpCutReconnect
+	OpConnect      = rsn.OpConnect
+	OpAddRegister  = rsn.OpAddRegister
+)
+
+// Schema identifiers of the incremental-session documents.
+const (
+	AnalysisSnapshotSchema = hybrid.SnapshotSchema
+	DeltaReportSchema      = reportdiff.DeltaSchema
+)
+
+// ErrStructuralDelta reports that an edit script changed the register
+// set, so the fixed analysis infrastructure cannot absorb it and a
+// fresh Analysis is required (SecureDelta handles this fallback
+// automatically).
+var ErrStructuralDelta = hybrid.ErrStructuralDelta
+
+// ParseEditScript parses a JSON edit script, rejecting unknown fields
+// and empty scripts, and returns it canonicalized.
+func ParseEditScript(data []byte) (*EditScript, error) { return rsn.ParseEditScript(data) }
+
+// ParseElemRef parses a network element reference ("SI", "SO", "R<n>",
+// "M<n>", case-insensitive) — the spelling edit-script pins use.
+func ParseElemRef(s string) (Ref, error) { return rsn.ParseRef(s) }
+
+// SecureWithAnalysis is Secure on a caller-built analysis: the
+// dependency matrices and the cached attribute fixed point are reused,
+// so repeated runs over rewired variants of one network skip the
+// dependency calculation (Times.DependencyCalc stays zero).
+func SecureWithAnalysis(an *Analysis, nw *Network, opts Options) (*Report, error) {
+	return core.SecureWithAnalysis(an, nw, opts)
+}
+
+// SecureDelta applies an edit script to base and runs the resolution
+// pipeline on the derived network, reusing an's fixed infrastructure
+// whenever the script only rewires; scripts that add registers fall
+// back to a fresh analysis. The returned Derived network keeps the
+// pre-resolution wiring for chaining further deltas.
+func SecureDelta(tool, label string, an *Analysis, base *Network, script *EditScript, opts Options) (*DeltaResult, error) {
+	return exp.SecureDelta(tool, label, an, base, script, opts)
+}
+
+// SecureRunReport renders one pipeline outcome as a one-row
+// rsnsec.run-report/v1 document (stats may be nil).
+func SecureRunReport(tool, name string, mode Mode, st NetworkStats, rep *Report, stats *EngineStats) *RunReport {
+	return exp.SecureReport(tool, name, mode, st, rep, stats)
+}
+
+// ReadAnalysisSnapshot decodes a snapshot against the network it was
+// taken over, verifying schema, wiring hash and framing.
+func ReadAnalysisSnapshot(nw *Network, data []byte) (*AnalysisSnapshot, error) {
+	return hybrid.InitFrom(nw, data)
+}
+
+// NewDeltaDoc assembles a delta document, computing the diff of the
+// parent report against the delta run's report. baseKey and key are
+// the content addresses when the document comes from rsnserved; CLI
+// callers leave them empty.
+func NewDeltaDoc(baseKey, key, scriptHash string, scriptOps int, parent, report *RunReport) *DeltaDoc {
+	return reportdiff.NewDeltaDoc(baseKey, key, scriptHash, scriptOps, parent, report)
+}
+
+// WriteDeltaDoc validates and writes the document as indented JSON.
+func WriteDeltaDoc(w io.Writer, d *DeltaDoc) error { return reportdiff.WriteDeltaDoc(w, d) }
+
+// ReadDeltaDoc decodes and validates a delta document.
+func ReadDeltaDoc(r io.Reader) (*DeltaDoc, error) { return reportdiff.ReadDeltaDoc(r) }
+
+// CompareRunReports computes the structured diff of two run reports.
+func CompareRunReports(old, new *RunReport) *ReportDiff { return reportdiff.Compare(old, new) }
 
 // Explanation is a human-readable account of one security violation.
 type Explanation = hybrid.Explanation

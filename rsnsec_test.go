@@ -1,6 +1,7 @@
 package rsnsec
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 )
@@ -192,6 +193,76 @@ func TestFacadeICLWithSpec(t *testing.T) {
 	an := NewAnalysis(nw, ex.Circuit, ex.Internal, spec, Exact)
 	if len(an.Violations(nw)) == 0 {
 		t.Fatal("reloaded problem lost its violations")
+	}
+}
+
+func TestFacadeIncrementalSession(t *testing.T) {
+	ex := RunningExample()
+	an, err := NewAnalysisOpts(ex.Network, ex.Circuit, ex.Internal, ex.Spec, Exact, EngineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := SecureWithAnalysis(an, ex.Network.Clone(), Options{Mode: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseRep := SecureRunReport("test", "facade", Exact, ex.Network.Stats(), base, nil)
+
+	script, err := ParseEditScript([]byte(
+		`{"ops":[{"op":"add-register","pin":"R0","src":"SI","name":"dx","len":1,"module":0}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !script.AddsRegisters() {
+		t.Fatal("AddsRegisters lost through the facade")
+	}
+	res, err := SecureDelta("test", "facade", an, ex.Network, script, Options{Mode: Exact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Structural {
+		t.Fatal("add-register delta not flagged structural")
+	}
+
+	hash, err := script.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := NewDeltaDoc("", "", hash, len(script.Ops), baseRep, res.Report)
+	var buf bytes.Buffer
+	if err := WriteDeltaDoc(&buf, doc); err != nil {
+		t.Fatal(err)
+	}
+	doc2, err := ReadDeltaDoc(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc2.Schema != DeltaReportSchema || doc2.Diff == nil {
+		t.Fatalf("delta doc round trip: %+v", doc2)
+	}
+	if d := CompareRunReports(baseRep, res.Report); d == nil {
+		t.Fatal("CompareRunReports returned nil")
+	}
+
+	// Snapshot round trip through the facade seam.
+	snap, err := res.Analysis.Snapshot(res.Derived)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, err := ReadAnalysisSnapshot(res.Derived, snap.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Analysis.Restore(snap2); err != nil {
+		t.Fatal(err)
+	}
+	// A wiring-only script must NOT be structural and must reuse the
+	// caller's analysis.
+	wiring := &EditScript{Ops: []EditOp{{Op: OpCutReconnect, Pin: "R0", Src: "R1"}}}
+	if res2, err := SecureDelta("test", "facade", an, ex.Network, wiring, Options{Mode: Exact}); err == nil {
+		if res2.Structural || res2.Analysis != an {
+			t.Fatal("wiring-only delta did not reuse the analysis")
+		}
 	}
 }
 
