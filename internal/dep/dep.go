@@ -234,8 +234,10 @@ func (m *Matrix) PathDependents(j int) *bitset.Set { return m.rpath[j] }
 type Stats struct {
 	Mode             Mode
 	SATCalls         int
-	Functional1Cycle int // 1-cycle dependencies classified functional
-	StructOnly1Cycle int // 1-cycle dependencies classified only structural
+	SimResolved      int   // 1-cycle dependencies witnessed by simulation (no SAT call)
+	SimLanes         int64 // 64-bit pattern lanes evaluated by the prefilter
+	Functional1Cycle int   // 1-cycle dependencies classified functional
+	StructOnly1Cycle int   // 1-cycle dependencies classified only structural
 	FFsTotal         int // flip-flops before bridging
 	FFsDenoted       int // flip-flops after bridging (denoted)
 	DepsBeforeBridge int // 1-cycle dependencies before bridging
@@ -294,24 +296,51 @@ type oneCycleEntry struct {
 type oneCycleRow struct {
 	entries                          []oneCycleEntry
 	satCalls, functional, structOnly int
+	simResolved                      int
+	simLanes                         int64
+	decisions, conflicts             int64
 }
 
-// FillOneCycleOpts is FillOneCycle under an engine configuration: the
-// per-root units of work — extract the root's fan-in cone once, encode
-// the shared miter copy once, classify every support leaf through an
-// incremental ConeQuerier — fan out over a worker pool of
-// opts.WorkerCount() goroutines. Rows are merged back into the matrix
-// in root order on the calling goroutine, so exact-mode results are
-// bit-identical to the sequential computation, and Stats counters are
-// folded without races. Cancellation is honored between SAT queries;
-// on cancellation the matrix is left untouched and the context error
-// is returned.
+// OneCycleConfig tunes the exact-mode 1-cycle computation.
+type OneCycleConfig struct {
+	// DisableSimFilter turns off the bit-parallel random-simulation
+	// prefilter, forcing every exact-mode classification through a SAT
+	// cofactor query (the pre-prefilter behavior; the differential
+	// tests compare both paths).
+	DisableSimFilter bool
+	// SimRounds is the number of 64-pattern simulation rounds per root;
+	// zero selects the default.
+	SimRounds int
+}
+
+// FillOneCycleOpts is FillOneCycle under an engine configuration with
+// the default 1-cycle tuning (simulation prefilter enabled).
 func FillOneCycleOpts(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, opts engine.Options) error {
+	return FillOneCycleCfg(m, n, mode, stats, opts, OneCycleConfig{})
+}
+
+// FillOneCycleCfg is FillOneCycle under an engine configuration: the
+// per-root units of work — extract the root's fan-in cone once, run the
+// bit-parallel simulation prefilter over its support leaves, encode the
+// shared miter copy once for whatever the prefilter could not witness,
+// classify those leaves through an incremental ConeQuerier — fan out
+// over a worker pool of opts.WorkerCount() goroutines. Rows are merged
+// back into the matrix in root order on the calling goroutine, so
+// exact-mode results are bit-identical to the sequential computation,
+// and Stats counters are folded without races. Cancellation is honored
+// between SAT queries; on cancellation the matrix is left untouched and
+// the context error is returned.
+func FillOneCycleCfg(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, opts engine.Options, cfg OneCycleConfig) error {
 	if m.N() < n.NumFFs() {
 		panic("dep: matrix smaller than circuit")
 	}
 	stage := opts.Stage("one-cycle")
 	defer stage.Start()()
+	useSim := mode == Exact && !cfg.DisableSimFilter
+	var simStage *engine.StageStats // nil-tolerant when stats are off
+	if useSim {
+		simStage = opts.Stage("sim-filter")
+	}
 
 	// The units of work: flip-flops with a driven next-state cone.
 	var jobs []int
@@ -343,6 +372,8 @@ func FillOneCycleOpts(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, op
 	satQueries := reg.Counter("dep_sat_queries_total")
 	satDecisions := reg.Counter("dep_sat_decisions_total")
 	satConflicts := reg.Counter("dep_sat_conflicts_total")
+	simResolved := reg.Counter("dep_sim_resolved_total")
+	simLanes := reg.Counter("dep_sim_lanes_total")
 
 	ctx := opts.Ctx()
 	rows := make([]oneCycleRow, len(jobs))
@@ -365,13 +396,64 @@ func FillOneCycleOpts(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, op
 				b := jobs[idx]
 				root := n.FFs[b].D
 				row := &rows[idx]
-				q := NewConeQuerier(n, root)
+				// One cone walk serves the support computation, the
+				// simulation prefilter and (if needed) the miter encoding.
+				gates, leaves := n.Cone(root)
+				type supportLeaf struct {
+					ff netlist.FFID
+					li int // index into leaves
+				}
+				var support []supportLeaf
+				for li, l := range leaves {
+					if ff := n.FFOfNode(l); ff != netlist.NoFF {
+						support = append(support, supportLeaf{ff, li})
+					}
+				}
 				// One query span per root's cone — the high-frequency
 				// level of the trace hierarchy, subject to sampling.
 				qspan := queryOpts.StartSpan("query", obs.Int("root_ff", int64(b)))
-				for _, a := range q.SupportFFs() {
-					if mode == StructuralApprox {
-						row.entries = append(row.entries, oneCycleEntry{a, Path})
+				if mode == StructuralApprox {
+					for _, sl := range support {
+						row.entries = append(row.entries, oneCycleEntry{sl.ff, Path})
+					}
+					qspan.End()
+					continue
+				}
+				// Bit-parallel prefilter: witnessed[li] means flipping
+				// leaf li provably flips the root — functional without
+				// a SAT call. Constants are never support leaves, so
+				// every tested leaf has a live slot.
+				var witnessed []bool
+				if useSim && len(support) > 0 {
+					simEnd := simStage.Start()
+					if sc := newSimCone(n, root, gates, leaves); sc != nil {
+						testIdx := make([]int, len(support))
+						for k, sl := range support {
+							testIdx[k] = sl.li
+						}
+						wit := sc.filter(cfg.SimRounds, testIdx)
+						witnessed = make([]bool, len(leaves))
+						for k, li := range testIdx {
+							if wit[k] {
+								witnessed[li] = true
+								row.simResolved++
+							}
+						}
+						row.simLanes = 64 * sc.evals
+						simStage.AddQueries(int64(len(support)))
+						simStage.AddItems(row.simLanes)
+						simStage.AddSaved(int64(row.simResolved))
+					}
+					simEnd()
+				}
+				// Whatever the prefilter could not witness goes through
+				// the exact cofactor miter; the querier (and its CNF
+				// encoding) is only built if some leaf needs it.
+				var q *ConeQuerier
+				for _, sl := range support {
+					if witnessed != nil && witnessed[sl.li] {
+						row.functional++
+						row.entries = append(row.entries, oneCycleEntry{sl.ff, Path})
 						continue
 					}
 					if ctx.Err() != nil {
@@ -379,29 +461,53 @@ func FillOneCycleOpts(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, op
 						qspan.End()
 						return
 					}
+					if q == nil {
+						// With the prefilter's witnesses in hand, only
+						// the unwitnessed support leaves are ever
+						// queried — the miter encoding collapses around
+						// them (hard-shared leaves, single-copy gates).
+						var queryable []bool
+						if witnessed != nil {
+							queryable = make([]bool, len(leaves))
+							for _, s2 := range support {
+								if !witnessed[s2.li] {
+									queryable[s2.li] = true
+								}
+							}
+						}
+						q = newConeQuerierRestricted(n, root, gates, leaves, queryable)
+					}
 					row.satCalls++
 					var functional bool
 					if satLatency != nil {
 						t0 := time.Now()
-						functional = q.Depends(n.FFs[a].Node)
+						functional = q.Depends(n.FFs[sl.ff].Node)
 						satLatency.Observe(time.Since(t0).Seconds())
 					} else {
-						functional = q.Depends(n.FFs[a].Node)
+						functional = q.Depends(n.FFs[sl.ff].Node)
 					}
+					// Per-query deltas, not solver-lifetime totals, so
+					// span attributes and counters attribute conflicts
+					// to the queries that caused them.
+					d := q.QueryStats()
+					row.decisions += d.Decisions
+					row.conflicts += d.Conflicts
 					if functional {
 						row.functional++
-						row.entries = append(row.entries, oneCycleEntry{a, Path})
+						row.entries = append(row.entries, oneCycleEntry{sl.ff, Path})
 					} else {
 						row.structOnly++
-						row.entries = append(row.entries, oneCycleEntry{a, Structural})
+						row.entries = append(row.entries, oneCycleEntry{sl.ff, Structural})
 					}
 				}
-				ss := q.SolverStats()
 				satQueries.Add(int64(row.satCalls))
-				satDecisions.Add(ss.Decisions)
-				satConflicts.Add(ss.Conflicts)
+				satDecisions.Add(row.decisions)
+				satConflicts.Add(row.conflicts)
+				simResolved.Add(int64(row.simResolved))
+				simLanes.Add(row.simLanes)
 				qspan.SetAttrs(obs.Int("sat_queries", int64(row.satCalls)),
-					obs.Int("decisions", ss.Decisions), obs.Int("conflicts", ss.Conflicts))
+					obs.Int("sim_resolved", int64(row.simResolved)),
+					obs.Int("decisions", row.decisions), obs.Int("conflicts", row.conflicts))
 				qspan.End()
 			}
 		}()
@@ -412,20 +518,24 @@ func FillOneCycleOpts(m *Matrix, n *netlist.Netlist, mode Mode, stats *Stats, op
 	}
 
 	// Deterministic row-ordered merge.
-	satCalls := 0
+	satCalls, simSolved := 0, 0
 	for idx, b := range jobs {
 		row := &rows[idx]
 		for _, e := range row.entries {
 			m.Set(b, int(e.leaf), e.kind)
 		}
 		stats.SATCalls += row.satCalls
+		stats.SimResolved += row.simResolved
+		stats.SimLanes += row.simLanes
 		stats.Functional1Cycle += row.functional
 		stats.StructOnly1Cycle += row.structOnly
 		satCalls += row.satCalls
+		simSolved += row.simResolved
 	}
 	stage.AddQueries(int64(satCalls))
-	span.SetAttrs(obs.Int("sat_queries", int64(satCalls)))
-	opts.Logf("one-cycle: %d roots, %d SAT queries over %d workers", len(jobs), satCalls, workers)
+	span.SetAttrs(obs.Int("sat_queries", int64(satCalls)), obs.Int("sim_resolved", int64(simSolved)))
+	opts.Logf("one-cycle: %d roots, %d SAT queries (%d sim-resolved) over %d workers",
+		len(jobs), satCalls, simSolved, workers)
 	return nil
 }
 

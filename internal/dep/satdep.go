@@ -31,11 +31,40 @@ type ConeQuerier struct {
 	diff sat.Lit
 	// assume is the reusable assumption scratch buffer.
 	assume []sat.Lit
+	// prevStats is the solver-counter snapshot taken after the previous
+	// Depends call, the baseline for QueryStats deltas.
+	prevStats sat.Statistics
 }
 
 // NewConeQuerier extracts and encodes root's fan-in cone.
 func NewConeQuerier(n *netlist.Netlist, root netlist.NodeID) *ConeQuerier {
 	gates, leaves := n.Cone(root)
+	return newConeQuerierFrom(n, root, gates, leaves)
+}
+
+// newConeQuerierFrom encodes an already-extracted cone (the 1-cycle
+// worker walks each root's cone once for the simulation prefilter and
+// hands it over, avoiding a second extraction). Every non-constant leaf
+// is queryable.
+func newConeQuerierFrom(n *netlist.Netlist, root netlist.NodeID, gates, leaves []netlist.NodeID) *ConeQuerier {
+	return newConeQuerierRestricted(n, root, gates, leaves, nil)
+}
+
+// newConeQuerierRestricted encodes the cofactor miter for a restricted
+// queryable leaf set: queryable (parallel to leaves; nil means all
+// non-constant leaves) marks the leaves Depends may later be asked
+// about. Every other leaf is hard-shared between the two cone copies —
+// a single variable instead of a copy pair plus equality selector —
+// which is exactly the "other leaves equal" cofactor condition those
+// leaves would always be pinned to anyway. Transitively, any gate whose
+// fan-in reaches no queryable leaf computes the same value in both
+// copies and is encoded once. When the prefilter has already witnessed
+// most leaves, the miter thus collapses to the small sub-cone between
+// the unwitnessed leaves and the root.
+//
+// Depends(leaf) on a non-queryable leaf returns false regardless of the
+// true classification — callers restrict queries to the queryable set.
+func newConeQuerierRestricted(n *netlist.Netlist, root netlist.NodeID, gates, leaves []netlist.NodeID, queryable []bool) *ConeQuerier {
 	q := &ConeQuerier{
 		n:      n,
 		root:   root,
@@ -46,7 +75,10 @@ func NewConeQuerier(n *netlist.Netlist, root netlist.NodeID) *ConeQuerier {
 		sel:    make(map[netlist.NodeID]sat.Lit, len(leaves)),
 	}
 	b := q.b
-	for _, l := range leaves {
+	// diverging marks nodes that may differ between the copies: the
+	// queryable leaves and every gate reachable from one.
+	diverging := make(map[netlist.NodeID]bool, len(gates)+len(leaves))
+	for i, l := range leaves {
 		switch n.Nodes[l].Kind {
 		case netlist.KindConst0:
 			c := b.Const(false)
@@ -55,12 +87,71 @@ func NewConeQuerier(n *netlist.Netlist, root netlist.NodeID) *ConeQuerier {
 			c := b.Const(true)
 			q.copyA[l], q.copyB[l] = c, c
 		default:
+			if queryable != nil && !queryable[i] {
+				// Hard-shared: both copies read one variable.
+				v := b.NewVar()
+				q.copyA[l], q.copyB[l] = v, v
+				continue
+			}
 			la, lb, s := b.NewVar(), b.NewVar(), b.NewVar()
 			// s -> (la <-> lb): assuming s makes the leaf shared.
 			b.S.AddClause(s.Not(), la.Not(), lb)
 			b.S.AddClause(s.Not(), la, lb.Not())
 			q.copyA[l], q.copyB[l], q.sel[l] = la, lb, s
+			diverging[l] = true
 		}
+	}
+	// shared holds single-copy gate encodings; in topological order a
+	// gate diverges iff any fan-in does.
+	shared := make(map[netlist.NodeID]sat.Lit, len(gates))
+	encodeGate := func(out sat.Lit, g netlist.GateType, in []sat.Lit) {
+		switch g {
+		case netlist.And:
+			b.And(out, in...)
+		case netlist.Or:
+			b.Or(out, in...)
+		case netlist.Nand:
+			b.Nand(out, in...)
+		case netlist.Nor:
+			b.Nor(out, in...)
+		case netlist.Xor:
+			b.Xor(out, in...)
+		case netlist.Xnor:
+			b.Xnor(out, in...)
+		case netlist.Not:
+			b.Not(out, in[0])
+		case netlist.Buf:
+			b.Buf(out, in[0])
+		case netlist.Mux:
+			b.Mux(out, in[0], in[1], in[2])
+		case netlist.Maj:
+			b.Majority3(out, in[0], in[1], in[2])
+		}
+	}
+	for _, g := range gates {
+		nd := &n.Nodes[g]
+		div := false
+		for _, f := range nd.Fanin {
+			if diverging[f] {
+				div = true
+				break
+			}
+		}
+		if div {
+			diverging[g] = true
+			continue
+		}
+		out := b.NewVar()
+		in := make([]sat.Lit, len(nd.Fanin))
+		for i, f := range nd.Fanin {
+			if l, ok := shared[f]; ok {
+				in[i] = l
+			} else {
+				in[i] = q.copyA[f] // shared leaf (copyA == copyB)
+			}
+		}
+		encodeGate(out, nd.Gate, in)
+		shared[g] = out
 	}
 	encodeCopy := func(leafLit map[netlist.NodeID]sat.Lit) sat.Lit {
 		local := make(map[netlist.NodeID]sat.Lit, len(gates)+1)
@@ -68,37 +159,22 @@ func NewConeQuerier(n *netlist.Netlist, root netlist.NodeID) *ConeQuerier {
 			if l, ok := local[id]; ok {
 				return l
 			}
+			if l, ok := shared[id]; ok {
+				return l
+			}
 			return leafLit[id]
 		}
 		for _, g := range gates {
+			if !diverging[g] {
+				continue
+			}
 			nd := &n.Nodes[g]
 			out := b.NewVar()
 			in := make([]sat.Lit, len(nd.Fanin))
 			for i, f := range nd.Fanin {
 				in[i] = lookup(f)
 			}
-			switch nd.Gate {
-			case netlist.And:
-				b.And(out, in...)
-			case netlist.Or:
-				b.Or(out, in...)
-			case netlist.Nand:
-				b.Nand(out, in...)
-			case netlist.Nor:
-				b.Nor(out, in...)
-			case netlist.Xor:
-				b.Xor(out, in...)
-			case netlist.Xnor:
-				b.Xnor(out, in...)
-			case netlist.Not:
-				b.Not(out, in[0])
-			case netlist.Buf:
-				b.Buf(out, in[0])
-			case netlist.Mux:
-				b.Mux(out, in[0], in[1], in[2])
-			case netlist.Maj:
-				b.Majority3(out, in[0], in[1], in[2])
-			}
+			encodeGate(out, nd.Gate, in)
 			local[g] = out
 		}
 		return lookup(root)
@@ -131,6 +207,18 @@ func (q *ConeQuerier) SupportFFs() []netlist.FFID {
 // per-root solver telemetry for query-level trace spans and metrics.
 func (q *ConeQuerier) SolverStats() sat.Statistics { return q.b.S.Stats }
 
+// QueryStats returns the solver counters accrued since the previous
+// QueryStats call (or since construction): the cost of the queries
+// issued in between, rather than the solver-lifetime totals that
+// SolverStats reports. Callers attributing work to individual Depends
+// calls should read this after each one; the deltas sum to SolverStats.
+func (q *ConeQuerier) QueryStats() sat.Statistics {
+	cur := q.b.S.Stats
+	d := cur.Sub(q.prevStats)
+	q.prevStats = cur
+	return d
+}
+
 // Depends reports whether the root functionally depends on the leaf:
 // whether some assignment of the other leaves lets a flip of the leaf
 // flip the root — the positive Davio cofactor check of the HVC 2016
@@ -141,13 +229,20 @@ func (q *ConeQuerier) Depends(leaf netlist.NodeID) bool {
 	if !ok {
 		return false // not a (non-constant) cone leaf
 	}
+	// Assumption order matters for performance, not correctness: the
+	// miter output first, then the equality selectors in leaf order,
+	// then the cofactor pins of the tested leaf. Consecutive queries
+	// over a root's leaves thus share the assumption prefix
+	// [diff, sel_0..sel_{j-1}], which the solver's trail reuse keeps
+	// propagated between Solve calls instead of rebuilding from level 0.
 	q.assume = q.assume[:0]
-	q.assume = append(q.assume, q.diff, q.copyA[leaf].Not(), q.copyB[leaf])
+	q.assume = append(q.assume, q.diff)
 	for _, l := range q.leaves {
 		if other, ok := q.sel[l]; ok && other != s {
 			q.assume = append(q.assume, other)
 		}
 	}
+	q.assume = append(q.assume, q.copyA[leaf].Not(), q.copyB[leaf])
 	return q.b.S.Solve(q.assume...) == sat.Sat
 }
 

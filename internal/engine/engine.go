@@ -295,12 +295,13 @@ type StageSnapshot struct {
 // alphabetically) to keep run-over-run output and reports comparable.
 var stageRank = map[string]int{
 	"one-cycle":       0,
-	"bridge":          1,
-	"closure":         2,
-	"pure-resolve":    3,
-	"propagate":       4,
-	"propagate-delta": 5,
-	"resolve":         6,
+	"sim-filter":      1, // runs inside one-cycle; reported right after it
+	"bridge":          2,
+	"closure":         3,
+	"pure-resolve":    4,
+	"propagate":       5,
+	"propagate-delta": 6,
+	"resolve":         7,
 }
 
 // stageLess orders stage names deterministically: known pipeline

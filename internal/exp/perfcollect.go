@@ -39,6 +39,7 @@ type repSample struct {
 	satQ       int64
 	satD       int64
 	satC       int64
+	simR       int64
 	heapPeak   int64
 	totalAlloc int64
 	runs       int
@@ -139,6 +140,7 @@ func collectRep(ctx context.Context, b bench.Benchmark, cfg RunConfig) (*repSamp
 		satQ:    reg.Counter("dep_sat_queries_total").Value(),
 		satD:    reg.Counter("dep_sat_decisions_total").Value(),
 		satC:    reg.Counter("dep_sat_conflicts_total").Value(),
+		simR:    reg.Counter("dep_sim_resolved_total").Value(),
 		runs:    res.Runs,
 		scanFFs: res.ScaledStats.ScanFFs,
 	}
@@ -223,6 +225,17 @@ func assemble(name string, samples []repSample) perfrec.Benchmark {
 		stage.Queries = perfrec.Median(queries)
 		stage.Items = perfrec.Median(items)
 		stage.Saved = perfrec.Median(saved)
+		if st.Name == "one-cycle" {
+			// Split the stage's leaf classifications by resolution path:
+			// prefilter-witnessed vs. decided by a SAT cofactor query.
+			var simR, satQ []int64
+			for i := range samples {
+				simR = append(simR, samples[i].simR)
+				satQ = append(satQ, samples[i].satQ)
+			}
+			stage.SimResolved = perfrec.Median(simR)
+			stage.SATResolved = perfrec.Median(satQ)
+		}
 		b.Stages = append(b.Stages, stage)
 	}
 	return b

@@ -67,6 +67,12 @@ func TestCollectBenchRecord(t *testing.T) {
 	if b.SATQueries <= 0 || b.SATDecisions <= 0 {
 		t.Errorf("SAT counters not collected: queries %d decisions %d", b.SATQueries, b.SATDecisions)
 	}
+	// The one-cycle stage carries the resolution-path split: the
+	// prefilter witnesses most leaves, SAT decides the rest.
+	if oc := seen["one-cycle"]; oc.SimResolved <= 0 || oc.SATResolved != b.SATQueries {
+		t.Errorf("one-cycle split = sim %d / sat %d (sat_queries %d)",
+			oc.SimResolved, oc.SATResolved, b.SATQueries)
+	}
 	if b.HeapAllocPeakBytes <= 0 || b.TotalAllocBytes <= 0 {
 		t.Errorf("memory stats not collected: peak %d total %d", b.HeapAllocPeakBytes, b.TotalAllocBytes)
 	}

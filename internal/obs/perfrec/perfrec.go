@@ -161,6 +161,13 @@ type Stage struct {
 	Queries int64 `json:"queries"`
 	Items   int64 `json:"items"`
 	Saved   int64 `json:"saved"`
+	// SimResolved and SATResolved split the stage's dependence
+	// classifications by how they were resolved: witnessed by the
+	// bit-parallel simulation prefilter vs. decided by a SAT cofactor
+	// query. Optional (omitted when zero) so records predating the
+	// prefilter stay valid and byte-stable under this reader.
+	SimResolved int64 `json:"sim_resolved,omitempty"`
+	SATResolved int64 `json:"sat_resolved,omitempty"`
 }
 
 // Median returns the median of xs (mean of the two middles for even
@@ -266,7 +273,8 @@ func (r *Record) Validate() error {
 			if s.Reps < 1 {
 				return fmt.Errorf("bench-record: benchmark %q: stage %q: reps %d < 1", b.Name, s.Name, s.Reps)
 			}
-			if s.MedianNS < 0 || s.MADNS < 0 || s.Calls < 0 || s.Queries < 0 || s.Items < 0 || s.Saved < 0 {
+			if s.MedianNS < 0 || s.MADNS < 0 || s.Calls < 0 || s.Queries < 0 || s.Items < 0 || s.Saved < 0 ||
+				s.SimResolved < 0 || s.SATResolved < 0 {
 				return fmt.Errorf("bench-record: benchmark %q: stage %q: negative counter", b.Name, s.Name)
 			}
 			if len(s.SamplesNS) > 0 {

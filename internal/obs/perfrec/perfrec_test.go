@@ -86,6 +86,44 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestSimSATSplitOptional pins the backward compatibility of the
+// resolution-path split: zero values serialize to nothing (so records
+// written before the prefilter stay byte-identical), and old JSON
+// without the fields reads back as zeroes.
+func TestSimSATSplitOptional(t *testing.T) {
+	r := sample(10, 20, 30)
+	var buf bytes.Buffer
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	if s := buf.String(); strings.Contains(s, "sim_resolved") || strings.Contains(s, "sat_resolved") {
+		t.Fatalf("zero split fields serialized:\n%s", s)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := got.Benchmarks[0].Stages[0]
+	if st.SimResolved != 0 || st.SATResolved != 0 {
+		t.Fatalf("absent split fields read as %d/%d", st.SimResolved, st.SATResolved)
+	}
+	// Non-zero values survive a round trip.
+	r.Benchmarks[0].Stages[0].SimResolved = 730
+	r.Benchmarks[0].Stages[0].SATResolved = 87
+	buf.Reset()
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err = Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = got.Benchmarks[0].Stages[0]
+	if st.SimResolved != 730 || st.SATResolved != 87 {
+		t.Fatalf("split fields lost in round trip: %d/%d", st.SimResolved, st.SATResolved)
+	}
+}
+
 func TestValidateRejects(t *testing.T) {
 	cases := []struct {
 		name   string
@@ -111,6 +149,8 @@ func TestValidateRejects(t *testing.T) {
 		}, "samples"},
 		{"median inconsistent", func(r *Record) { r.Benchmarks[0].Stages[0].MedianNS++ }, "median_ns"},
 		{"mad inconsistent", func(r *Record) { r.Benchmarks[0].Stages[0].MADNS++ }, "mad_ns"},
+		{"negative sim split", func(r *Record) { r.Benchmarks[0].Stages[0].SimResolved = -1 }, "negative"},
+		{"negative sat split", func(r *Record) { r.Benchmarks[0].Stages[0].SATResolved = -1 }, "negative"},
 	}
 	for _, c := range cases {
 		r := sample(10, 20, 30)

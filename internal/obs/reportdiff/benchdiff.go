@@ -69,6 +69,8 @@ func CompareBenchRecords(old, new *perfrec.Record) *Diff {
 			d.add(sp+"queries", float64(os.Queries), float64(ns.Queries))
 			d.add(sp+"items", float64(os.Items), float64(ns.Items))
 			d.add(sp+"saved", float64(os.Saved), float64(ns.Saved))
+			d.add(sp+"sim_resolved", float64(os.SimResolved), float64(ns.SimResolved))
+			d.add(sp+"sat_resolved", float64(os.SATResolved), float64(ns.SATResolved))
 		}
 	}
 

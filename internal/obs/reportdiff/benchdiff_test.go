@@ -87,6 +87,42 @@ func TestCompareBenchRecordsAddedRemoved(t *testing.T) {
 	}
 }
 
+// TestCompareBenchRecordsSimSATSplit covers the optional resolution-path
+// split introduced with the simulation prefilter: records without the
+// fields (old baselines) diff cleanly against records with them, and the
+// split produces its own delta rows.
+func TestCompareBenchRecordsSimSATSplit(t *testing.T) {
+	old := benchRecord(10_000_000) // predates the split: both fields zero
+	new := benchRecord(10_000_000)
+	st := &new.Benchmarks[0].Stages[1] // one-cycle
+	st.SimResolved, st.SATResolved = 730, 87
+	d := CompareBenchRecords(old, new)
+	want := map[string]float64{
+		"benchmark/TreeFlat/stage/one-cycle/sim_resolved": 730,
+		"benchmark/TreeFlat/stage/one-cycle/sat_resolved": 87,
+	}
+	for _, dd := range d.Deltas {
+		v, ok := want[dd.Path]
+		if !ok {
+			t.Errorf("unexpected delta %+v", dd)
+			continue
+		}
+		if dd.Old != 0 || dd.New != v {
+			t.Errorf("%s: old=%v new=%v, want 0 -> %v", dd.Path, dd.Old, dd.New, v)
+		}
+		delete(want, dd.Path)
+	}
+	if len(want) != 0 {
+		t.Errorf("missing split deltas: %v", want)
+	}
+	// Matching splits produce no deltas.
+	st2 := &old.Benchmarks[0].Stages[1]
+	st2.SimResolved, st2.SATResolved = 730, 87
+	if d := CompareBenchRecords(old, new); !d.Empty() {
+		t.Fatalf("matching splits still diff: %s", d)
+	}
+}
+
 func TestCompareBenchRecordsFilter(t *testing.T) {
 	old := benchRecord(10_000_000)
 	new := benchRecord(10_500_000)     // +5%

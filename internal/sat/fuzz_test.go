@@ -1,0 +1,87 @@
+package sat
+
+import (
+	"testing"
+)
+
+// FuzzSolveMatchesBruteForce is the differential fuzz harness of the
+// solver: an arbitrary byte string is decoded into a small random
+// formula (≤ 12 variables, ≤ 64 ternary clauses) plus an assumption
+// set, and the CDCL result is compared against exhaustive enumeration —
+// including repeated solves under shared assumption prefixes, the
+// pattern that exercises trail reuse, and a final unassumed solve that
+// exercises full backtracking of the kept prefix. CI runs this with a
+// bounded -fuzztime as a smoke test; longer local runs explore deeper.
+func FuzzSolveMatchesBruteForce(f *testing.F) {
+	f.Add([]byte{3, 0x01, 0x82, 0x03, 0x84, 0x05, 0x86})
+	f.Add([]byte{7, 1, 2, 3, 4, 5, 6, 7, 8, 9, 0x81, 0x82, 0x83})
+	f.Add([]byte{12, 0xff, 0x00, 0x7f, 0x80, 0x3f, 0xc0, 0x1f, 0xe0})
+	f.Add([]byte{1, 0x01, 0x81, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 4 {
+			return
+		}
+		nVars := 1 + int(data[0]%12)
+		rest := data[1:]
+		var clauses [][]Lit
+		for i := 0; i+2 < len(rest) && len(clauses) < 64; i += 3 {
+			cl := make([]Lit, 0, 3)
+			for j := 0; j < 3; j++ {
+				b := rest[i+j]
+				cl = append(cl, MkLit(Var(1+int(b)%nVars), b&0x80 != 0))
+			}
+			clauses = append(clauses, cl)
+		}
+
+		want := bruteForce(nVars, clauses)
+		s := New()
+		for v := 0; v < nVars; v++ {
+			s.NewVar()
+		}
+		ok := true
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				ok = false
+				break
+			}
+		}
+		got := false
+		if ok {
+			got = s.Solve() == Sat
+		}
+		if got != want {
+			t.Fatalf("plain solve: solver=%v bruteforce=%v (n=%d, %d clauses)", got, want, nVars, len(clauses))
+		}
+		if !ok {
+			return
+		}
+
+		// Assumption set from the leading bytes; solving twice under the
+		// same assumptions reuses the kept trail, the shorter prefix
+		// exercises partial backtracking.
+		assume := make([]Lit, 0, 3)
+		for _, b := range rest[:3] {
+			assume = append(assume, MkLit(Var(1+int(b)%nVars), b&0x40 != 0))
+		}
+		withUnits := func(as []Lit) [][]Lit {
+			all := append([][]Lit{}, clauses...)
+			for _, a := range as {
+				all = append(all, []Lit{a})
+			}
+			return all
+		}
+		wantA := bruteForce(nVars, withUnits(assume))
+		for round := 0; round < 2; round++ {
+			if gotA := s.Solve(assume...) == Sat; gotA != wantA {
+				t.Fatalf("assumed solve round %d: solver=%v bruteforce=%v (assume %v)", round, gotA, wantA, assume)
+			}
+		}
+		wantP := bruteForce(nVars, withUnits(assume[:2]))
+		if gotP := s.Solve(assume[:2]...) == Sat; gotP != wantP {
+			t.Fatalf("prefix solve: solver=%v bruteforce=%v (assume %v)", gotP, wantP, assume[:2])
+		}
+		if got2 := s.Solve() == Sat; got2 != want {
+			t.Fatalf("final plain solve: solver=%v bruteforce=%v", got2, want)
+		}
+	})
+}

@@ -5,13 +5,19 @@
 // Soeken et al. (HVC 2016), which the secure-data-flow method uses to
 // distinguish functional from only-structural dependencies in circuit
 // logic. It supports incremental solving under assumptions, two-watched
-// literal propagation, first-UIP clause learning, activity-based
-// branching with phase saving, and Luby restarts.
+// literal propagation with blocking literals, first-UIP clause learning
+// with LBD (glue) scoring, glucose-style clause-database reduction,
+// activity-based branching with phase saving, Luby or LBD-EMA adaptive
+// restarts, and assumption-prefix trail reuse between consecutive Solve
+// calls (the incremental cofactor-query pattern of internal/dep keeps
+// thousands of closely related queries from re-propagating a shared
+// assumption prefix from scratch).
 package sat
 
 import (
 	"errors"
 	"fmt"
+	"sort"
 )
 
 // Var is a propositional variable. Valid variables are >= 1.
@@ -90,6 +96,7 @@ type clause struct {
 	lits    []Lit
 	learnt  bool
 	act     float64
+	lbd     int32 // literal block distance (glue) of a learnt clause
 	deleted bool
 }
 
@@ -130,11 +137,44 @@ type Solver struct {
 	numLearnt  int
 	maxLearnts int
 
+	// LBD scratch: generation-stamped per-level marks, reused across
+	// computeLBD calls to avoid allocation on the conflict path.
+	lbdStamp []uint64
+	lbdGen   uint64
+
+	// restart state; the LBD EMAs persist across Solve calls so the
+	// adaptive policy keeps its history over an incremental query burst.
+	restartPolicy RestartPolicy
+	fastLBD       float64 // short-horizon EMA of learnt-clause LBD
+	slowLBD       float64 // long-horizon EMA of learnt-clause LBD
+
+	// keptAssumps is the assumption prefix whose decision levels were
+	// retained on the trail when the previous Solve call returned. The
+	// next call reuses the longest common prefix instead of
+	// re-propagating it from level 0.
+	keptAssumps []Lit
+
 	// statistics
 	Stats Statistics
 
 	budget int64 // max conflicts; <=0 means unlimited
 }
+
+// RestartPolicy selects the solver's restart strategy.
+type RestartPolicy int
+
+const (
+	// RestartEMA restarts when the short-horizon EMA of learnt-clause
+	// LBD exceeds the long-horizon EMA by 25% (glucose-style adaptive
+	// restarts). This is the default.
+	RestartEMA RestartPolicy = iota
+	// RestartLuby restarts on the Luby sequence scaled by 100 conflicts.
+	RestartLuby
+)
+
+// SetRestartPolicy selects the restart strategy for subsequent Solve
+// calls. The default is RestartEMA.
+func (s *Solver) SetRestartPolicy(p RestartPolicy) { s.restartPolicy = p }
 
 // Statistics accumulates solver counters across Solve calls.
 type Statistics struct {
@@ -144,6 +184,41 @@ type Statistics struct {
 	Learnt       int64
 	Deleted      int64
 	Restarts     int64
+	// BlockerHits counts watcher visits resolved by the blocking
+	// literal alone, without dereferencing the clause.
+	BlockerHits int64
+	// LBDSum is the sum of LBD (glue) values over learnt clauses;
+	// LBDSum/Learnt is the mean glue of the run.
+	LBDSum int64
+	// GlueLearnt counts learnt clauses with LBD <= 2, which the
+	// database reduction keeps unconditionally.
+	GlueLearnt int64
+	// DBReductions counts glucose-style learnt-database reductions.
+	DBReductions int64
+	// ReusedLevels and ReusedLits count decision levels and trail
+	// literals carried over between consecutive Solve calls that
+	// shared an assumption prefix.
+	ReusedLevels int64
+	ReusedLits   int64
+}
+
+// Sub returns the field-wise difference s - prev: the counters accrued
+// since prev was snapshotted.
+func (s Statistics) Sub(prev Statistics) Statistics {
+	return Statistics{
+		Decisions:    s.Decisions - prev.Decisions,
+		Propagations: s.Propagations - prev.Propagations,
+		Conflicts:    s.Conflicts - prev.Conflicts,
+		Learnt:       s.Learnt - prev.Learnt,
+		Deleted:      s.Deleted - prev.Deleted,
+		Restarts:     s.Restarts - prev.Restarts,
+		BlockerHits:  s.BlockerHits - prev.BlockerHits,
+		LBDSum:       s.LBDSum - prev.LBDSum,
+		GlueLearnt:   s.GlueLearnt - prev.GlueLearnt,
+		DBReductions: s.DBReductions - prev.DBReductions,
+		ReusedLevels: s.ReusedLevels - prev.ReusedLevels,
+		ReusedLits:   s.ReusedLits - prev.ReusedLits,
+	}
 }
 
 // ErrBudget is returned by SolveLimited when the conflict budget is
@@ -214,9 +289,9 @@ func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
 	}
-	if s.decisionLevel() != 0 {
-		panic("sat: AddClause called during search")
-	}
+	// Clause addition needs level 0; drop any trail kept for
+	// assumption-prefix reuse.
+	s.cancelReuse()
 	// Normalize: sort-free dedup, drop false lits, detect tautology.
 	out := make([]Lit, 0, len(lits))
 	for _, l := range lits {
@@ -306,14 +381,17 @@ func (s *Solver) propagate() int {
 	nextWatcher:
 		for i := 0; i < len(ws); i++ {
 			w := ws[i]
-			c := &s.clauses[w.cref]
-			if c.deleted {
-				continue // drop the watcher of a reduced clause
-			}
+			// Blocker first: a true blocking literal satisfies the
+			// clause without touching the clause memory at all.
 			if s.litValue(w.blocker) == lTrue {
+				s.Stats.BlockerHits++
 				ws[n] = w
 				n++
 				continue
+			}
+			c := &s.clauses[w.cref]
+			if c.deleted {
+				continue // drop the watcher of a reduced clause
 			}
 			// Ensure the false literal (p.Not()) is lits[1].
 			if c.lits[0] == p.Not() {
@@ -354,8 +432,9 @@ func (s *Solver) propagate() int {
 }
 
 // analyze performs first-UIP conflict analysis. It returns the learnt
-// clause (with the asserting literal first) and the backtrack level.
-func (s *Solver) analyze(confl int) ([]Lit, int) {
+// clause (with the asserting literal first), the backtrack level, and
+// the clause's LBD (computed while every literal is still assigned).
+func (s *Solver) analyze(confl int) ([]Lit, int, int32) {
 	learnt := []Lit{0} // placeholder for asserting literal
 	seenCount := 0
 	p := Lit(0)
@@ -424,7 +503,29 @@ func (s *Solver) analyze(confl int) ([]Lit, int) {
 	for _, v := range toClear {
 		s.vars[v].seen = false
 	}
-	return learnt, btLevel
+	return learnt, btLevel, s.computeLBD(learnt)
+}
+
+// computeLBD returns the literal block distance of lits: the number of
+// distinct non-zero decision levels among their (assigned) variables.
+// Generation-stamped marks avoid clearing between calls.
+func (s *Solver) computeLBD(lits []Lit) int32 {
+	if need := s.decisionLevel() + 1; len(s.lbdStamp) < need {
+		s.lbdStamp = append(s.lbdStamp, make([]uint64, need-len(s.lbdStamp))...)
+	}
+	s.lbdGen++
+	var lbd int32
+	for _, l := range lits {
+		lvl := s.vars[l.Var()].level
+		if lvl <= 0 || int(lvl) >= len(s.lbdStamp) {
+			continue
+		}
+		if s.lbdStamp[lvl] != s.lbdGen {
+			s.lbdStamp[lvl] = s.lbdGen
+			lbd++
+		}
+	}
+	return lbd
 }
 
 // redundant reports whether literal l in a learnt clause is implied by
@@ -460,6 +561,11 @@ func (s *Solver) bumpVar(v Var) {
 
 func (s *Solver) bumpClause(cref int) {
 	c := &s.clauses[cref]
+	// A clause participating in conflict analysis has every literal
+	// assigned, so its LBD can be refreshed; keep the minimum seen.
+	if nl := s.computeLBD(c.lits); nl > 0 && nl < c.lbd {
+		c.lbd = nl
+	}
 	c.act += s.clauseInc
 	if c.act > 1e20 {
 		for i := range s.clauses {
@@ -532,6 +638,55 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 	return st
 }
 
+// cancelReuse drops any trail retained for assumption-prefix reuse and
+// returns the solver to decision level 0.
+func (s *Solver) cancelReuse() {
+	s.backtrackTo(0)
+	s.keptAssumps = s.keptAssumps[:0]
+}
+
+// reusePrefix backtracks only far enough to discard the part of the
+// previous call's kept assumption prefix that the new assumptions do
+// not share. Levels 1..k of the trail stay intact along with every
+// literal they implied.
+func (s *Solver) reusePrefix(assumptions []Lit) {
+	k := 0
+	for k < len(s.keptAssumps) && k < len(assumptions) && s.keptAssumps[k] == assumptions[k] {
+		k++
+	}
+	if dl := s.decisionLevel(); k > dl {
+		k = dl
+	}
+	s.backtrackTo(k)
+	s.keptAssumps = s.keptAssumps[:0]
+	if k > 0 {
+		s.Stats.ReusedLevels += int64(k)
+		s.Stats.ReusedLits += int64(len(s.trail))
+	}
+}
+
+// finishSolve retains the decision levels corresponding to the
+// established assumption prefix (so the next call over the same prefix
+// skips their propagation) and records which assumptions they cover.
+//
+// Invariant relied on: at any point of the search loop, the leading
+// min(decisionLevel, len(assumptions)) decision levels correspond
+// one-to-one to the assumption prefix — levels are only ever opened in
+// assumption order (with dummy levels for already-implied assumptions)
+// and backtracking removes a suffix of levels.
+func (s *Solver) finishSolve(assumptions []Lit) {
+	if !s.ok {
+		s.cancelReuse()
+		return
+	}
+	keep := s.decisionLevel()
+	if keep > len(assumptions) {
+		keep = len(assumptions)
+	}
+	s.backtrackTo(keep)
+	s.keptAssumps = append(s.keptAssumps[:0], assumptions[:keep]...)
+}
+
 // SolveLimited is Solve with support for conflict budgets: it returns
 // ErrBudget if the budget set via SetConflictBudget was exhausted
 // before a result could be established.
@@ -539,6 +694,11 @@ func (s *Solver) Solve(assumptions ...Lit) Status {
 // After every backtrack the main loop re-establishes the assumption
 // prefix, one assumption per decision level; a falsified assumption
 // means unsatisfiability under the assumptions.
+//
+// Between consecutive calls the solver keeps the decision levels of the
+// established assumption prefix on the trail; a following call whose
+// assumptions share a prefix with the previous call's resumes from the
+// first differing assumption instead of from level 0.
 func (s *Solver) SolveLimited(assumptions ...Lit) (Status, error) {
 	if !s.ok {
 		return Unsat, nil
@@ -546,9 +706,11 @@ func (s *Solver) SolveLimited(assumptions ...Lit) (Status, error) {
 	for _, a := range assumptions {
 		s.ensureVar(a.Var())
 	}
-	defer s.backtrackTo(0)
+	s.reusePrefix(assumptions)
+	defer s.finishSolve(assumptions)
 
 	conflictsAtStart := s.Stats.Conflicts
+	conflictsSinceRestart := int64(0)
 	restartIdx := int64(1)
 	restartLimit := int64(100) * luby(restartIdx)
 
@@ -556,11 +718,13 @@ func (s *Solver) SolveLimited(assumptions ...Lit) (Status, error) {
 		confl := s.propagate()
 		if confl != -1 {
 			s.Stats.Conflicts++
+			conflictsSinceRestart++
 			if s.decisionLevel() == 0 {
 				s.ok = false
 				return Unsat, nil
 			}
-			learnt, btLevel := s.analyze(confl)
+			learnt, btLevel, lbd := s.analyze(confl)
+			s.updateLBDEMAs(lbd)
 			s.backtrackTo(btLevel)
 			if len(learnt) == 1 {
 				if btLevel != 0 {
@@ -571,7 +735,7 @@ func (s *Solver) SolveLimited(assumptions ...Lit) (Status, error) {
 					return Unsat, nil
 				}
 			} else {
-				cref := s.learnClause(learnt)
+				cref := s.learnClause(learnt, lbd)
 				s.enqueue(learnt[0], cref)
 			}
 			s.decayActivities()
@@ -585,10 +749,9 @@ func (s *Solver) SolveLimited(assumptions ...Lit) (Status, error) {
 			if s.budget > 0 && s.Stats.Conflicts-conflictsAtStart >= s.budget {
 				return Unknown, ErrBudget
 			}
-			if s.Stats.Conflicts-conflictsAtStart >= restartLimit {
+			if s.shouldRestart(conflictsSinceRestart, &restartIdx, &restartLimit, conflictsAtStart) {
 				s.Stats.Restarts++
-				restartIdx++
-				restartLimit = s.Stats.Conflicts - conflictsAtStart + 100*luby(restartIdx)
+				conflictsSinceRestart = 0
 				s.backtrackTo(0)
 			}
 			continue
@@ -620,6 +783,40 @@ func (s *Solver) SolveLimited(assumptions ...Lit) (Status, error) {
 	}
 }
 
+// updateLBDEMAs folds a learnt clause's LBD into the fast (1/32) and
+// slow (1/1024) exponential moving averages driving RestartEMA.
+func (s *Solver) updateLBDEMAs(lbd int32) {
+	l := float64(lbd)
+	if s.slowLBD == 0 {
+		s.fastLBD, s.slowLBD = l, l
+		return
+	}
+	s.fastLBD += (l - s.fastLBD) / 32
+	s.slowLBD += (l - s.slowLBD) / 1024
+}
+
+// shouldRestart implements the active restart policy. For RestartEMA
+// the trigger is fast > 1.25*slow after at least 32 conflicts since
+// the last restart (resetting fast to slow on fire); for RestartLuby
+// it is the conflict count crossing the scaled Luby sequence.
+func (s *Solver) shouldRestart(sinceRestart int64, restartIdx, restartLimit *int64, conflictsAtStart int64) bool {
+	switch s.restartPolicy {
+	case RestartLuby:
+		if s.Stats.Conflicts-conflictsAtStart >= *restartLimit {
+			*restartIdx++
+			*restartLimit = s.Stats.Conflicts - conflictsAtStart + 100*luby(*restartIdx)
+			return true
+		}
+		return false
+	default: // RestartEMA
+		if sinceRestart >= 32 && s.fastLBD > 1.25*s.slowLBD {
+			s.fastLBD = s.slowLBD
+			return true
+		}
+		return false
+	}
+}
+
 // captureModel snapshots the current complete assignment.
 func (s *Solver) captureModel() {
 	if cap(s.model) < len(s.vars) {
@@ -631,82 +828,60 @@ func (s *Solver) captureModel() {
 	}
 }
 
-func (s *Solver) learnClause(lits []Lit) int {
+func (s *Solver) learnClause(lits []Lit, lbd int32) int {
 	s.Stats.Learnt++
+	s.Stats.LBDSum += int64(lbd)
+	if lbd <= 2 {
+		s.Stats.GlueLearnt++
+	}
 	s.numLearnt++
 	cref := len(s.clauses)
 	cp := make([]Lit, len(lits))
 	copy(cp, lits)
-	s.clauses = append(s.clauses, clause{lits: cp, learnt: true, act: s.clauseInc})
+	s.clauses = append(s.clauses, clause{lits: cp, learnt: true, act: s.clauseInc, lbd: lbd})
 	s.watchClause(cref)
 	return cref
 }
 
-// reduceDB deletes roughly half of the learned clauses — the
-// low-activity ones — keeping binary clauses and clauses currently
-// acting as reasons. Deleted clauses are skipped lazily by propagate.
+// reduceDB performs a glucose-style learnt-database reduction: binary
+// clauses, glue clauses (LBD <= 2), and clauses currently acting as
+// reasons are kept unconditionally; the rest are sorted worst-first by
+// (LBD descending, activity ascending) and the worse half is deleted.
+// Deleted clauses are skipped lazily by propagate.
 func (s *Solver) reduceDB() {
+	s.Stats.DBReductions++
 	locked := make(map[int]bool)
 	for v := 1; v < len(s.vars); v++ {
 		if s.vars[v].assign != lUndef && s.vars[v].reason >= 0 {
 			locked[s.vars[v].reason] = true
 		}
 	}
-	var acts []float64
+	var cands []int
 	for i := range s.clauses {
 		c := &s.clauses[i]
-		if c.learnt && !c.deleted && len(c.lits) > 2 && !locked[i] {
-			acts = append(acts, c.act)
+		if c.learnt && !c.deleted && len(c.lits) > 2 && c.lbd > 2 && !locked[i] {
+			cands = append(cands, i)
 		}
 	}
-	if len(acts) == 0 {
+	if len(cands) == 0 {
 		return
 	}
-	// Median activity as the deletion threshold.
-	threshold := medianOf(acts)
-	removed := 0
-	for i := range s.clauses {
-		c := &s.clauses[i]
-		if c.learnt && !c.deleted && len(c.lits) > 2 && !locked[i] && c.act <= threshold {
-			c.deleted = true
-			c.lits = nil
-			removed++
-			s.numLearnt--
+	sort.Slice(cands, func(a, b int) bool {
+		ca, cb := &s.clauses[cands[a]], &s.clauses[cands[b]]
+		if ca.lbd != cb.lbd {
+			return ca.lbd > cb.lbd
 		}
+		return ca.act < cb.act
+	})
+	removed := 0
+	for _, i := range cands[:len(cands)/2] {
+		c := &s.clauses[i]
+		c.deleted = true
+		c.lits = nil
+		removed++
+		s.numLearnt--
 	}
 	s.Stats.Deleted += int64(removed)
-}
-
-// medianOf returns an approximate median via quickselect on a copy.
-func medianOf(xs []float64) float64 {
-	cp := append([]float64(nil), xs...)
-	k := len(cp) / 2
-	lo, hi := 0, len(cp)-1
-	for lo < hi {
-		pivot := cp[(lo+hi)/2]
-		i, j := lo, hi
-		for i <= j {
-			for cp[i] < pivot {
-				i++
-			}
-			for cp[j] > pivot {
-				j--
-			}
-			if i <= j {
-				cp[i], cp[j] = cp[j], cp[i]
-				i++
-				j--
-			}
-		}
-		if k <= j {
-			hi = j
-		} else if k >= i {
-			lo = i
-		} else {
-			break
-		}
-	}
-	return cp[k]
 }
 
 // Value returns the value of v in the most recent satisfying
