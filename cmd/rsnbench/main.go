@@ -48,14 +48,17 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"strings"
 	"time"
 
 	rsnsec "repro"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
 	"repro/internal/obs/reportdiff"
 	"repro/internal/report"
+	"repro/internal/version"
 )
 
 // benchConfig carries the command-line configuration.
@@ -85,6 +88,8 @@ type benchConfig struct {
 	benchThreshold float64
 	benchMADK      float64
 	commit         string
+
+	lg *slog.Logger
 }
 
 func main() {
@@ -116,7 +121,19 @@ func main() {
 	diffSpec := flag.String("diff-report", "", "compare two run reports (old.json,new.json) and print the deltas")
 	validateBench := flag.String("validate-bench", "", "validate a bench-record JSON file against the schema and exit")
 	compareBench := flag.String("compare-bench", "", "gate two bench records (old.json,new.json); nonzero exit on regression")
+	logLevel := flag.String("log-level", "info", "log level spec: LEVEL[,component=LEVEL...] (debug|info|warn|error|off)")
+	logFormat := flag.String("log-format", "text", "log record encoding: text or json")
+	showVer := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("rsnbench"))
+		return
+	}
+	var err error
+	if c.lg, err = cliutil.Logger(os.Stderr, *logLevel, *logFormat, c.quiet); err != nil {
+		fmt.Fprintln(os.Stderr, "rsnbench:", err)
+		os.Exit(1)
+	}
 
 	switch {
 	case *validatePath != "":
@@ -307,8 +324,8 @@ func runBenchRecord(c benchConfig) error {
 	if err := rsnsec.WriteBenchRecord(w, rec); err != nil {
 		return err
 	}
-	if c.benchOut != "-" && !c.quiet {
-		fmt.Fprintf(os.Stderr, "bench record written to %s\n", c.benchOut)
+	if c.benchOut != "-" {
+		c.lg.Info("bench record written", "path", c.benchOut)
 	}
 	if c.baseline == "" {
 		return nil
@@ -387,7 +404,7 @@ func run(c benchConfig) error {
 			return err
 		}
 		defer dbg.Close()
-		fmt.Fprintf(errw, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
+		c.lg.Info("debug endpoints up", "addr", dbg.Addr())
 	}
 
 	cfg := rsnsec.DefaultRunConfig()
@@ -462,7 +479,7 @@ func run(c benchConfig) error {
 			return err
 		}
 		if c.reportPath != "-" {
-			fmt.Fprintf(errw, "run report written to %s\n", c.reportPath)
+			c.lg.Info("run report written", "path", c.reportPath)
 		}
 	}
 	if c.verbose && stats != nil {

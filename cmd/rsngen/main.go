@@ -5,18 +5,21 @@
 //	rsngen -benchmark FlexScan -scale 0.1 # one scaled benchmark to stdout
 //
 // Pass -with-circuit to also attach the seeded random circuit and emit
-// the capture/update instrument links. Per-benchmark progress lines go
-// to stderr (the ICL itself may stream to stdout); -q silences them.
+// the capture/update instrument links. Per-benchmark progress records
+// go to stderr (the ICL itself may stream to stdout) as structured log
+// lines (-log-level/-log-format); -q silences them.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 
 	rsnsec "repro"
+	"repro/internal/cliutil"
+	"repro/internal/version"
 )
 
 func main() {
@@ -27,20 +30,28 @@ func main() {
 		outDir      = flag.String("out", "", "output directory (required with -all)")
 		seed        = flag.Int64("seed", 1, "circuit generation seed")
 		withCircuit = flag.Bool("with-circuit", false, "attach a random circuit and emit instrument links")
-		quiet       = flag.Bool("q", false, "suppress the per-benchmark progress lines")
+		quiet       = flag.Bool("q", false, "suppress the per-benchmark progress records")
+		logLevel    = flag.String("log-level", "info", "log level spec: LEVEL[,component=LEVEL...] (debug|info|warn|error|off)")
+		logFormat   = flag.String("log-format", "text", "log record encoding: text or json")
+		showVer     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
-	if err := run(*benchName, *all, *scale, *outDir, *seed, *withCircuit, *quiet); err != nil {
+	if *showVer {
+		fmt.Println(version.String("rsngen"))
+		return
+	}
+	lg, err := cliutil.Logger(os.Stderr, *logLevel, *logFormat, *quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsngen:", err)
+		os.Exit(1)
+	}
+	if err := run(*benchName, *all, *scale, *outDir, *seed, *withCircuit, lg); err != nil {
 		fmt.Fprintln(os.Stderr, "rsngen:", err)
 		os.Exit(1)
 	}
 }
 
-func run(benchName string, all bool, scale float64, outDir string, seed int64, withCircuit, quiet bool) error {
-	progress := io.Writer(os.Stderr)
-	if quiet {
-		progress = io.Discard
-	}
+func run(benchName string, all bool, scale float64, outDir string, seed int64, withCircuit bool, lg *slog.Logger) error {
 	var list []rsnsec.Benchmark
 	switch {
 	case all:
@@ -90,8 +101,8 @@ func run(benchName string, all bool, scale float64, outDir string, seed int64, w
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(progress, "%-16s %6d registers %7d scan FFs %5d muxes -> %s\n",
-			b.Name, st.Registers, st.ScanFFs, st.Muxes, path)
+		lg.Info("benchmark written", "benchmark", b.Name, "registers", st.Registers,
+			"scan_ffs", st.ScanFFs, "muxes", st.Muxes, "path", path)
 		if circuit != nil {
 			// The attached circuit travels alongside as .bench.
 			cpath := filepath.Join(outDir, b.Name+".bench")
@@ -106,7 +117,8 @@ func run(benchName string, all bool, scale float64, outDir string, seed int64, w
 			if err != nil {
 				return err
 			}
-			fmt.Fprintf(progress, "%-16s circuit: %d FFs, %d gates -> %s\n", "", circuit.NumFFs(), circuit.NumGates(), cpath)
+			lg.Info("circuit written", "benchmark", b.Name, "ffs", circuit.NumFFs(),
+				"gates", circuit.NumGates(), "path", cpath)
 		}
 	}
 	return nil

@@ -17,14 +17,28 @@ import (
 	"os"
 
 	rsnsec "repro"
+	"repro/internal/cliutil"
 	"repro/internal/sat"
+	"repro/internal/version"
 )
 
 func main() {
 	stats := flag.Bool("stats", false, "print solver statistics")
 	quiet := flag.Bool("q", false, "result lines only: no \"c\" comments on stdout, no diagnostics on stderr")
 	debugAddr := flag.String("debug-addr", "", "serve expvar, Prometheus metrics and pprof on this address during the solve")
+	logLevel := flag.String("log-level", "info", "log level spec: LEVEL[,component=LEVEL...] (debug|info|warn|error|off)")
+	logFormat := flag.String("log-format", "text", "log record encoding: text or json")
+	showVer := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("rsnsat"))
+		return
+	}
+	lg, err := cliutil.Logger(os.Stderr, *logLevel, *logFormat, *quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsnsat:", err)
+		os.Exit(2)
+	}
 	if *debugAddr != "" {
 		dbg, err := rsnsec.StartDebugServer(*debugAddr, rsnsec.NewMetricsRegistry())
 		if err != nil {
@@ -32,9 +46,7 @@ func main() {
 			os.Exit(2)
 		}
 		defer dbg.Close()
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
-		}
+		lg.Info("debug endpoints up", "addr", dbg.Addr())
 	}
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: rsnsat [-stats] formula.cnf")

@@ -43,11 +43,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"time"
 
 	rsnsec "repro"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
+	"repro/internal/version"
 )
 
 // engineConfig carries the run-orchestration flags.
@@ -59,6 +63,7 @@ type engineConfig struct {
 	tracePath   string
 	traceSample int
 	debugAddr   string
+	logger      *slog.Logger
 }
 
 func main() {
@@ -81,10 +86,23 @@ func main() {
 		trace     = flag.String("trace", "", "write the span journal as JSONL to this file")
 		traceSmp  = flag.Int("trace-sample", 64, "record every n-th high-frequency query span")
 		debugAddr = flag.String("debug-addr", "", "serve expvar, Prometheus metrics and pprof on this address during the run")
+		logLevel  = flag.String("log-level", "info", "log level spec: LEVEL[,component=LEVEL...] (debug|info|warn|error|off)")
+		logFormat = flag.String("log-format", "text", "log record encoding: text or json")
+		showVer   = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVer {
+		fmt.Println(version.String("rsnsec"))
+		return
+	}
+	lg, err := cliutil.Logger(os.Stderr, *logLevel, *logFormat, *quiet)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "rsnsec:", err)
+		os.Exit(1)
+	}
 	ec := engineConfig{workers: *workers, timeout: *timeout, verbose: *verbose,
-		quiet: *quiet, tracePath: *trace, traceSample: *traceSmp, debugAddr: *debugAddr}
+		quiet: *quiet, tracePath: *trace, traceSample: *traceSmp, debugAddr: *debugAddr,
+		logger: lg}
 	if err := run(*benchName, *iclPath, *benchPath, *scale, *seed, *specSeed, *mode, *outPath, *deltaPath, *doVerify, *explain, ec); err != nil {
 		fmt.Fprintln(os.Stderr, "rsnsec:", err)
 		os.Exit(1)
@@ -144,12 +162,13 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 			return err
 		}
 		defer dbg.Close()
-		fmt.Fprintf(errw, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
+		ec.logger.LogAttrs(ctx, slog.LevelInfo, "debug endpoints up", slog.String("addr", dbg.Addr()))
 	}
 	runSpan := tracer.Start(nil, "run", obs.Str("tool", "rsnsec"), obs.Int("workers", int64(ec.workers)))
 	defer runSpan.End()
+	engLog := olog.Component(ec.logger, "engine")
 	engOpts := rsnsec.EngineOptions{Workers: ec.workers, Context: ctx, Progress: progress, Stats: stats,
-		Tracer: tracer, TraceParent: runSpan}
+		Tracer: tracer, TraceParent: runSpan, Logger: engLog}
 
 	var (
 		nw           *rsnsec.Network
@@ -264,7 +283,7 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 	logTo := func(f string, a ...any) { fmt.Fprintf(out, "  %s\n", fmt.Sprintf(f, a...)) }
 	secOpts := rsnsec.Options{Mode: m, Log: logTo,
 		Workers: ec.workers, Context: ctx, Progress: progress, Stats: stats,
-		Tracer: tracer, TraceParent: runSpan}
+		Tracer: tracer, TraceParent: runSpan, Logger: engLog}
 	showFlows := func(sp *rsnsec.Spec) error {
 		if explain <= 0 {
 			return nil

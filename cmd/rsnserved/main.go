@@ -25,6 +25,17 @@
 // script against it and re-secures incrementally, returning a
 // rsnsec.delta-report/v1 document; -max-sessions bounds the hydrated
 // sessions held in memory.
+//
+// Telemetry: every log line is a structured record (JSON by default,
+// -log-format text for humans; -log-level takes a spec like
+// "info,serve.http=warn"); each HTTP request gets an X-Request-ID and
+// W3C traceparent (accepted or minted, echoed on the response) that
+// follow the work through logs, spans, job records and the flight
+// recorder (GET /debug/events, sized by -flight-events). Autoscalers
+// read GET /v1/load (or the serve_* gauges on /metrics) for the
+// predicted backlog; -readyz-saturation DUR turns /readyz into a
+// backpressure signal, and -load-model seeds the cost model from a
+// rsnbench record before the first job completes.
 package main
 
 import (
@@ -32,14 +43,19 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	rsnsec "repro"
+	"repro/internal/cliutil"
 	"repro/internal/obs"
+	"repro/internal/obs/olog"
+	"repro/internal/obs/perfrec"
 	"repro/internal/serve"
+	"repro/internal/version"
 )
 
 func main() {
@@ -65,16 +81,52 @@ func run() error {
 		slowJobThr   = flag.Duration("slow-job-threshold", 0, "dump the span tree of jobs slower than this to -slow-job-log (0 = off)")
 		slowJobPath  = flag.String("slow-job-log", "", "slow-job JSONL log file (default <stderr> when -slow-job-threshold is set)")
 		debugAddr    = flag.String("debug-addr", "", "also serve expvar and pprof on this address")
-		quiet        = flag.Bool("q", false, "suppress the startup banner and per-job log lines on stderr")
+		quiet        = flag.Bool("q", false, "suppress all log output (overridden by an explicit -log-level)")
+		logLevel     = flag.String("log-level", "info", "log level spec: LEVEL[,component=LEVEL...] (debug|info|warn|error|off)")
+		logFormat    = flag.String("log-format", "json", "log record encoding: json or text")
+		logFile      = flag.String("log-file", "", "write log records to this file instead of stderr (buffered, flushed on shutdown)")
+		flightEvents = flag.Int("flight-events", 0, "flight-recorder ring size per category (0 = 256, -1 = disabled)")
+		loadModel    = flag.String("load-model", "", "seed the predicted-backlog cost model from this rsnbench record")
+		readyzSat    = flag.Duration("readyz-saturation", 0, "/readyz answers 503 while the predicted backlog exceeds this (0 = off)")
+		showVersion  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(version.String("rsnserved"))
+		return nil
+	}
 
-	errw := io.Writer(os.Stderr)
-	if *quiet {
-		errw = io.Discard
+	logw := io.Writer(os.Stderr)
+	var logBuf *olog.BufferedWriter
+	if *logFile != "" {
+		lf, err := os.Create(*logFile)
+		if err != nil {
+			return err
+		}
+		defer lf.Close()
+		// Buffered: the access log is the hottest sink in the process.
+		// Flushed after graceful shutdown (defers run LIFO, before the
+		// file closes) so the tail of drained requests is never lost.
+		logBuf = olog.NewBufferedWriter(lf)
+		defer logBuf.Flush()
+		logw = logBuf
+	}
+	lg, err := cliutil.Logger(logw, *logLevel, *logFormat, *quiet)
+	if err != nil {
+		return err
 	}
 
 	reg := obs.NewRegistry()
+	obs.EnableRuntimeMetrics(reg)
+	version.Register(reg)
+
+	var loadRec *perfrec.Record
+	if *loadModel != "" {
+		loadRec, err = perfrec.ReadFile(*loadModel)
+		if err != nil {
+			return fmt.Errorf("load model: %w", err)
+		}
+	}
 	var tracer *obs.Tracer
 	var traceSink *obs.BufferedJSONLSink
 	if *tracePath != "" {
@@ -112,15 +164,16 @@ func run() error {
 			Dir:        *storeDir,
 			MaxEntries: *storeEntries,
 		},
-		Limits:           serve.Limits{MaxScanFFs: *maxScanFFs},
-		MaxSessions:      *maxSessions,
-		Registry:         reg,
-		Tracer:           tracer,
-		SlowJobThreshold: *slowJobThr,
-		SlowJobLog:       slowJobLog,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(errw, "%s %s\n", time.Now().UTC().Format(time.RFC3339), fmt.Sprintf(format, args...))
-		},
+		Limits:              serve.Limits{MaxScanFFs: *maxScanFFs},
+		MaxSessions:         *maxSessions,
+		Registry:            reg,
+		Tracer:              tracer,
+		SlowJobThreshold:    *slowJobThr,
+		SlowJobLog:          slowJobLog,
+		Logger:              lg,
+		FlightEvents:        *flightEvents,
+		LoadModel:           loadRec,
+		SaturationThreshold: *readyzSat,
 	})
 	if err != nil {
 		return err
@@ -131,7 +184,8 @@ func run() error {
 			return err
 		}
 		defer dbg.Close()
-		fmt.Fprintf(errw, "debug endpoints on http://%s/ (metrics, expvar, pprof)\n", dbg.Addr())
+		lg.LogAttrs(context.Background(), slog.LevelInfo, "debug endpoints up",
+			slog.String("addr", dbg.Addr()))
 	}
 	if err := srv.Start(); err != nil {
 		return err

@@ -1,0 +1,44 @@
+// Package cliutil carries the flag glue shared by the rsnsec command
+// suite: construction of the conventional -log-level / -log-format
+// structured logger and its interaction with the suite-wide -q flag.
+package cliutil
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log/slog"
+
+	"repro/internal/obs/olog"
+)
+
+// Logger builds a tool logger from the conventional -log-level and
+// -log-format flag values, writing to w. quiet forces the level off —
+// the suite-wide -q contract (clean output streams for scripting) —
+// unless the user explicitly passed -log-level on the command line,
+// which wins over -q.
+func Logger(w io.Writer, spec, format string, quiet bool) (*slog.Logger, error) {
+	if quiet && !FlagWasSet("log-level") {
+		spec = "off"
+	}
+	levels, err := olog.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	if format != "json" && format != "text" {
+		return nil, fmt.Errorf("unknown -log-format %q (want json or text)", format)
+	}
+	return olog.New(olog.Options{Writer: w, Format: format, Levels: levels}), nil
+}
+
+// FlagWasSet reports whether the named flag appeared on the command
+// line (as opposed to resting at its default value).
+func FlagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}

@@ -12,6 +12,7 @@ package core
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"time"
 
 	"repro/internal/dep"
@@ -41,6 +42,9 @@ type Options struct {
 	// lines (per-stage fan-out and query counts); Log keeps the coarse
 	// pipeline summary.
 	Progress func(format string, args ...any)
+	// Logger, when non-nil, receives engine progress as structured
+	// debug records (see engine.Options.Logger).
+	Logger *slog.Logger
 	// Stats, when non-nil, accumulates race-safe per-stage engine
 	// instrumentation (wall times and query counts).
 	Stats *engine.Stats
@@ -55,7 +59,7 @@ type Options struct {
 // engineOptions derives the engine configuration of one run.
 func (o Options) engineOptions() engine.Options {
 	return engine.Options{Workers: o.Workers, Context: o.Context, Progress: o.Progress,
-		Stats: o.Stats, Tracer: o.Tracer, TraceParent: o.TraceParent}
+		Logger: o.Logger, Stats: o.Stats, Tracer: o.Tracer, TraceParent: o.TraceParent}
 }
 
 // EngineOptions derives the engine configuration of one run — exposed

@@ -25,6 +25,7 @@ package engine
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sort"
 	"strings"
@@ -49,6 +50,11 @@ type Options struct {
 	// lines. It may be called from the goroutine driving a stage; it is
 	// never called concurrently from pool workers.
 	Progress func(format string, args ...any)
+	// Logger, when non-nil, receives the same progress lines as
+	// structured debug-level records (in addition to Progress when both
+	// are set). Bind component and correlation attributes before
+	// passing it in (e.g. olog.Component(lg, "engine").With("job", id)).
+	Logger *slog.Logger
 	// Stats, when non-nil, accumulates per-stage wall times and query
 	// counts across the whole pipeline. All updates are race-safe, so
 	// one Stats may be shared by concurrent analyses.
@@ -81,10 +87,14 @@ func (o Options) Ctx() context.Context {
 // Err reports the context's cancellation state.
 func (o Options) Err() error { return o.Ctx().Err() }
 
-// Logf emits one progress line if a Progress sink is configured.
+// Logf emits one progress line to the configured Progress sink and/or
+// structured Logger (debug level).
 func (o Options) Logf(format string, args ...any) {
 	if o.Progress != nil {
 		o.Progress(format, args...)
+	}
+	if o.Logger != nil && o.Logger.Enabled(o.Ctx(), slog.LevelDebug) {
+		o.Logger.LogAttrs(o.Ctx(), slog.LevelDebug, fmt.Sprintf(format, args...))
 	}
 }
 

@@ -1,0 +1,248 @@
+// Package flight is an in-memory flight recorder: fixed-size ring
+// buffers of recent operational events (job lifecycle transitions,
+// scheduler decisions, store activity), kept cheap enough to record
+// unconditionally and served as JSON so a stuck or misbehaving daemon
+// is diagnosable in place — no restart, no log-file access, no
+// sampling gaps right where the incident is.
+//
+// The recorder is category-sharded: each category owns its own ring
+// and mutex, so job events never contend with store events, and one
+// noisy category cannot evict another's history. Record is O(1) with
+// a critical section of a few field stores; Snapshot copies out under
+// the same short lock. A nil *Recorder no-ops everywhere, matching the
+// internal/obs convention that telemetry paths never branch on
+// enablement.
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Event is one recorded occurrence. Seq orders events globally across
+// categories (a single atomic counter), so interleavings reconstruct
+// exactly even when per-category rings wrap at different rates.
+type Event struct {
+	Seq  uint64 `json:"seq"`
+	Time string `json:"time"` // RFC3339Nano UTC
+	Cat  string `json:"cat"`
+	Name string `json:"event"`
+	// Job, RequestID and TraceID correlate the event with the job
+	// record, access log and span tree of the same request.
+	Job       string `json:"job,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+	TraceID   string `json:"trace_id,omitempty"`
+	// Detail carries one short free-form value (a key prefix, an error
+	// summary, a queue position).
+	Detail string `json:"detail,omitempty"`
+}
+
+// ring is one category's fixed-size circular buffer.
+type ring struct {
+	mu    sync.Mutex
+	buf   []Event
+	next  int // index of the next write
+	count int // total events ever written (saturates reads)
+}
+
+// snapshot returns the buffered events, oldest first.
+func (r *ring) snapshot() []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.count
+	if n > len(r.buf) {
+		n = len(r.buf)
+	}
+	out := make([]Event, 0, n)
+	start := (r.next - n + len(r.buf)) % len(r.buf)
+	for i := 0; i < n; i++ {
+		out = append(out, r.buf[(start+i)%len(r.buf)])
+	}
+	return out
+}
+
+// Recorder is the category-sharded flight recorder.
+type Recorder struct {
+	size int
+	seq  atomic.Uint64
+	now  func() time.Time // test seam
+
+	mu    sync.RWMutex
+	rings map[string]*ring
+
+	dropped atomic.Uint64 // events lost to ring wrap (diagnostic)
+}
+
+// New returns a recorder retaining up to size events per category
+// (size <= 0 uses 256).
+func New(size int) *Recorder {
+	if size <= 0 {
+		size = 256
+	}
+	return &Recorder{size: size, now: time.Now, rings: make(map[string]*ring)}
+}
+
+func (r *Recorder) ring(cat string) *ring {
+	r.mu.RLock()
+	rg := r.rings[cat]
+	r.mu.RUnlock()
+	if rg != nil {
+		return rg
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rg = r.rings[cat]; rg == nil {
+		rg = &ring{buf: make([]Event, r.size)}
+		r.rings[cat] = rg
+	}
+	return rg
+}
+
+// Record stamps and stores one event. Seq and Time are assigned here;
+// callers fill Cat, Name and the correlation fields.
+func (r *Recorder) Record(ev Event) {
+	if r == nil || ev.Cat == "" {
+		return
+	}
+	ev.Seq = r.seq.Add(1)
+	ev.Time = r.now().UTC().Format(time.RFC3339Nano)
+	rg := r.ring(ev.Cat)
+	rg.mu.Lock()
+	if rg.count >= len(rg.buf) {
+		r.dropped.Add(1)
+	}
+	rg.buf[rg.next] = ev
+	rg.next = (rg.next + 1) % len(rg.buf)
+	rg.count++
+	rg.mu.Unlock()
+}
+
+// Categories returns the categories that have recorded events, sorted.
+func (r *Recorder) Categories() []string {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	cats := make([]string, 0, len(r.rings))
+	for c := range r.rings {
+		cats = append(cats, c)
+	}
+	r.mu.RUnlock()
+	sort.Strings(cats)
+	return cats
+}
+
+// Snapshot returns the retained events of one category ("" merges all
+// categories), in global Seq order.
+func (r *Recorder) Snapshot(cat string) []Event {
+	if r == nil {
+		return nil
+	}
+	var out []Event
+	if cat != "" {
+		r.mu.RLock()
+		rg := r.rings[cat]
+		r.mu.RUnlock()
+		if rg == nil {
+			return nil
+		}
+		return rg.snapshot()
+	}
+	for _, c := range r.Categories() {
+		r.mu.RLock()
+		rg := r.rings[c]
+		r.mu.RUnlock()
+		out = append(out, rg.snapshot()...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// Recent returns the latest n events across all categories (global Seq
+// order, oldest of the n first).
+func (r *Recorder) Recent(n int) []Event {
+	evs := r.Snapshot("")
+	if n > 0 && len(evs) > n {
+		evs = evs[len(evs)-n:]
+	}
+	return evs
+}
+
+// ForJob returns the retained events of one job across all categories.
+func (r *Recorder) ForJob(jobID string) []Event {
+	var out []Event
+	for _, ev := range r.Snapshot("") {
+		if ev.Job == jobID {
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// Dropped returns how many events were overwritten before ever being
+// snapshotted — strictly: how many writes landed on a full ring.
+func (r *Recorder) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.dropped.Load()
+}
+
+// response is the JSON document served by Handler.
+type response struct {
+	Categories []string `json:"categories"`
+	Dropped    uint64   `json:"dropped"`
+	Events     []Event  `json:"events"`
+}
+
+// Handler serves the recorder as JSON (the /debug/events endpoint):
+//
+//	GET ?cat=sched    one category only
+//	GET ?job=a0001-…  one job's events across categories
+//	GET ?n=100        at most the latest 100 events
+//
+// The request's identity middleware runs outside this handler, so the
+// recorder itself stays HTTP-agnostic.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		resp := response{Categories: r.Categories(), Dropped: r.Dropped()}
+		switch {
+		case req.URL.Query().Get("job") != "":
+			resp.Events = r.ForJob(req.URL.Query().Get("job"))
+		default:
+			resp.Events = r.Snapshot(req.URL.Query().Get("cat"))
+		}
+		if ns := req.URL.Query().Get("n"); ns != "" {
+			n, err := strconv.Atoi(ns)
+			if err != nil || n < 0 {
+				http.Error(w, `{"error":"n must be a non-negative integer"}`, http.StatusBadRequest)
+				return
+			}
+			if len(resp.Events) > n {
+				resp.Events = resp.Events[len(resp.Events)-n:]
+			}
+		}
+		if resp.Events == nil {
+			resp.Events = []Event{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(resp)
+	})
+}
+
+// WithReqInfo copies the request identity of ri into the event's
+// correlation fields.
+func (ev Event) WithReqInfo(ri obs.ReqInfo) Event {
+	ev.RequestID = ri.RequestID
+	ev.TraceID = ri.Trace.TraceID
+	return ev
+}

@@ -1,0 +1,126 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestRingWrapKeepsLatest(t *testing.T) {
+	r := New(4)
+	for i := 0; i < 10; i++ {
+		r.Record(Event{Cat: "sched", Name: "enqueue", Detail: string(rune('a' + i))})
+	}
+	evs := r.Snapshot("sched")
+	if len(evs) != 4 {
+		t.Fatalf("retained %d events, want 4", len(evs))
+	}
+	if evs[0].Detail != "g" || evs[3].Detail != "j" {
+		t.Errorf("retained window = %q..%q, want g..j", evs[0].Detail, evs[3].Detail)
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			t.Errorf("events out of order: %d then %d", evs[i-1].Seq, evs[i].Seq)
+		}
+	}
+	if r.Dropped() != 6 {
+		t.Errorf("dropped = %d, want 6", r.Dropped())
+	}
+}
+
+func TestCategoriesIsolateAndMerge(t *testing.T) {
+	r := New(2)
+	r.Record(Event{Cat: "job", Name: "start", Job: "a1"})
+	r.Record(Event{Cat: "store", Name: "miss"})
+	r.Record(Event{Cat: "job", Name: "done", Job: "a1"})
+	// The store ring must not have been evicted by job traffic.
+	if got := r.Snapshot("store"); len(got) != 1 || got[0].Name != "miss" {
+		t.Errorf("store ring = %+v", got)
+	}
+	all := r.Snapshot("")
+	if len(all) != 3 || all[0].Name != "start" || all[1].Name != "miss" || all[2].Name != "done" {
+		t.Errorf("merged order = %+v", all)
+	}
+	if cats := r.Categories(); len(cats) != 2 || cats[0] != "job" || cats[1] != "store" {
+		t.Errorf("categories = %v", cats)
+	}
+	if got := r.ForJob("a1"); len(got) != 2 {
+		t.Errorf("ForJob = %+v", got)
+	}
+	if got := r.Recent(2); len(got) != 2 || got[1].Name != "done" {
+		t.Errorf("Recent = %+v", got)
+	}
+}
+
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	r.Record(Event{Cat: "job", Name: "x"})
+	if r.Snapshot("") != nil || r.Categories() != nil || r.Dropped() != 0 {
+		t.Error("nil recorder leaked state")
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	r := New(64)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			cat := []string{"job", "sched", "store"}[g%3]
+			for i := 0; i < 100; i++ {
+				r.Record(Event{Cat: cat, Name: "ev"})
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range r.Categories() {
+		total += len(r.Snapshot(c))
+	}
+	if total == 0 || total > 3*64 {
+		t.Errorf("retained %d events", total)
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	r := New(8)
+	ri := obs.ReqInfo{RequestID: "req-7", Trace: obs.NewTraceContext()}
+	r.Record(Event{Cat: "job", Name: "enqueue", Job: "a1"}.WithReqInfo(ri))
+	r.Record(Event{Cat: "sched", Name: "reject"})
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type = %q", ct)
+	}
+	var resp struct {
+		Categories []string `json:"categories"`
+		Events     []Event  `json:"events"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("response not JSON: %v\n%s", err, rec.Body.String())
+	}
+	if len(resp.Events) != 2 || resp.Events[0].RequestID != "req-7" || resp.Events[0].TraceID != ri.Trace.TraceID {
+		t.Errorf("events = %+v", resp.Events)
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?cat=sched&n=1", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 1 || resp.Events[0].Name != "reject" {
+		t.Errorf("filtered events = %+v", resp.Events)
+	}
+
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?n=bogus", nil))
+	if rec.Code != 400 || !strings.Contains(rec.Body.String(), "error") {
+		t.Errorf("bad n: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+}

@@ -165,6 +165,11 @@ type Registry struct {
 	order  []string
 	byName map[string]any
 	help   map[string]string
+
+	// collectors run before each exposition so on-demand values
+	// (runtime health, load gauges) are fresh at scrape time.
+	collMu     sync.Mutex
+	collectors []func()
 }
 
 // NewRegistry returns an empty metrics registry.
@@ -230,6 +235,31 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
+// AddCollector registers fn to run immediately before each exposition
+// (WritePrometheus, Snapshot), refreshing pull-style gauges — values
+// that are cheap to compute on demand but wasteful to keep current
+// (goroutine counts, queue wait ages, predicted backlog). fn runs
+// outside the registry lock and may therefore set metrics freely; it
+// must not itself trigger an exposition.
+func (r *Registry) AddCollector(fn func()) {
+	if r == nil || fn == nil {
+		return
+	}
+	r.collMu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.collMu.Unlock()
+}
+
+// collect runs the registered collectors (outside the metrics lock).
+func (r *Registry) collect() {
+	r.collMu.Lock()
+	fns := append([]func(){}, r.collectors...)
+	r.collMu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+}
+
 // SetHelp attaches a HELP line to a metric family.
 func (r *Registry) SetHelp(family, help string) {
 	if r == nil {
@@ -282,6 +312,10 @@ func (r *Registry) Each(fn func(name string, metric any)) {
 // and gauges; histograms expand into name_count and name_sum entries.
 // It backs the expvar exposition.
 func (r *Registry) Snapshot() map[string]any {
+	if r == nil {
+		return map[string]any{}
+	}
+	r.collect()
 	out := make(map[string]any)
 	r.Each(func(name string, m any) {
 		switch x := m.(type) {
@@ -314,6 +348,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	if r == nil {
 		return nil
 	}
+	r.collect()
 	names, metrics, helps := r.snapshot()
 	var famOrder []string
 	byFam := make(map[string][]string)

@@ -1,0 +1,63 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// runtimeSamples maps runtime/metrics sample names to the exported
+// gauge names. Values are sampled by a registry collector at scrape
+// time — runtime/metrics reads are cheap and stop-the-world free, so
+// scrapes stay O(µs) regardless of heap size.
+var runtimeSamples = []struct {
+	sample string
+	gauge  string
+	help   string
+}{
+	{"/sched/goroutines:goroutines", "go_goroutines",
+		"Live goroutines."},
+	{"/memory/classes/heap/objects:bytes", "go_heap_live_bytes",
+		"Bytes of live heap objects (allocated and not yet collected)."},
+	{"/memory/classes/total:bytes", "go_mem_total_bytes",
+		"Total memory mapped by the Go runtime."},
+	{"/gc/cycles/total:gc-cycles", "go_gc_cycles_total",
+		"Completed GC cycles since process start."},
+	{"/cpu/classes/gc/pause:cpu-seconds", "go_gc_pause_cpu_ms_total",
+		"Cumulative CPU-milliseconds spent in GC stop-the-world pauses."},
+}
+
+// EnableRuntimeMetrics registers Go runtime health gauges
+// (go_goroutines, go_heap_live_bytes, go_mem_total_bytes,
+// go_gc_cycles_total, go_gc_pause_cpu_ms_total) in the registry,
+// refreshed via runtime/metrics on every exposition. Unknown sample
+// names (older runtimes) are skipped silently, so the set degrades
+// instead of breaking across Go versions.
+func EnableRuntimeMetrics(r *Registry) {
+	if r == nil {
+		return
+	}
+	samples := make([]metrics.Sample, len(runtimeSamples))
+	gauges := make([]*Gauge, len(runtimeSamples))
+	for i, rs := range runtimeSamples {
+		samples[i].Name = rs.sample
+		r.SetHelp(rs.gauge, rs.help)
+		gauges[i] = r.Gauge(rs.gauge)
+	}
+	r.AddCollector(func() {
+		metrics.Read(samples)
+		for i := range samples {
+			switch samples[i].Value.Kind() {
+			case metrics.KindUint64:
+				v := samples[i].Value.Uint64()
+				if v > math.MaxInt64 {
+					v = math.MaxInt64
+				}
+				gauges[i].Set(int64(v))
+			case metrics.KindFloat64:
+				// Float samples here are cumulative seconds; export as
+				// integer milliseconds (the registry is int64-valued).
+				gauges[i].Set(int64(samples[i].Value.Float64() * 1e3))
+			}
+		}
+	})
+}

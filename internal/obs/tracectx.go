@@ -1,0 +1,175 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// This file is the request-identity substrate: W3C trace-context
+// (traceparent) parsing and formatting, request-ID generation, and the
+// context.Context plumbing that carries one request's identity from
+// the HTTP edge through the scheduler into engine runs, spans, logs
+// and flight-recorder events. Everything here is allocation-light and
+// dependency-free so any layer may stamp records with the active
+// identity without caring where it came from.
+
+// TraceContext is one hop of a W3C trace-context chain: the 16-byte
+// trace ID shared by every participant of a distributed request, the
+// 8-byte span ID of the current hop, and the trace flags (bit 0 =
+// sampled). IDs are lowercase hex strings, validated on parse.
+type TraceContext struct {
+	TraceID string // 32 lowercase hex chars, not all-zero
+	SpanID  string // 16 lowercase hex chars, not all-zero
+	Flags   byte
+}
+
+// Valid reports whether both IDs are well-formed and non-zero.
+func (tc TraceContext) Valid() bool {
+	return validHexID(tc.TraceID, 32) && validHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the context in the W3C header form
+// "00-<trace-id>-<span-id>-<flags>".
+func (tc TraceContext) Traceparent() string {
+	return fmt.Sprintf("00-%s-%s-%02x", tc.TraceID, tc.SpanID, tc.Flags)
+}
+
+// Child returns a context with the same trace ID and flags but a fresh
+// span ID — the identity this process propagates downstream, parenting
+// its own work under the caller's trace.
+func (tc TraceContext) Child() TraceContext {
+	tc.SpanID = NewSpanID()
+	return tc
+}
+
+// ParseTraceparent parses a W3C traceparent header. Unknown (future)
+// versions are accepted as long as the version-00 prefix fields parse,
+// per the spec's forward-compatibility rule; a malformed header
+// returns ok=false and the caller should mint a fresh context.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	h = strings.TrimSpace(h)
+	// version(2) - trace-id(32) - span-id(16) - flags(2)
+	if len(h) < 55 || h[2] != '-' || h[35] != '-' || h[52] != '-' {
+		return TraceContext{}, false
+	}
+	ver := h[:2]
+	if !isHex(ver) || ver == "ff" {
+		return TraceContext{}, false
+	}
+	if ver == "00" && len(h) != 55 {
+		return TraceContext{}, false
+	}
+	if len(h) > 55 && h[55] != '-' {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: h[3:35], SpanID: h[36:52]}
+	flags := h[53:55]
+	if !tc.Valid() || !isHex(flags) {
+		return TraceContext{}, false
+	}
+	b, err := hex.DecodeString(flags)
+	if err != nil {
+		return TraceContext{}, false
+	}
+	tc.Flags = b[0]
+	return tc, true
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func validHexID(s string, n int) bool {
+	if len(s) != n || !isHex(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return true
+		}
+	}
+	return false // all-zero IDs are invalid per the W3C spec
+}
+
+// randHex returns n/2 random bytes as n lowercase hex chars. The
+// crypto/rand reader never fails on supported platforms; on the
+// (theoretical) failure path the ID degrades to a counter-free but
+// still non-zero constant rather than panicking in a telemetry path.
+func randHex(n int) string {
+	b := make([]byte, n/2)
+	if _, err := rand.Read(b); err != nil {
+		return strings.Repeat("f", n)
+	}
+	s := hex.EncodeToString(b)
+	// An all-zero ID is invalid; flip a nibble in the astronomically
+	// unlikely draw.
+	if !validHexID(s, n) {
+		s = "1" + s[1:]
+	}
+	return s
+}
+
+// NewTraceID mints a random 16-byte trace ID.
+func NewTraceID() string { return randHex(32) }
+
+// NewSpanID mints a random 8-byte span ID.
+func NewSpanID() string { return randHex(16) }
+
+// NewTraceContext mints a fresh sampled trace context — the root of a
+// new trace, used when a request arrives without a traceparent.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: NewTraceID(), SpanID: NewSpanID(), Flags: 0x01}
+}
+
+// NewRequestID mints a request ID ("req-" + 8 random bytes of hex):
+// the human-greppable identity echoed in X-Request-ID, access-log
+// lines, job records and flight-recorder events.
+func NewRequestID() string { return "req-" + randHex(16) }
+
+// ReqInfo is one request's identity as carried through
+// context.Context: the request ID and the trace context of the hop
+// this process performs on the request's behalf.
+type ReqInfo struct {
+	RequestID string
+	Trace     TraceContext
+}
+
+// Attrs renders the identity as span attributes (empty fields
+// omitted), so spans of request-scoped work are findable by the same
+// IDs as logs and events.
+func (ri ReqInfo) Attrs() []Attr {
+	var attrs []Attr
+	if ri.RequestID != "" {
+		attrs = append(attrs, Str("request_id", ri.RequestID))
+	}
+	if ri.Trace.TraceID != "" {
+		attrs = append(attrs, Str("trace_id", ri.Trace.TraceID))
+	}
+	return attrs
+}
+
+type reqInfoKey struct{}
+
+// WithReqInfo returns a context carrying the request identity.
+func WithReqInfo(ctx context.Context, ri ReqInfo) context.Context {
+	return context.WithValue(ctx, reqInfoKey{}, ri)
+}
+
+// ReqInfoFrom extracts the request identity placed by WithReqInfo;
+// ok is false when the context carries none.
+func ReqInfoFrom(ctx context.Context) (ReqInfo, bool) {
+	if ctx == nil {
+		return ReqInfo{}, false
+	}
+	ri, ok := ctx.Value(reqInfoKey{}).(ReqInfo)
+	return ri, ok
+}

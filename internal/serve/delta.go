@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
@@ -130,8 +131,9 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 		scriptHash: scriptHash,
 	}
 	if data, ok := s.store.Get(a.key); ok {
-		j := s.sched.InsertFinished(a.key, a.label, "hit", data)
-		s.logf("job %s: %s served from store (%s)", j.ID, a.label, shortKey(a.key))
+		j := s.sched.InsertFinished(r.Context(), a.key, a.label, "hit", data)
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "served from store",
+			slog.String("job", j.ID), slog.String("label", a.label), slog.String("key", shortKey(a.key)))
 		writeJSON(w, http.StatusOK, s.status(j))
 		return
 	}
@@ -139,13 +141,14 @@ func (s *Server) handleDelta(w http.ResponseWriter, r *http.Request) {
 	if req.TimeoutMS > 0 {
 		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
 	}
-	s.scheduleJob(w, a, req.Priority, timeout)
+	s.scheduleJob(w, r, a, req.Priority, timeout)
 }
 
 // scheduleJob submits a resolved analysis and writes the uniform
 // submission responses (202 queued/coalesced, 429 full, 503 draining).
-func (s *Server) scheduleJob(w http.ResponseWriter, a *analysis, priority int, timeout time.Duration) {
-	j, joined, err := s.sched.Submit(a.schedKey(), a.label, priority, timeout, a)
+// The request context carries the submission's identity onto the job.
+func (s *Server) scheduleJob(w http.ResponseWriter, r *http.Request, a *analysis, priority int, timeout time.Duration) {
+	j, joined, err := s.sched.Submit(r.Context(), a.schedKey(), a.label, priority, timeout, a)
 	switch {
 	case errors.Is(err, ErrDraining):
 		writeError(w, http.StatusServiceUnavailable, "draining: not accepting new analyses")
@@ -159,11 +162,13 @@ func (s *Server) scheduleJob(w http.ResponseWriter, a *analysis, priority int, t
 		return
 	}
 	if joined {
-		s.logf("job %s: %s coalesced identical submission (%s)", j.ID, a.label, shortKey(a.key))
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "coalesced identical submission",
+			slog.String("job", j.ID), slog.String("label", a.label), slog.String("key", shortKey(a.key)))
 		writeJSON(w, http.StatusAccepted, s.statusAs(j, "coalesced"))
 		return
 	}
-	s.logf("job %s: %s queued (%s)", j.ID, a.label, shortKey(a.key))
+	s.log.LogAttrs(r.Context(), slog.LevelInfo, "queued",
+		slog.String("job", j.ID), slog.String("label", a.label), slog.String("key", shortKey(a.key)))
 	writeJSON(w, http.StatusAccepted, s.status(j))
 }
 
@@ -198,6 +203,7 @@ func (s *Server) executeDelta(ctx context.Context, j *Job, a *analysis) ([]byte,
 		Mode:        sess.mode,
 		Workers:     s.cfg.EngineWorkers,
 		Context:     ctx,
+		Logger:      s.engLog.With("job", j.ID),
 		Stats:       s.stats,
 		Tracer:      j.tracer,
 		TraceParent: j.span,
@@ -220,7 +226,8 @@ func (s *Server) executeDelta(ctx context.Context, j *Job, a *analysis) ([]byte,
 		return nil, fmt.Errorf("serve: encode delta report: %w", err)
 	}
 	if err := s.store.Put(a.key, buf.Bytes()); err != nil {
-		s.logf("serve: store put %s: %v", shortKey(a.key), err)
+		s.log.LogAttrs(ctx, slog.LevelWarn, "store put failed",
+			slog.String("key", shortKey(a.key)), slog.String("err", err.Error()))
 	}
 	s.saveSession(&session{
 		hydrated: true, key: a.key, label: sess.label, mode: sess.mode,

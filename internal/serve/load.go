@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/obs/perfrec"
+)
+
+// LoadStatus is the autoscale load signal served by GET /v1/load and
+// mirrored as gauges on /metrics: how busy the worker pool is, how
+// deep the queue is, how long the oldest queued submission has waited,
+// and how many seconds of work the cost model predicts are ahead of a
+// submission arriving now. An autoscaler (or a load balancer deciding
+// where to route) needs exactly this — queue depth alone says nothing
+// when jobs differ by three orders of magnitude in size.
+type LoadStatus struct {
+	Workers    int `json:"workers"`
+	Running    int `json:"running"`
+	QueueDepth int `json:"queue_depth"`
+	// WorkerBusy is Running/Workers in 0..1.
+	WorkerBusy        float64 `json:"worker_busy"`
+	OldestWaitSeconds float64 `json:"oldest_wait_seconds"`
+	// PredictedBacklogSeconds estimates how long a job submitted now
+	// would wait for a worker: the cost-model sum of queued work and
+	// running remainders per worker, floored by the oldest observed
+	// wait (the queue never predicts better than it is measuring).
+	PredictedBacklogSeconds float64 `json:"predicted_backlog_seconds"`
+	// SaturationThresholdSeconds echoes the -readyz-saturation
+	// configuration (absent when the gate is off); Saturated reports
+	// whether the backlog breaches it — the same signal that flips
+	// /readyz to 503.
+	SaturationThresholdSeconds float64 `json:"saturation_threshold_seconds,omitempty"`
+	Saturated                  bool    `json:"saturated"`
+}
+
+// costModel predicts one job's run time from its scan flip-flop count.
+// It is seeded from a bench record (rsnsec.bench-record/v1): the sum
+// of per-stage median wall times divided by the benchmark's scan-FF
+// count gives an ns-per-FF rate, and the median rate across the
+// record's benchmarks is the prior. Every finished job then feeds an
+// EWMA, so the model tracks this machine and this workload even when
+// no record was given (it just starts from zero knowledge and warms up
+// after the first job). Jobs with unknown size (deltas) fall back to
+// the EWMA of whole-job durations.
+type costModel struct {
+	mu      sync.Mutex
+	nsPerFF float64 // EWMA ns per scan FF; 0 = unknown
+	jobNS   float64 // EWMA whole-job ns; 0 = unknown
+}
+
+// ewmaAlpha weights new observations: high enough to adapt within a
+// few jobs, low enough that one outlier does not whipsaw the signal.
+const ewmaAlpha = 0.3
+
+func newCostModel(rec *perfrec.Record) *costModel {
+	m := &costModel{}
+	if rec == nil {
+		return m
+	}
+	var rates []float64
+	for i := range rec.Benchmarks {
+		b := &rec.Benchmarks[i]
+		if b.ScanFFs <= 0 {
+			continue
+		}
+		var total int64
+		for j := range b.Stages {
+			total += b.Stages[j].MedianNS
+		}
+		if total > 0 {
+			rates = append(rates, float64(total)/float64(b.ScanFFs))
+		}
+	}
+	if len(rates) > 0 {
+		sort.Float64s(rates)
+		m.nsPerFF = rates[len(rates)/2]
+	}
+	return m
+}
+
+// observe folds one finished job into the model.
+func (m *costModel) observe(scanFFs int, d time.Duration) {
+	if m == nil || d <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	blend := func(cur, sample float64) float64 {
+		if cur == 0 {
+			return sample
+		}
+		return cur + ewmaAlpha*(sample-cur)
+	}
+	if scanFFs > 0 {
+		m.nsPerFF = blend(m.nsPerFF, float64(d)/float64(scanFFs))
+	}
+	m.jobNS = blend(m.jobNS, float64(d))
+}
+
+// estimate predicts a job's run time; 0 when the model knows nothing
+// yet.
+func (m *costModel) estimate(scanFFs int) time.Duration {
+	if m == nil {
+		return 0
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if scanFFs > 0 && m.nsPerFF > 0 {
+		return time.Duration(m.nsPerFF * float64(scanFFs))
+	}
+	return time.Duration(m.jobNS)
+}
+
+// jobCost estimates one scheduled job's total run time for the load
+// snapshot (called under the scheduler lock; touches only immutable
+// payload fields and the cost model's own lock).
+func (s *Server) jobCost(j *Job) time.Duration {
+	a, _ := j.Payload.(*analysis)
+	ffs := 0
+	if a != nil {
+		ffs = a.scanFFs
+	}
+	return s.cost.estimate(ffs)
+}
+
+// loadStatus assembles the current load signal.
+func (s *Server) loadStatus() LoadStatus {
+	ls := s.sched.Load(time.Now(), s.jobCost)
+	st := LoadStatus{
+		Workers:           ls.Workers,
+		Running:           ls.Running,
+		QueueDepth:        ls.Queued,
+		WorkerBusy:        float64(ls.Running) / float64(ls.Workers),
+		OldestWaitSeconds: ls.OldestWait.Seconds(),
+	}
+	backlog := ls.Backlog
+	if ls.OldestWait > backlog {
+		backlog = ls.OldestWait
+	}
+	st.PredictedBacklogSeconds = backlog.Seconds()
+	if t := s.cfg.SaturationThreshold; t > 0 {
+		st.SaturationThresholdSeconds = t.Seconds()
+		st.Saturated = backlog >= t
+	}
+	return st
+}
+
+// handleLoad serves GET /v1/load.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.loadStatus())
+}
+
+// registerLoadGauges exposes the load signal on /metrics via a
+// registry pull-collector, so every scrape sees a fresh snapshot
+// without a background refresher goroutine. Ratios and durations are
+// encoded for int64 gauges: busy as permille, waits as milliseconds.
+func (s *Server) registerLoadGauges() {
+	s.reg.SetHelp("serve_worker_busy_permille", "Busy workers per 1000 (1000 = every worker running a job).")
+	s.reg.SetHelp("serve_queue_oldest_wait_ms", "How long the longest-queued submission has been waiting.")
+	s.reg.SetHelp("serve_predicted_backlog_ms", "Cost-model prediction of how long a new submission would wait for a worker.")
+	busyG := s.reg.Gauge("serve_worker_busy_permille")
+	oldestG := s.reg.Gauge("serve_queue_oldest_wait_ms")
+	backlogG := s.reg.Gauge("serve_predicted_backlog_ms")
+	workersG := s.reg.Gauge("serve_workers")
+	s.reg.AddCollector(func() {
+		st := s.loadStatus()
+		busyG.Set(int64(st.WorkerBusy * 1000))
+		oldestG.Set(int64(st.OldestWaitSeconds * 1000))
+		backlogG.Set(int64(st.PredictedBacklogSeconds * 1000))
+		workersG.Set(int64(st.Workers))
+	})
+}
+
+// requestIdentity accepts or mints the request's identity: a caller's
+// X-Request-ID is honored when it is short and printable (anything
+// else gets a fresh one — the ID lands verbatim in logs and JSON), and
+// a valid W3C traceparent is continued as a child (same trace ID, new
+// span ID). Requests without either get fresh random identities, so
+// every request is correlatable even when no caller cooperates.
+func requestIdentity(r *http.Request) obs.ReqInfo {
+	ri := obs.ReqInfo{RequestID: sanitizeRequestID(r.Header.Get("X-Request-ID"))}
+	if ri.RequestID == "" {
+		ri.RequestID = obs.NewRequestID()
+	}
+	if tc, ok := obs.ParseTraceparent(r.Header.Get("traceparent")); ok {
+		ri.Trace = tc.Child()
+	} else {
+		ri.Trace = obs.NewTraceContext()
+	}
+	return ri
+}
+
+func sanitizeRequestID(id string) string {
+	if len(id) > 128 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		if id[i] <= ' ' || id[i] > '~' {
+			return ""
+		}
+	}
+	return id
+}

@@ -59,6 +59,10 @@ type analysis struct {
 	// profile requests on-demand pprof capture around the run: "",
 	// "cpu" or "heap" (from the ?profile= query parameter).
 	profile string
+	// scanFFs is the analyzed structure size, the cost-model feature
+	// behind the predicted-backlog load signal (0 when unknown, e.g.
+	// delta submissions).
+	scanFFs int
 
 	// Benchmark form.
 	benchmark *bench.Benchmark
@@ -191,6 +195,9 @@ func (s *Server) resolveBenchmark(req *AnalysisRequest, mode dep.Mode) (*analysi
 	if cfg.Scale == 0 {
 		nw = b.Build(b.ScaleForTarget(cfg.TargetScanFFs))
 	}
+	// The protocol runs Circuits×Specs analyses over this structure, so
+	// the cost feature scales with the requested pair count.
+	a.scanFFs = nw.NumScanFFs() * cfg.Circuits * cfg.Specs
 	nw.AppendCanonical(h)
 	h.Section("protocol")
 	h.Str(b.Name)
@@ -340,6 +347,7 @@ func (s *Server) resolveICL(req *AnalysisRequest, mode dep.Mode) (*analysis, err
 	a := &analysis{
 		mode: mode, nw: p.nw, circuit: p.circuit, internal: p.internal,
 		spec: p.spec, label: p.nw.Name, iclText: req.ICL, benchText: req.Bench,
+		scanFFs: p.nw.NumScanFFs(),
 	}
 	h := netlist.NewHasher()
 	h.Section("serve.analysis")

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // Scheduler errors surfaced to the HTTP layer.
@@ -59,6 +60,12 @@ type Job struct {
 	// run), "coalesced" (joined an in-flight identical job) or "hit"
 	// (answered from the store).
 	Cache string
+	// RequestID and TraceID carry the identity of the submitting HTTP
+	// request (empty for direct scheduler use), correlating the job
+	// record with the access log, span tree and flight recorder.
+	// Immutable after Submit.
+	RequestID string
+	TraceID   string
 	// Payload carries the resolved analysis through to the run
 	// function.
 	Payload any
@@ -99,6 +106,8 @@ type JobStatus struct {
 	Cache      string   `json:"cache,omitempty"`
 	Priority   int      `json:"priority,omitempty"`
 	Error      string   `json:"error,omitempty"`
+	RequestID  string   `json:"request_id,omitempty"`
+	TraceID    string   `json:"trace_id,omitempty"`
 	EnqueuedAt string   `json:"enqueued_at,omitempty"`
 	StartedAt  string   `json:"started_at,omitempty"`
 	FinishedAt string   `json:"finished_at,omitempty"`
@@ -118,6 +127,7 @@ func (j *Job) statusLocked() JobStatus {
 	st := JobStatus{
 		ID: j.ID, Key: j.Key, Label: j.Label, State: j.state,
 		Cache: j.Cache, Priority: j.Priority, Error: j.err,
+		RequestID: j.RequestID, TraceID: j.TraceID,
 		EnqueuedAt: stamp(j.enqueuedAt), StartedAt: stamp(j.startedAt),
 		FinishedAt: stamp(j.finishedAt),
 	}
@@ -175,6 +185,10 @@ type SchedulerConfig struct {
 	// FinishedJobs bounds the retained finished-job records (status
 	// remains queryable until evicted); <= 0 uses 1024.
 	FinishedJobs int
+	// Flight, when non-nil, receives one flight-recorder event per
+	// scheduler decision (enqueue, coalesce, reject, cancel) and job
+	// lifecycle transition (start, done, failed, canceled, timeout).
+	Flight *flight.Recorder
 }
 
 func (c SchedulerConfig) workers() int {
@@ -257,7 +271,15 @@ func NewScheduler(cfg SchedulerConfig, reg *obs.Registry, run runFunc) *Schedule
 // job is the existing one and joined is true) — concurrent identical
 // submissions share one engine run. payload, label, priority and
 // timeout apply only to freshly created jobs.
-func (s *Scheduler) Submit(key, label string, priority int, timeout time.Duration, payload any) (j *Job, joined bool, err error) {
+//
+// ctx is the submitting request's context: its obs.ReqInfo (request
+// ID, trace context) is copied onto the job record and re-attached to
+// the job's own run context, so logs, spans and flight events emitted
+// by the worker goroutine — long after the HTTP handler returned —
+// still correlate back to the request. The job's lifetime is NOT
+// bound to ctx (a submission outlives its HTTP request by design).
+func (s *Scheduler) Submit(ctx context.Context, key, label string, priority int, timeout time.Duration, payload any) (j *Job, joined bool, err error) {
+	ri, _ := obs.ReqInfoFrom(ctx)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
@@ -265,10 +287,12 @@ func (s *Scheduler) Submit(key, label string, priority int, timeout time.Duratio
 	}
 	if existing, ok := s.byKey[key]; ok {
 		s.coalesced.Inc()
+		s.event("sched", "coalesce", existing, ri, "joined by "+orUnknown(ri.RequestID))
 		return existing, true, nil
 	}
 	if len(s.queue) >= s.cfg.queueDepth() {
 		s.rejected.Inc()
+		s.event("sched", "reject", nil, ri, "queue full ("+shortKey(key)+")")
 		return nil, false, ErrQueueFull
 	}
 	if s.cfg.JobTimeout > 0 && (timeout <= 0 || timeout > s.cfg.JobTimeout) {
@@ -281,30 +305,57 @@ func (s *Scheduler) Submit(key, label string, priority int, timeout time.Duratio
 		Label:      label,
 		Priority:   priority,
 		Cache:      "miss",
+		RequestID:  ri.RequestID,
+		TraceID:    ri.Trace.TraceID,
 		Payload:    payload,
 		state:      StateQueued,
 		enqueuedAt: time.Now(),
 		done:       make(chan struct{}),
 		seq:        s.seq,
 	}
-	ctx := context.Background()
+	base := obs.WithReqInfo(context.Background(), ri)
 	if timeout > 0 {
-		j.ctx, j.cancel = context.WithTimeout(ctx, timeout)
+		j.ctx, j.cancel = context.WithTimeout(base, timeout)
 	} else {
-		j.ctx, j.cancel = context.WithCancel(ctx)
+		j.ctx, j.cancel = context.WithCancel(base)
 	}
 	heap.Push(&s.queue, j)
 	s.byID[j.ID] = j
 	s.byKey[key] = j
 	s.queueDepthG.Set(int64(len(s.queue)))
+	s.event("sched", "enqueue", j, ri, label)
 	s.cond.Signal()
 	return j, false, nil
 }
 
+// event records one flight-recorder event (no-op without a recorder).
+// Safe to call with the scheduler lock held: the recorder takes only
+// its own short per-ring lock.
+func (s *Scheduler) event(cat, name string, j *Job, ri obs.ReqInfo, detail string) {
+	ev := flight.Event{Cat: cat, Name: name, Detail: detail,
+		RequestID: ri.RequestID, TraceID: ri.Trace.TraceID}
+	if j != nil {
+		ev.Job = j.ID
+		if ev.RequestID == "" {
+			ev.RequestID, ev.TraceID = j.RequestID, j.TraceID
+		}
+	}
+	s.cfg.Flight.Record(ev)
+}
+
+func orUnknown(s string) string {
+	if s == "" {
+		return "unidentified request"
+	}
+	return s
+}
+
 // InsertFinished registers an already-satisfied submission (a store
 // hit) as a finished job record so its status and report stay
-// addressable over the jobs API.
-func (s *Scheduler) InsertFinished(key, label, cache string, result []byte) *Job {
+// addressable over the jobs API. ctx carries the submitting request's
+// identity, like Submit.
+func (s *Scheduler) InsertFinished(ctx context.Context, key, label, cache string, result []byte) *Job {
+	ri, _ := obs.ReqInfoFrom(ctx)
 	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -314,6 +365,8 @@ func (s *Scheduler) InsertFinished(key, label, cache string, result []byte) *Job
 		Key:        key,
 		Label:      label,
 		Cache:      cache,
+		RequestID:  ri.RequestID,
+		TraceID:    ri.Trace.TraceID,
 		state:      StateDone,
 		result:     result,
 		enqueuedAt: now,
@@ -324,6 +377,7 @@ func (s *Scheduler) InsertFinished(key, label, cache string, result []byte) *Job
 	close(j.done)
 	s.byID[j.ID] = j
 	s.recordFinishedLocked(j)
+	s.event("sched", cache, j, ri, label)
 	return j
 }
 
@@ -345,14 +399,17 @@ func (s *Scheduler) worker() {
 		j.startedAt = time.Now()
 		s.queueDepthG.Set(int64(len(s.queue)))
 		s.runningG.Add(1)
+		waited := j.startedAt.Sub(j.enqueuedAt)
 		s.mu.Unlock()
 
+		s.event("job", "start", j, obs.ReqInfo{}, "waited "+waited.Round(time.Millisecond).String())
 		s.executed.Inc()
 		result, err := s.run(j.ctx, j)
 		j.cancel() // release the timeout timer
 
 		s.mu.Lock()
 		j.finishedAt = time.Now()
+		evName, evDetail := "done", j.finishedAt.Sub(j.startedAt).Round(time.Millisecond).String()
 		switch {
 		case err == nil:
 			j.state = StateDone
@@ -362,11 +419,14 @@ func (s *Scheduler) worker() {
 			j.state = StateCanceled
 			j.err = "canceled"
 			s.canceledC.Inc()
+			evName, evDetail = "canceled", ""
 		default:
 			j.state = StateFailed
 			j.err = err.Error()
+			evName, evDetail = "failed", j.err
 			if errors.Is(err, context.DeadlineExceeded) {
 				j.err = "timeout: " + j.err
+				evName = "timeout"
 			}
 			s.failedC.Inc()
 		}
@@ -375,6 +435,7 @@ func (s *Scheduler) worker() {
 		s.recordFinishedLocked(j)
 		close(j.done)
 		s.mu.Unlock()
+		s.event("job", evName, j, obs.ReqInfo{}, evDetail)
 	}
 }
 
@@ -452,9 +513,11 @@ func (s *Scheduler) Cancel(id string) (JobStatus, error) {
 		s.canceledC.Inc()
 		s.recordFinishedLocked(j)
 		close(j.done)
+		s.event("sched", "cancel", j, obs.ReqInfo{}, "canceled while queued")
 	case StateRunning:
 		j.canceling = true
 		j.cancel()
+		s.event("sched", "cancel", j, obs.ReqInfo{}, "cancel requested while running")
 	default:
 		return j.statusLocked(), ErrJobFinished
 	}
@@ -474,6 +537,53 @@ func (s *Scheduler) Queued() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.queue)
+}
+
+// LoadSnapshot is one point-in-time view of scheduler pressure, the
+// raw material of the autoscale load signals (see load.go).
+type LoadSnapshot struct {
+	// Workers is the pool size; Running of them are busy.
+	Workers int
+	Running int
+	// Queued is the number of jobs waiting for a worker; OldestWait is
+	// how long the longest-waiting one has been queued.
+	Queued     int
+	OldestWait time.Duration
+	// Backlog is the predicted per-worker work ahead: the cost-model
+	// estimates of every queued job plus the unfinished remainder of
+	// every running one, divided by the pool size. Zero when no cost
+	// function is given.
+	Backlog time.Duration
+}
+
+// Load snapshots the scheduler's pressure at time now. cost, when
+// non-nil, estimates one job's total run time (see Server.jobCost); it
+// is called under the scheduler lock and must not call back in.
+func (s *Scheduler) Load(now time.Time, cost func(*Job) time.Duration) LoadSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ls := LoadSnapshot{Workers: s.cfg.workers(), Queued: len(s.queue)}
+	var total time.Duration
+	for _, j := range s.byKey {
+		switch j.state {
+		case StateRunning:
+			ls.Running++
+			if cost != nil {
+				if rem := cost(j) - now.Sub(j.startedAt); rem > 0 {
+					total += rem
+				}
+			}
+		case StateQueued:
+			if w := now.Sub(j.enqueuedAt); w > ls.OldestWait {
+				ls.OldestWait = w
+			}
+			if cost != nil {
+				total += cost(j)
+			}
+		}
+	}
+	ls.Backlog = total / time.Duration(ls.Workers)
+	return ls
 }
 
 // Running returns the number of jobs currently executing.
@@ -528,6 +638,7 @@ func (s *Scheduler) Drain(ctx context.Context) error {
 		s.canceledC.Inc()
 		s.recordFinishedLocked(j)
 		close(j.done)
+		s.event("sched", "cancel", j, obs.ReqInfo{}, "shutdown drain deadline")
 	}
 	s.queueDepthG.Set(0)
 	s.mu.Unlock()

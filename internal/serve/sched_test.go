@@ -68,12 +68,12 @@ func TestSchedulerCoalescesIdenticalSubmissions(t *testing.T) {
 	g := newGateRun()
 	reg := obs.NewRegistry()
 	s := NewScheduler(SchedulerConfig{Workers: 1}, reg, g.run)
-	j1, joined, err := s.Submit(testKey(1), "a", 0, 0, nil)
+	j1, joined, err := s.Submit(context.Background(), testKey(1), "a", 0, 0, nil)
 	if err != nil || joined {
 		t.Fatalf("first submit: joined=%v err=%v", joined, err)
 	}
 	<-g.started // j1 is running
-	j2, joined, err := s.Submit(testKey(1), "a", 0, 0, nil)
+	j2, joined, err := s.Submit(context.Background(), testKey(1), "a", 0, 0, nil)
 	if err != nil || !joined {
 		t.Fatalf("identical submit must coalesce: joined=%v err=%v", joined, err)
 	}
@@ -92,7 +92,7 @@ func TestSchedulerCoalescesIdenticalSubmissions(t *testing.T) {
 	// runs fresh (the HTTP layer consults the store first).
 	g.release = make(chan struct{})
 	close(g.release)
-	j3, joined, err := s.Submit(testKey(1), "a", 0, 0, nil)
+	j3, joined, err := s.Submit(context.Background(), testKey(1), "a", 0, 0, nil)
 	if err != nil || joined {
 		t.Fatalf("post-completion submit must not coalesce: %v %v", joined, err)
 	}
@@ -103,17 +103,17 @@ func TestSchedulerQueueFullBackpressure(t *testing.T) {
 	g := newGateRun()
 	defer close(g.release)
 	s := NewScheduler(SchedulerConfig{Workers: 1, QueueDepth: 1}, obs.NewRegistry(), g.run)
-	s.Submit(testKey(1), "running", 0, 0, nil)
+	s.Submit(context.Background(), testKey(1), "running", 0, 0, nil)
 	<-g.started
-	if _, _, err := s.Submit(testKey(2), "queued", 0, 0, nil); err != nil {
+	if _, _, err := s.Submit(context.Background(), testKey(2), "queued", 0, 0, nil); err != nil {
 		t.Fatalf("queue slot available: %v", err)
 	}
-	_, _, err := s.Submit(testKey(3), "over", 0, 0, nil)
+	_, _, err := s.Submit(context.Background(), testKey(3), "over", 0, 0, nil)
 	if !errors.Is(err, ErrQueueFull) {
 		t.Fatalf("overflow error = %v, want ErrQueueFull", err)
 	}
 	// Coalescing still works at full queue: it adds no queue entry.
-	if _, joined, err := s.Submit(testKey(2), "queued", 0, 0, nil); err != nil || !joined {
+	if _, joined, err := s.Submit(context.Background(), testKey(2), "queued", 0, 0, nil); err != nil || !joined {
 		t.Fatalf("coalesce at full queue: joined=%v err=%v", joined, err)
 	}
 }
@@ -121,11 +121,11 @@ func TestSchedulerQueueFullBackpressure(t *testing.T) {
 func TestSchedulerPriorityOrder(t *testing.T) {
 	g := newGateRun()
 	s := NewScheduler(SchedulerConfig{Workers: 1}, obs.NewRegistry(), g.run)
-	s.Submit(testKey(0), "first", 0, 0, nil)
+	s.Submit(context.Background(), testKey(0), "first", 0, 0, nil)
 	<-g.started // worker busy; the rest queue up
-	s.Submit(testKey(1), "low-a", 0, 0, nil)
-	s.Submit(testKey(2), "high", 5, 0, nil)
-	jLast, _, _ := s.Submit(testKey(3), "low-b", 0, 0, nil)
+	s.Submit(context.Background(), testKey(1), "low-a", 0, 0, nil)
+	s.Submit(context.Background(), testKey(2), "high", 5, 0, nil)
+	jLast, _, _ := s.Submit(context.Background(), testKey(3), "low-b", 0, 0, nil)
 	close(g.release)
 	for i := 0; i < 3; i++ {
 		<-g.started
@@ -144,9 +144,9 @@ func TestSchedulerCancelQueued(t *testing.T) {
 	g := newGateRun()
 	defer close(g.release)
 	s := NewScheduler(SchedulerConfig{Workers: 1}, obs.NewRegistry(), g.run)
-	s.Submit(testKey(0), "running", 0, 0, nil)
+	s.Submit(context.Background(), testKey(0), "running", 0, 0, nil)
 	<-g.started
-	j, _, _ := s.Submit(testKey(1), "queued", 0, 0, nil)
+	j, _, _ := s.Submit(context.Background(), testKey(1), "queued", 0, 0, nil)
 	st, err := s.Cancel(j.ID)
 	if err != nil || st.State != StateCanceled {
 		t.Fatalf("cancel queued: state=%s err=%v", st.State, err)
@@ -159,7 +159,7 @@ func TestSchedulerCancelQueued(t *testing.T) {
 		t.Fatalf("double cancel error = %v", err)
 	}
 	// The canceled key coalesces no more.
-	if _, joined, err := s.Submit(testKey(1), "queued", 0, 0, nil); err != nil || joined {
+	if _, joined, err := s.Submit(context.Background(), testKey(1), "queued", 0, 0, nil); err != nil || joined {
 		t.Fatalf("resubmit after cancel: joined=%v err=%v", joined, err)
 	}
 }
@@ -168,9 +168,9 @@ func TestSchedulerCancelRunningFreesWorker(t *testing.T) {
 	g := newGateRun()
 	defer close(g.release)
 	s := NewScheduler(SchedulerConfig{Workers: 1}, obs.NewRegistry(), g.run)
-	j1, _, _ := s.Submit(testKey(1), "victim", 0, 0, nil)
+	j1, _, _ := s.Submit(context.Background(), testKey(1), "victim", 0, 0, nil)
 	<-g.started
-	j2, _, _ := s.Submit(testKey(2), "next", 0, 0, nil)
+	j2, _, _ := s.Submit(context.Background(), testKey(2), "next", 0, 0, nil)
 	if _, err := s.Cancel(j1.ID); err != nil {
 		t.Fatalf("cancel running: %v", err)
 	}
@@ -190,7 +190,7 @@ func TestSchedulerJobTimeout(t *testing.T) {
 	defer close(g.release)
 	s := NewScheduler(SchedulerConfig{Workers: 1, JobTimeout: 20 * time.Millisecond}, obs.NewRegistry(), g.run)
 	// A request asking for MORE than the server cap is clamped down.
-	j, _, _ := s.Submit(testKey(1), "slow", 0, time.Hour, nil)
+	j, _, _ := s.Submit(context.Background(), testKey(1), "slow", 0, time.Hour, nil)
 	st := waitState(t, s, j.ID, StateFailed)
 	if st.Error == "" || st.Error[:8] != "timeout:" {
 		t.Fatalf("timeout error = %q", st.Error)
@@ -200,16 +200,16 @@ func TestSchedulerJobTimeout(t *testing.T) {
 func TestSchedulerDrainGraceful(t *testing.T) {
 	g := newGateRun()
 	s := NewScheduler(SchedulerConfig{Workers: 1}, obs.NewRegistry(), g.run)
-	j1, _, _ := s.Submit(testKey(1), "running", 0, 0, nil)
+	j1, _, _ := s.Submit(context.Background(), testKey(1), "running", 0, 0, nil)
 	<-g.started
-	j2, _, _ := s.Submit(testKey(2), "queued", 0, 0, nil)
+	j2, _, _ := s.Submit(context.Background(), testKey(2), "queued", 0, 0, nil)
 
 	done := make(chan error)
 	go func() { done <- s.Drain(context.Background()) }()
 	// Submissions are refused once draining.
 	deadline := time.Now().Add(time.Second)
 	for {
-		if _, _, err := s.Submit(testKey(3), "late", 0, 0, nil); errors.Is(err, ErrDraining) {
+		if _, _, err := s.Submit(context.Background(), testKey(3), "late", 0, 0, nil); errors.Is(err, ErrDraining) {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -232,9 +232,9 @@ func TestSchedulerDrainDeadlineCancels(t *testing.T) {
 	g := newGateRun()
 	defer close(g.release)
 	s := NewScheduler(SchedulerConfig{Workers: 1}, obs.NewRegistry(), g.run)
-	j1, _, _ := s.Submit(testKey(1), "running", 0, 0, nil)
+	j1, _, _ := s.Submit(context.Background(), testKey(1), "running", 0, 0, nil)
 	<-g.started
-	j2, _, _ := s.Submit(testKey(2), "queued", 0, 0, nil)
+	j2, _, _ := s.Submit(context.Background(), testKey(2), "queued", 0, 0, nil)
 
 	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
 	defer cancel()
@@ -252,7 +252,7 @@ func TestSchedulerDrainDeadlineCancels(t *testing.T) {
 
 func TestSchedulerInsertFinished(t *testing.T) {
 	s := NewScheduler(SchedulerConfig{Workers: 1}, obs.NewRegistry(), nil)
-	j := s.InsertFinished(testKey(9), "cached", "hit", []byte("doc"))
+	j := s.InsertFinished(context.Background(), testKey(9), "cached", "hit", []byte("doc"))
 	st, err := s.Status(j.ID)
 	if err != nil || st.State != StateDone || st.Cache != "hit" {
 		t.Fatalf("store-hit record: %+v err=%v", st, err)
@@ -270,9 +270,9 @@ func TestSchedulerInsertFinished(t *testing.T) {
 
 func TestSchedulerFinishedRecordEviction(t *testing.T) {
 	s := NewScheduler(SchedulerConfig{Workers: 1, FinishedJobs: 2}, obs.NewRegistry(), nil)
-	first := s.InsertFinished(testKey(0), "a", "hit", nil)
-	s.InsertFinished(testKey(1), "b", "hit", nil)
-	s.InsertFinished(testKey(2), "c", "hit", nil)
+	first := s.InsertFinished(context.Background(), testKey(0), "a", "hit", nil)
+	s.InsertFinished(context.Background(), testKey(1), "b", "hit", nil)
+	s.InsertFinished(context.Background(), testKey(2), "c", "hit", nil)
 	if _, err := s.Status(first.ID); !errors.Is(err, ErrUnknownJob) {
 		t.Fatalf("oldest finished record must be evicted, got err=%v", err)
 	}

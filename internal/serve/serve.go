@@ -27,6 +27,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
 	"sync"
@@ -38,6 +39,9 @@ import (
 	"repro/internal/exp"
 	"repro/internal/hybrid"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
+	"repro/internal/obs/olog"
+	"repro/internal/obs/perfrec"
 )
 
 // Limits bounds and defaults the per-request protocol parameters.
@@ -98,9 +102,26 @@ type Config struct {
 	// SlowJobLog receives the slow-job JSONL records; buffered, flushed
 	// on Shutdown. Required for SlowJobThreshold to take effect.
 	SlowJobLog io.Writer
-	// Logf, when non-nil, receives one line per lifecycle event
-	// (startup, job transitions, shutdown).
+	// Logger receives the server's structured records (lifecycle
+	// events, one access-log line per request, job transitions). Build
+	// it with olog.New so records pick up the request identity from
+	// their context. Nil falls back to bridging Logf; with both nil the
+	// server is silent.
+	Logger *slog.Logger
+	// Logf, when non-nil (and Logger nil), receives one rendered line
+	// per event — the legacy printf seam, kept for embedders.
 	Logf func(format string, args ...any)
+	// FlightEvents sizes the flight recorder's per-category rings
+	// (served at /debug/events, embedded in slow-job dumps): 0 uses
+	// 256, < 0 disables the recorder entirely.
+	FlightEvents int
+	// LoadModel, when non-nil, seeds the predicted-backlog cost model
+	// from a bench record's per-stage medians (see load.go); without it
+	// the model warms up from observed job durations alone.
+	LoadModel *perfrec.Record
+	// SaturationThreshold flips /readyz to 503 "saturated" while the
+	// predicted backlog meets or exceeds it; 0 disables the gate.
+	SaturationThreshold time.Duration
 }
 
 // limits resolves the configured bounds against the defaults.
@@ -137,6 +158,15 @@ type Server struct {
 	tracer *obs.Tracer
 	root   *obs.Span
 
+	// log carries lifecycle and job records ("serve" component);
+	// httpLog carries the per-request access log ("http" component);
+	// engLog is the base for per-job engine progress ("engine").
+	log     *slog.Logger
+	httpLog *slog.Logger
+	engLog  *slog.Logger
+	flight  *flight.Recorder
+	cost    *costModel
+
 	slowLog  *slowJobLog
 	slowJobs *obs.Counter
 	profMu   sync.Mutex // the CPU profiler is process-global
@@ -160,15 +190,33 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
-	store, err := NewStore(cfg.Store, cfg.Registry)
+	var rec *flight.Recorder
+	if cfg.FlightEvents >= 0 {
+		rec = flight.New(cfg.FlightEvents)
+	}
+	storeCfg := cfg.Store
+	storeCfg.Flight = rec
+	store, err := NewStore(storeCfg, cfg.Registry)
 	if err != nil {
 		return nil, err
+	}
+	base := cfg.Logger
+	if base == nil && cfg.Logf != nil {
+		base = olog.NewPrintfLogger(cfg.Logf, nil)
+	}
+	if base == nil {
+		base = olog.Discard()
 	}
 	s := &Server{
 		cfg:      cfg,
 		reg:      cfg.Registry,
 		store:    store,
 		tracer:   cfg.Tracer,
+		log:      olog.Component(base, "serve"),
+		httpLog:  olog.Component(base, "http"),
+		engLog:   olog.Component(base, "engine"),
+		flight:   rec,
+		cost:     newCostModel(cfg.LoadModel),
 		sessions: make(map[string]*session),
 		// Engine stage counters aggregate across jobs on the server
 		// registry (engine_stage_*_total{stage=...}): per-job numbers
@@ -189,7 +237,9 @@ func New(cfg Config) (*Server, error) {
 		QueueDepth:   cfg.QueueDepth,
 		JobTimeout:   cfg.JobTimeout,
 		FinishedJobs: cfg.FinishedJobs,
+		Flight:       rec,
 	}, cfg.Registry, s.dispatch)
+	s.registerLoadGauges()
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -211,10 +261,10 @@ func (s *Server) Start() error {
 	if s.tracer != nil {
 		s.root = s.tracer.Start(nil, "server", obs.Str("addr", ln.Addr().String()))
 	}
-	s.logf("rsnserved listening on http://%s", ln.Addr())
+	s.log.Info("rsnserved listening", "addr", "http://"+ln.Addr().String())
 	go func() {
 		if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
-			s.logf("serve: http: %v", err)
+			s.log.Error("http server failed", "err", err)
 		}
 	}()
 	return nil
@@ -238,7 +288,7 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // done, failed or canceled, and its record stays queryable until the
 // process exits.
 func (s *Server) Shutdown(ctx context.Context) error {
-	s.logf("rsnserved draining (%d queued, %d running)", s.sched.Queued(), s.sched.Running())
+	s.log.Info("rsnserved draining", "queued", s.sched.Queued(), "running", s.sched.Running())
 	s.sched.Drain(ctx)
 	err := s.httpSrv.Shutdown(ctx)
 	if s.root != nil {
@@ -251,14 +301,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			err = ferr
 		}
 	}
-	s.logf("rsnserved stopped")
+	s.log.Info("rsnserved stopped")
 	return err
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
-	}
 }
 
 // execute runs one resolved analysis to a serialized
@@ -294,6 +338,7 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 			Mode:        a.mode,
 			Workers:     s.cfg.EngineWorkers,
 			Context:     ctx,
+			Logger:      s.engLog.With("job", j.ID),
 			Stats:       s.stats,
 			Tracer:      j.tracer,
 			TraceParent: j.span,
@@ -329,7 +374,8 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 	if err := s.store.Put(a.key, buf.Bytes()); err != nil {
 		// The result is still served from the job record; only future
 		// identical submissions lose the cache hit.
-		s.logf("serve: store put %s: %v", shortKey(a.key), err)
+		s.log.LogAttrs(ctx, slog.LevelWarn, "store put failed",
+			slog.String("key", shortKey(a.key)), slog.String("err", err.Error()))
 	}
 	return buf.Bytes(), nil
 }

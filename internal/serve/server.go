@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"time"
 
@@ -22,12 +23,19 @@ import (
 //	GET    /v1/analyses/{id}/report finished job's rsnsec.run-report/v1
 //	GET    /v1/analyses/{id}/profile captured pprof blob (octet-stream)
 //	DELETE /v1/analyses/{id}        cancel a queued or running job
+//	GET    /v1/load                 autoscale load signal (see load.go)
+//	GET    /debug/events            flight-recorder events (?cat=, ?job=, ?n=)
 //	GET    /healthz                 liveness
-//	GET    /readyz                  readiness (503 while draining)
+//	GET    /readyz                  readiness (503 while draining or saturated)
 //	GET    /metrics                 Prometheus text metrics
 //
 // Every endpoint is instrumented with per-endpoint latency histograms
-// and status-code counters on the server registry.
+// and status-code counters on the server registry, and wrapped in the
+// request-identity middleware: an X-Request-ID is accepted (or minted)
+// and a W3C traceparent continued (or started), both echoed on the
+// response and threaded through the request context into logs, spans,
+// job records and flight events. One structured access-log line is
+// emitted per request.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("POST /v1/analyses", s.instrument("submit", s.handleSubmit))
@@ -39,10 +47,24 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))
+	mux.Handle("GET /v1/load", s.instrument("load", s.handleLoad))
+	mux.Handle("GET /debug/events", s.instrument("events", s.handleEvents))
 	mux.Handle("GET /readyz", s.instrument("readyz", func(w http.ResponseWriter, r *http.Request) {
 		if s.sched.Draining() {
 			writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
 			return
+		}
+		// A saturated server is alive but should not receive new
+		// traffic: the predicted backlog says a submission now would
+		// wait longer than the operator's bound.
+		if s.cfg.SaturationThreshold > 0 {
+			if ls := s.loadStatus(); ls.Saturated {
+				writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+					"status":                    "saturated",
+					"predicted_backlog_seconds": ls.PredictedBacklogSeconds,
+				})
+				return
+			}
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	}))
@@ -53,10 +75,12 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-// statusRecorder captures the response code for the request counters.
+// statusRecorder captures the response code and body size for the
+// request counters and the access log.
 type statusRecorder struct {
 	http.ResponseWriter
-	code int
+	code  int
+	bytes int64
 }
 
 func (r *statusRecorder) WriteHeader(code int) {
@@ -64,19 +88,51 @@ func (r *statusRecorder) WriteHeader(code int) {
 	r.ResponseWriter.WriteHeader(code)
 }
 
-// instrument wraps a handler with the per-endpoint latency histogram
-// (serve_request_seconds{endpoint=...}) and status-code counters
-// (serve_requests_total{endpoint=...,code=...}).
+func (r *statusRecorder) Write(p []byte) (int, error) {
+	n, err := r.ResponseWriter.Write(p)
+	r.bytes += int64(n)
+	return n, err
+}
+
+// handleEvents serves the flight recorder (404 when disabled via
+// Config.FlightEvents < 0).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	if s.flight == nil {
+		writeError(w, http.StatusNotFound, "flight recorder disabled")
+		return
+	}
+	s.flight.Handler().ServeHTTP(w, r)
+}
+
+// instrument wraps a handler with the request-identity middleware, the
+// per-endpoint latency histogram (serve_request_seconds{endpoint=...}),
+// status-code counters (serve_requests_total{endpoint=...,code=...})
+// and the structured access log.
 func (s *Server) instrument(endpoint string, h http.HandlerFunc) http.Handler {
 	hist := s.reg.Histogram(fmt.Sprintf("serve_request_seconds{endpoint=%q}", endpoint),
 		0.001, 0.01, 0.1, 1, 10, 60)
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ri := requestIdentity(r)
+		r = r.WithContext(obs.WithReqInfo(r.Context(), ri))
+		// Echo the identity so callers (and retries, and support
+		// tickets) can quote the exact IDs this request ran under.
+		w.Header().Set("X-Request-ID", ri.RequestID)
+		w.Header().Set("Traceparent", ri.Trace.Traceparent())
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		start := time.Now()
 		h(rec, r)
-		hist.Observe(time.Since(start).Seconds())
+		dur := time.Since(start)
+		hist.Observe(dur.Seconds())
 		s.reg.Counter(fmt.Sprintf("serve_requests_total{endpoint=%q,code=\"%d\"}",
 			endpoint, rec.code)).Inc()
+		s.httpLog.LogAttrs(r.Context(), slog.LevelInfo, "access",
+			slog.String("method", r.Method),
+			slog.String("path", r.URL.Path),
+			slog.String("endpoint", endpoint),
+			slog.Int("status", rec.code),
+			slog.Int64("bytes", rec.bytes),
+			slog.Float64("dur_ms", float64(dur)/float64(time.Millisecond)),
+			slog.String("remote", r.RemoteAddr))
 	})
 }
 
@@ -128,13 +184,14 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// real run, so a cached report must not short-circuit it.
 	if a.profile == "" {
 		if data, ok := s.store.Get(a.key); ok {
-			j := s.sched.InsertFinished(a.key, a.label, "hit", data)
-			s.logf("job %s: %s served from store (%s)", j.ID, a.label, shortKey(a.key))
+			j := s.sched.InsertFinished(r.Context(), a.key, a.label, "hit", data)
+			s.log.LogAttrs(r.Context(), slog.LevelInfo, "served from store",
+				slog.String("job", j.ID), slog.String("label", a.label), slog.String("key", shortKey(a.key)))
 			writeJSON(w, http.StatusOK, s.status(j))
 			return
 		}
 	}
-	s.scheduleJob(w, a, req.Priority, a.timeout(&req))
+	s.scheduleJob(w, r, a, req.Priority, a.timeout(&req))
 }
 
 func shortKey(key string) string {
@@ -227,7 +284,7 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	case errors.Is(err, ErrJobFinished):
 		writeJSON(w, http.StatusConflict, st)
 	default:
-		s.logf("job %s: cancel requested", st.ID)
+		s.log.LogAttrs(r.Context(), slog.LevelInfo, "cancel requested", slog.String("job", st.ID))
 		writeJSON(w, http.StatusOK, st)
 	}
 }

@@ -124,7 +124,7 @@ func (s *Server) registerSession(sess *session) {
 func (s *Server) saveSession(sess *session) {
 	snap, err := sess.an.Snapshot(sess.nw)
 	if err != nil {
-		s.logf("serve: session snapshot %s: %v", shortKey(sess.key), err)
+		s.log.Warn("session snapshot failed", "key", shortKey(sess.key), "err", err)
 		return
 	}
 	rec := sessionRecord{
@@ -134,11 +134,11 @@ func (s *Server) saveSession(sess *session) {
 	}
 	data, err := json.Marshal(&rec)
 	if err != nil {
-		s.logf("serve: session encode %s: %v", shortKey(sess.key), err)
+		s.log.Warn("session encode failed", "key", shortKey(sess.key), "err", err)
 		return
 	}
 	if err := s.store.Put(sess.key+sessionSuffix, data); err != nil {
-		s.logf("serve: session put %s: %v", shortKey(sess.key), err)
+		s.log.Warn("session put failed", "key", shortKey(sess.key), "err", err)
 	}
 	s.registerSession(sess)
 }
@@ -240,6 +240,6 @@ func (s *Server) hydrateSession(ctx context.Context, sess *session) error {
 	sess.circuit = p.circuit
 	sess.internal = p.internal
 	sess.spec = p.spec
-	s.logf("session %s re-hydrated (%d scripts replayed, snapshot restored)", shortKey(sess.key), len(rec.Scripts))
+	s.log.Info("session re-hydrated", "key", shortKey(sess.key), "scripts_replayed", len(rec.Scripts))
 	return nil
 }

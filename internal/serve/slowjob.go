@@ -6,25 +6,32 @@ import (
 	"context"
 	"encoding/json"
 	"io"
+	"log/slog"
 	"runtime"
 	"runtime/pprof"
 	"sync"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // slowJobEntry is one JSONL record of the slow-job log: the job's
-// identity, its measured duration against the configured threshold,
-// and the full span tree of the run.
+// identity (including the submitting request's, so the dump joins the
+// access log and trace journal), its measured duration against the
+// configured threshold, the full span tree of the run, and the
+// flight-recorder events the job left behind.
 type slowJobEntry struct {
-	Time        string      `json:"time"`
-	JobID       string      `json:"job_id"`
-	Label       string      `json:"label,omitempty"`
-	Key         string      `json:"key"`
-	DurMS       int64       `json:"dur_ms"`
-	ThresholdMS int64       `json:"threshold_ms"`
-	Spans       []obs.Event `json:"spans,omitempty"`
+	Time        string        `json:"time"`
+	JobID       string        `json:"job_id"`
+	Label       string        `json:"label,omitempty"`
+	Key         string        `json:"key"`
+	RequestID   string        `json:"request_id,omitempty"`
+	TraceID     string        `json:"trace_id,omitempty"`
+	DurMS       int64         `json:"dur_ms"`
+	ThresholdMS int64         `json:"threshold_ms"`
+	Spans       []obs.Event   `json:"spans,omitempty"`
+	Events      []flight.Event `json:"events,omitempty"`
 }
 
 // slowJobLog serializes slow-job entries as buffered JSON lines.
@@ -74,14 +81,24 @@ func (s *Server) dispatch(ctx context.Context, j *Job) ([]byte, error) {
 		parent = s.root
 	}
 	label, key := j.Label, j.Key
-	span := tracer.Start(parent, "job",
-		obs.Str("id", j.ID), obs.Str("label", label), obs.Str("key", shortKey(key)))
+	attrs := []obs.Attr{obs.Str("id", j.ID), obs.Str("label", label), obs.Str("key", shortKey(key))}
+	if j.RequestID != "" {
+		attrs = append(attrs, obs.Str("request_id", j.RequestID), obs.Str("trace_id", j.TraceID))
+	}
+	span := tracer.Start(parent, "job", attrs...)
 	j.tracer, j.span = tracer, span
 
 	start := time.Now()
 	data, err := s.runWithProfile(ctx, j)
 	span.End()
 	dur := time.Since(start)
+
+	// Successful runs calibrate the predicted-backlog cost model.
+	if err == nil {
+		if a, _ := j.Payload.(*analysis); a != nil {
+			s.cost.observe(a.scanFFs, dur)
+		}
+	}
 
 	if s.slowLog != nil && dur >= s.cfg.SlowJobThreshold {
 		s.slowJobs.Inc()
@@ -90,15 +107,22 @@ func (s *Server) dispatch(ctx context.Context, j *Job) ([]byte, error) {
 			JobID:       j.ID,
 			Label:       label,
 			Key:         key,
+			RequestID:   j.RequestID,
+			TraceID:     j.TraceID,
 			DurMS:       dur.Milliseconds(),
 			ThresholdMS: s.cfg.SlowJobThreshold.Milliseconds(),
 			Spans:       collector.Events(),
+			Events:      s.flight.ForJob(j.ID),
 		}
 		if lerr := s.slowLog.record(entry); lerr != nil {
-			s.logf("serve: slow-job log: %v", lerr)
+			s.log.LogAttrs(ctx, slog.LevelError, "slow-job log write failed",
+				slog.String("job", j.ID), slog.String("err", lerr.Error()))
 		} else {
-			s.logf("job %s: slow (%s > %s threshold), span tree dumped (%d spans)",
-				j.ID, dur.Round(time.Millisecond), s.cfg.SlowJobThreshold, len(entry.Spans))
+			s.log.LogAttrs(ctx, slog.LevelWarn, "slow job, span tree dumped",
+				slog.String("job", j.ID),
+				slog.Duration("dur", dur.Round(time.Millisecond)),
+				slog.Duration("threshold", s.cfg.SlowJobThreshold),
+				slog.Int("spans", len(entry.Spans)))
 		}
 	}
 	return data, err
@@ -123,7 +147,8 @@ func (s *Server) runWithProfile(ctx context.Context, j *Job) ([]byte, error) {
 		s.profMu.Lock()
 		if err := pprof.StartCPUProfile(&buf); err != nil {
 			s.profMu.Unlock()
-			s.logf("job %s: cpu profile: %v", j.ID, err)
+			s.log.LogAttrs(ctx, slog.LevelWarn, "cpu profile failed",
+				slog.String("job", j.ID), slog.String("err", err.Error()))
 			return s.runJob(ctx, j)
 		}
 		data, runErr := s.runJob(ctx, j)
@@ -139,7 +164,8 @@ func (s *Server) runWithProfile(ctx context.Context, j *Job) ([]byte, error) {
 			runtime.GC() // fold transient garbage so the profile shows live allocations
 			var buf bytes.Buffer
 			if err := pprof.WriteHeapProfile(&buf); err != nil {
-				s.logf("job %s: heap profile: %v", j.ID, err)
+				s.log.LogAttrs(ctx, slog.LevelWarn, "heap profile failed",
+					slog.String("job", j.ID), slog.String("err", err.Error()))
 			} else {
 				s.saveProfile(j, a, "heap", buf.Bytes())
 			}
@@ -156,7 +182,7 @@ func (s *Server) runWithProfile(ctx context.Context, j *Job) ([]byte, error) {
 func (s *Server) saveProfile(j *Job, a *analysis, kind string, data []byte) {
 	s.sched.SetProfile(j, kind, data)
 	if err := s.store.PutProfile(a.key, kind, data); err != nil {
-		s.logf("job %s: store profile: %v", j.ID, err)
+		s.log.Warn("store profile failed", "job", j.ID, "err", err)
 	}
-	s.logf("job %s: %s profile captured (%d bytes)", j.ID, kind, len(data))
+	s.log.Info("profile captured", "job", j.ID, "kind", kind, "bytes", len(data))
 }

@@ -8,6 +8,7 @@ import (
 	"sync"
 
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 )
 
 // StoreConfig sizes the content-addressed result store.
@@ -22,6 +23,9 @@ type StoreConfig struct {
 	// lost to a restart — are transparently re-read from disk, so
 	// identical re-submissions stay cache hits across process lives.
 	Dir string
+	// Flight, when non-nil, receives one flight-recorder event per
+	// store decision (hit, miss, disk-hit, put, evict).
+	Flight *flight.Recorder
 }
 
 func (c StoreConfig) maxEntries() int {
@@ -100,6 +104,7 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		data := el.Value.(*storeEntry).data
 		s.mu.Unlock()
 		s.hits.Inc()
+		s.event("hit", key)
 		return data, true
 	}
 	s.mu.Unlock()
@@ -107,12 +112,19 @@ func (s *Store) Get(key string) ([]byte, bool) {
 		if data, err := os.ReadFile(s.path(key)); err == nil {
 			s.hits.Inc()
 			s.diskHits.Inc()
+			s.event("disk-hit", key)
 			s.insert(key, data, false) // already on disk
 			return data, true
 		}
 	}
 	s.misses.Inc()
+	s.event("miss", key)
 	return nil, false
+}
+
+// event records one store flight event (no-op without a recorder).
+func (s *Store) event(name, key string) {
+	s.cfg.Flight.Record(flight.Event{Cat: "store", Name: name, Detail: shortKey(key)})
 }
 
 // Contains reports whether key is resident (memory or disk) without
@@ -133,6 +145,7 @@ func (s *Store) Contains(key string) bool {
 // never leaves a truncated report behind).
 func (s *Store) Put(key string, data []byte) error {
 	s.insert(key, data, true)
+	s.event("put", key)
 	if s.cfg.Dir == "" {
 		return nil
 	}
@@ -207,6 +220,7 @@ func (s *Store) insert(key string, data []byte, overwrite bool) {
 		s.ll.Remove(back)
 		delete(s.byKey, e.key)
 		s.bytes -= int64(len(e.data))
+		s.event("evict", e.key)
 	}
 	s.entriesG.Set(int64(s.ll.Len()))
 	s.bytesG.Set(s.bytes)

@@ -1,0 +1,80 @@
+// Package version carries the build identity every binary and metrics
+// endpoint reports: a version string and VCS commit injected at link
+// time, with a debug.ReadBuildInfo fallback for plain `go build`/`go
+// run` invocations. Inject with
+//
+//	go build -ldflags "-X repro/internal/version.Version=v1.2.3 \
+//	                   -X repro/internal/version.Commit=$(git rev-parse --short HEAD)"
+package version
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+
+	"repro/internal/obs"
+)
+
+// Version and Commit are the link-time injection points. Leave them
+// untouched to fall back to module build info.
+var (
+	Version = ""
+	Commit  = ""
+)
+
+// Info is the resolved build identity.
+type Info struct {
+	Version   string
+	Commit    string
+	GoVersion string
+}
+
+// Get resolves the build identity: ldflags first, then the module
+// version and vcs.revision of debug.ReadBuildInfo, then "dev".
+func Get() Info {
+	inf := Info{Version: Version, Commit: Commit, GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if inf.Version == "" && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+			inf.Version = bi.Main.Version
+		}
+		if inf.Commit == "" {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" {
+					inf.Commit = s.Value
+					if len(inf.Commit) > 12 {
+						inf.Commit = inf.Commit[:12]
+					}
+				}
+			}
+		}
+	}
+	if inf.Version == "" {
+		inf.Version = "dev"
+	}
+	if inf.Commit == "" {
+		inf.Commit = "unknown"
+	}
+	return inf
+}
+
+// String renders the one-line -version output: "TOOL VERSION (commit
+// COMMIT, GOVERSION, GOOS/GOARCH)".
+func String(tool string) string {
+	inf := Get()
+	return fmt.Sprintf("%s %s (commit %s, %s, %s/%s)",
+		tool, inf.Version, inf.Commit, inf.GoVersion, runtime.GOOS, runtime.GOARCH)
+}
+
+// Register exposes the build identity as the conventional
+// constant-value info gauge
+//
+//	rsnsec_build_info{version="...",commit="...",go_version="..."} 1
+//
+// so every scrape ties the series it collects to the exact build that
+// produced them.
+func Register(reg *obs.Registry) {
+	reg.SetHelp("rsnsec_build_info", "Build identity (constant 1; the labels carry the information).")
+	inf := Get()
+	reg.Gauge(fmt.Sprintf("rsnsec_build_info{version=%q,commit=%q,go_version=%q}",
+		inf.Version, inf.Commit, inf.GoVersion)).Set(1)
+}

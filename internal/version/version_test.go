@@ -1,0 +1,46 @@
+package version
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+func TestGetNeverEmpty(t *testing.T) {
+	inf := Get()
+	if inf.Version == "" || inf.Commit == "" || inf.GoVersion == "" {
+		t.Errorf("Get() = %+v has empty fields", inf)
+	}
+}
+
+func TestLdflagsOverride(t *testing.T) {
+	oldV, oldC := Version, Commit
+	defer func() { Version, Commit = oldV, oldC }()
+	Version, Commit = "v9.9.9", "cafebabe"
+	inf := Get()
+	if inf.Version != "v9.9.9" || inf.Commit != "cafebabe" {
+		t.Errorf("Get() = %+v, want the injected identity", inf)
+	}
+	if s := String("rsnsec"); !strings.HasPrefix(s, "rsnsec v9.9.9 (commit cafebabe, go") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestRegisterBuildInfoGauge(t *testing.T) {
+	reg := obs.NewRegistry()
+	Register(reg)
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "rsnsec_build_info{version=") || !strings.Contains(out, "go_version=") {
+		t.Errorf("exposition missing build info:\n%s", out)
+	}
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "rsnsec_build_info{") && !strings.HasSuffix(line, " 1") {
+			t.Errorf("build info gauge must be constant 1: %q", line)
+		}
+	}
+}
