@@ -88,6 +88,8 @@ type benchConfig struct {
 	benchThreshold float64
 	benchMADK      float64
 	commit         string
+	attackKeyBits  int
+	attackDynamic  bool
 
 	lg *slog.Logger
 }
@@ -117,6 +119,8 @@ func main() {
 	flag.Float64Var(&c.benchThreshold, "bench-threshold", 0, "relative slowdown threshold for the -baseline gate (0 = default 0.10)")
 	flag.Float64Var(&c.benchMADK, "bench-mad-k", 0, "MAD multiplier of the noise allowance (0 = default 4)")
 	flag.StringVar(&c.commit, "commit", os.Getenv("GITHUB_SHA"), "VCS revision stamped into the bench record's environment")
+	flag.IntVar(&c.attackKeyBits, "attack-keybits", 0, "also measure the attack analysis per rep against a key-gate overlay of this many bits (0 = off)")
+	flag.BoolVar(&c.attackDynamic, "attack-dynamic", false, "the -attack-keybits overlay uses the dynamic (LFSR) key schedule")
 	validatePath := flag.String("validate-report", "", "validate a run-report JSON file against the schema and exit")
 	diffSpec := flag.String("diff-report", "", "compare two run reports (old.json,new.json) and print the deltas")
 	validateBench := flag.String("validate-bench", "", "validate a bench-record JSON file against the schema and exit")
@@ -303,7 +307,10 @@ func runBenchRecord(c benchConfig) error {
 	default:
 		return fmt.Errorf("unknown mode %q", c.mode)
 	}
-	opts := rsnsec.BenchCollectOptions{Reps: c.reps, Commit: c.commit}
+	opts := rsnsec.BenchCollectOptions{
+		Reps: c.reps, Commit: c.commit,
+		AttackKeyBits: c.attackKeyBits, AttackDynamic: c.attackDynamic,
+	}
 	if c.verbose {
 		opts.Progress = func(f string, a ...any) { fmt.Fprintf(os.Stderr, "  %s\n", fmt.Sprintf(f, a...)) }
 	}

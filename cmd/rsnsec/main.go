@@ -15,6 +15,20 @@
 // Use -mode structural for the Section IV-C over-approximation and
 // -out to write the secured network back as ICL.
 //
+// Attack mode: -attack runs the scan-obfuscation attack analysis
+// instead of securing. The network comes from -benchmark or -icl; the
+// key-gate overlay from -overlay overlay.json (rsnsec.obfus-overlay/v1,
+// optionally with an embedded defender key) or is generated with
+// -obf-keybits N [-obf-mux-share F] [-obf-dynamic] from -seed. The true
+// key defaults to the overlay's embedded key (generated overlays always
+// have one); -key HEX overrides it. The run prints the
+// rsnsec.attack-report/v1 document on stdout — under -q the only bytes
+// stdout carries. -attack-timings stamps wall-clock durations into the
+// report (off by default so identical runs stay byte-identical);
+// -attack-horizon, -attack-iters and -attack-conflicts bound the
+// attacks. -validate-attack report.json checks a stored report against
+// the schema and exits.
+//
 // Incremental mode: -delta script.json secures the base network, then
 // applies the JSON edit script and re-secures the derived network
 // incrementally — wiring-only scripts reuse the dependency analysis
@@ -68,27 +82,38 @@ type engineConfig struct {
 
 func main() {
 	var (
-		benchName = flag.String("benchmark", "", "Table I benchmark name (see rsnbench -table sizes)")
-		iclPath   = flag.String("icl", "", "path to an ICL network description")
-		scale     = flag.Float64("scale", 1, "structure scale for -benchmark (0..1]")
-		seed      = flag.Int64("seed", 1, "circuit generation seed")
-		specSeed  = flag.Int64("spec-seed", 1, "security specification seed")
-		mode      = flag.String("mode", "exact", "dependency mode: exact or structural")
-		outPath   = flag.String("out", "", "write the secured network as ICL to this file")
-		deltaPath = flag.String("delta", "", "JSON edit script: secure the base, apply the script, re-secure incrementally and print the delta report on stdout")
-		benchPath = flag.String("bench", "", "circuit (.bench) backing the -icl network's instrument links")
-		doVerify  = flag.Bool("verify", false, "re-check the result with the independent verifier")
-		explain   = flag.Int("explain", 0, "print up to N violating data flows before resolving")
-		workers   = flag.Int("workers", 0, "SAT worker pool size (0 = all CPUs)")
-		timeout   = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
-		verbose   = flag.Bool("v", false, "print per-stage engine progress and a stats table (stderr)")
-		quiet     = flag.Bool("q", false, "suppress the informational lines on stdout")
-		trace     = flag.String("trace", "", "write the span journal as JSONL to this file")
-		traceSmp  = flag.Int("trace-sample", 64, "record every n-th high-frequency query span")
-		debugAddr = flag.String("debug-addr", "", "serve expvar, Prometheus metrics and pprof on this address during the run")
-		logLevel  = flag.String("log-level", "info", "log level spec: LEVEL[,component=LEVEL...] (debug|info|warn|error|off)")
-		logFormat = flag.String("log-format", "text", "log record encoding: text or json")
-		showVer   = flag.Bool("version", false, "print version and exit")
+		benchName   = flag.String("benchmark", "", "Table I benchmark name (see rsnbench -table sizes)")
+		iclPath     = flag.String("icl", "", "path to an ICL network description")
+		scale       = flag.Float64("scale", 1, "structure scale for -benchmark (0..1]")
+		seed        = flag.Int64("seed", 1, "circuit generation seed")
+		specSeed    = flag.Int64("spec-seed", 1, "security specification seed")
+		mode        = flag.String("mode", "exact", "dependency mode: exact or structural")
+		outPath     = flag.String("out", "", "write the secured network as ICL to this file")
+		deltaPath   = flag.String("delta", "", "JSON edit script: secure the base, apply the script, re-secure incrementally and print the delta report on stdout")
+		benchPath   = flag.String("bench", "", "circuit (.bench) backing the -icl network's instrument links")
+		doVerify    = flag.Bool("verify", false, "re-check the result with the independent verifier")
+		explain     = flag.Int("explain", 0, "print up to N violating data flows before resolving")
+		workers     = flag.Int("workers", 0, "SAT worker pool size (0 = all CPUs)")
+		timeout     = flag.Duration("timeout", 0, "cancel the run after this duration (0 = no limit)")
+		verbose     = flag.Bool("v", false, "print per-stage engine progress and a stats table (stderr)")
+		quiet       = flag.Bool("q", false, "suppress the informational lines on stdout")
+		trace       = flag.String("trace", "", "write the span journal as JSONL to this file")
+		traceSmp    = flag.Int("trace-sample", 64, "record every n-th high-frequency query span")
+		debugAddr   = flag.String("debug-addr", "", "serve expvar, Prometheus metrics and pprof on this address during the run")
+		attack      = flag.Bool("attack", false, "run the scan-obfuscation attack analysis and print the attack report on stdout")
+		overlayPath = flag.String("overlay", "", "key-gate overlay (rsnsec.obfus-overlay/v1) for -attack")
+		obfKeyBits  = flag.Int("obf-keybits", 0, "generate an overlay with this many key bits when -overlay is not given")
+		obfMuxShare = flag.Float64("obf-mux-share", -1, "fraction of generated key bits gating mux selects (-1 = default 0.5)")
+		obfDynamic  = flag.Bool("obf-dynamic", false, "generated overlay uses the dynamic (LFSR) key schedule")
+		keyHex      = flag.String("key", "", "true key as big-endian hex (default: the overlay's embedded key)")
+		atkHorizon  = flag.Int("attack-horizon", 0, "observation window in shift cycles (0 = derived from the network)")
+		atkIters    = flag.Int("attack-iters", 0, "max ScanSAT refinement iterations (0 = default)")
+		atkConfl    = flag.Int64("attack-conflicts", 0, "total solver conflict budget for the key recovery (0 = unlimited)")
+		atkTimings  = flag.Bool("attack-timings", false, "include wall-clock timings in the attack report")
+		validateAtk = flag.String("validate-attack", "", "validate a stored attack report and exit")
+		logLevel    = flag.String("log-level", "info", "log level spec: LEVEL[,component=LEVEL...] (debug|info|warn|error|off)")
+		logFormat   = flag.String("log-format", "text", "log record encoding: text or json")
+		showVer     = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
 	if *showVer {
@@ -103,7 +128,19 @@ func main() {
 	ec := engineConfig{workers: *workers, timeout: *timeout, verbose: *verbose,
 		quiet: *quiet, tracePath: *trace, traceSample: *traceSmp, debugAddr: *debugAddr,
 		logger: lg}
-	if err := run(*benchName, *iclPath, *benchPath, *scale, *seed, *specSeed, *mode, *outPath, *deltaPath, *doVerify, *explain, ec); err != nil {
+	switch {
+	case *validateAtk != "":
+		err = runValidateAttack(*validateAtk, ec)
+	case *attack:
+		ac := attackConfig{overlayPath: *overlayPath, keyBits: *obfKeyBits,
+			muxShare: *obfMuxShare, dynamic: *obfDynamic, keyHex: *keyHex,
+			horizon: *atkHorizon, iters: *atkIters, conflicts: *atkConfl,
+			timings: *atkTimings}
+		err = runAttack(*benchName, *iclPath, *scale, *seed, ac, ec)
+	default:
+		err = run(*benchName, *iclPath, *benchPath, *scale, *seed, *specSeed, *mode, *outPath, *deltaPath, *doVerify, *explain, ec)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "rsnsec:", err)
 		os.Exit(1)
 	}
@@ -383,6 +420,187 @@ func run(benchName, iclPath, benchPath string, scale float64, seed, specSeed int
 	}
 	if ec.verbose && stats != nil {
 		fmt.Fprintf(errw, "engine stats:\n%s\n", stats)
+	}
+	return nil
+}
+
+// attackConfig carries the -attack mode flags.
+type attackConfig struct {
+	overlayPath string
+	keyBits     int
+	muxShare    float64
+	dynamic     bool
+	keyHex      string
+	horizon     int
+	iters       int
+	conflicts   int64
+	timings     bool
+}
+
+// loadAttackNetwork resolves the attacked network from -benchmark or
+// -icl. Attack mode never consults the instrument circuit, so ICL
+// instrument links resolve against synthesized flip-flop IDs.
+func loadAttackNetwork(benchName, iclPath string, scale float64, out io.Writer) (*rsnsec.Network, error) {
+	switch {
+	case benchName != "" && iclPath != "":
+		return nil, fmt.Errorf("-benchmark and -icl are mutually exclusive")
+	case benchName != "":
+		b, ok := rsnsec.BenchmarkByName(benchName)
+		if !ok {
+			return nil, fmt.Errorf("unknown benchmark %q", benchName)
+		}
+		nw := b.Build(scale)
+		st := nw.Stats()
+		fmt.Fprintf(out, "benchmark %s at scale %g: %d registers, %d scan FFs, %d muxes\n",
+			benchName, scale, st.Registers, st.ScanFFs, st.Muxes)
+		return nw, nil
+	case iclPath != "":
+		data, err := os.ReadFile(iclPath)
+		if err != nil {
+			return nil, err
+		}
+		byName := map[string]rsnsec.FFID{}
+		lookup := func(name string) (rsnsec.FFID, bool) {
+			if id, ok := byName[name]; ok {
+				return id, true
+			}
+			id := rsnsec.FFID(len(byName))
+			byName[name] = id
+			return id, true
+		}
+		nw, _, err := rsnsec.ParseICLWithSpec(string(data), lookup)
+		if err != nil {
+			return nil, err
+		}
+		st := nw.Stats()
+		fmt.Fprintf(out, "network %s: %d registers, %d scan FFs, %d muxes\n",
+			nw.Name, st.Registers, st.ScanFFs, st.Muxes)
+		return nw, nil
+	default:
+		return nil, fmt.Errorf("one of -benchmark or -icl is required")
+	}
+}
+
+// runAttack is the -attack mode: resolve the network and overlay, run
+// the attack analysis and print the rsnsec.attack-report/v1 document on
+// stdout (under -q the only bytes stdout carries).
+func runAttack(benchName, iclPath string, scale float64, seed int64, ac attackConfig, ec engineConfig) error {
+	ctx := context.Background()
+	if ec.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, ec.timeout)
+		defer cancel()
+	}
+	out := io.Writer(os.Stdout)
+	errw := io.Writer(os.Stderr)
+	if ec.quiet {
+		out = io.Discard
+		errw = io.Discard
+	}
+	nw, err := loadAttackNetwork(benchName, iclPath, scale, out)
+	if err != nil {
+		return err
+	}
+
+	var (
+		ov      *rsnsec.Obfuscation
+		trueKey []bool
+	)
+	switch {
+	case ac.overlayPath != "" && ac.keyBits > 0:
+		return fmt.Errorf("-overlay and -obf-keybits are mutually exclusive")
+	case ac.overlayPath != "":
+		data, err := os.ReadFile(ac.overlayPath)
+		if err != nil {
+			return err
+		}
+		ov, trueKey, err = rsnsec.ParseObfuscationOverlay(data, nw)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "overlay: %d key bits, %d gates, dynamic=%v\n",
+			ov.NumKeyBits, len(ov.Gates), ov.Dynamic)
+	case ac.keyBits > 0:
+		ov, trueKey, err = rsnsec.ObfuscateNetwork(nw,
+			rsnsec.ObfusGenConfig{KeyBits: ac.keyBits, MuxShare: ac.muxShare, Dynamic: ac.dynamic}, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "generated overlay (seed %d): %d key bits, %d gates, dynamic=%v\n",
+			seed, ov.NumKeyBits, len(ov.Gates), ov.Dynamic)
+	default:
+		return fmt.Errorf("-attack needs -overlay or -obf-keybits")
+	}
+	if ac.keyHex != "" {
+		trueKey, err = rsnsec.ParseObfusKeyHex(ac.keyHex, ov.NumKeyBits)
+		if err != nil {
+			return err
+		}
+	}
+	if trueKey == nil {
+		return fmt.Errorf("the overlay carries no key; give -key HEX")
+	}
+
+	var stats *rsnsec.EngineStats
+	if ec.verbose {
+		stats = rsnsec.NewEngineStats()
+	}
+	var tracer *rsnsec.Tracer
+	if ec.tracePath != "" {
+		tf, err := os.Create(ec.tracePath)
+		if err != nil {
+			return err
+		}
+		defer tf.Close()
+		tracer = rsnsec.NewTracer(rsnsec.NewJSONLTraceSink(tf))
+	}
+	runSpan := tracer.Start(nil, "run", obs.Str("tool", "rsnsec"), obs.Str("mode", "attack"))
+	defer runSpan.End()
+
+	rep, err := rsnsec.RunAttackAnalysis(ctx, "rsnsec", nw, ov, trueKey, rsnsec.AttackOptions{
+		Horizon:        ac.horizon,
+		MaxIterations:  ac.iters,
+		ConflictBudget: ac.conflicts,
+		IncludeTimings: ac.timings,
+		Stats:          stats,
+		Tracer:         tracer,
+		TraceParent:    runSpan,
+	})
+	if err != nil {
+		return err
+	}
+	if s := rep.SAT; s != nil {
+		fmt.Fprintf(out, "sat attack: %s, key %s (verified=%v) after %d iterations, %d solve calls\n",
+			s.Outcome, s.RecoveredKey, s.Verified, s.Iterations, s.SolveCalls)
+	}
+	if f := rep.Flush; f != nil {
+		if f.Applicable {
+			fmt.Fprintf(out, "flush attack: rank %d/%d, %d of %d key bits recovered\n",
+				f.Rank, f.Equations, len(f.RecoveredBits), ov.NumKeyBits)
+		} else {
+			fmt.Fprintf(out, "flush attack: not applicable (%s)\n", f.Reason)
+		}
+	}
+	if ec.verbose && stats != nil {
+		fmt.Fprintf(errw, "engine stats:\n%s\n", stats)
+	}
+	return rsnsec.WriteAttackReport(os.Stdout, rep)
+}
+
+// runValidateAttack is the -validate-attack mode.
+func runValidateAttack(path string, ec engineConfig) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	rep, err := rsnsec.ReadAttackReport(f)
+	if err != nil {
+		return err
+	}
+	if !ec.quiet {
+		fmt.Printf("%s: valid %s (network %s, %d key bits)\n",
+			path, rep.Schema, rep.Network.Name, rep.Overlay.KeyBits)
 	}
 	return nil
 }

@@ -1,0 +1,338 @@
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/rsn"
+)
+
+// The streaming scale-up generator emits SIB-hierarchy scan networks
+// of 100k-1M+ scan flip-flops directly as ICL text, never holding the
+// network in memory: the only state is the recursion stack of the SIB
+// tree (depth log_fanout(leaves)), the buffered writer, and the
+// key-gate sample of an optional obfuscation overlay. Peak heap is
+// therefore bounded by O(depth + key bits) regardless of TargetScanFFs
+// (measured: ~10 MB peak RSS for 1M scan FFs including the Go runtime;
+// see EXPERIMENTS.md). The same (config, seed) pair always streams the
+// same bytes.
+
+// ScaleGenConfig parameterizes one streamed network.
+type ScaleGenConfig struct {
+	// Name is the ScanNetwork name (default "scale<TargetScanFFs>").
+	Name string
+	// TargetScanFFs is the total scan flip-flop count to reach.
+	TargetScanFFs int
+	// SIBFanout is the number of children per SIB tree node
+	// (default 8).
+	SIBFanout int
+	// LeafLen is the scan length of each leaf register (default 16;
+	// the last leaf takes the remainder).
+	LeafLen int
+	// Modules is the number of modules registers are spread over
+	// (default 16, clamped to the register count).
+	Modules int
+	// WithSpec embeds a generated security specification (Categories
+	// plus per-module Trust/Accepts attributes).
+	WithSpec bool
+	// Categories is the specification's category universe (default 4).
+	Categories int
+	// Seed makes the stream deterministic.
+	Seed int64
+	// ObfKeyBits, when positive, additionally selects a key-gate
+	// overlay of that many bits; StreamScaleICL then writes the
+	// rsnsec.obfus-overlay/v1 sidecar (with the embedded defender key)
+	// to its overlay writer. ObfMuxShare is the fraction of key bits
+	// gating mux selects (negative = 0.5); ObfDynamic selects the
+	// LFSR key schedule.
+	ObfKeyBits  int
+	ObfMuxShare float64
+	ObfDynamic  bool
+}
+
+// ScaleStats summarizes what was streamed.
+type ScaleStats struct {
+	Registers int
+	ScanFFs   int
+	Muxes     int
+	Modules   int
+	Depth     int
+	KeyBits   int
+}
+
+func (cfg *ScaleGenConfig) defaults() error {
+	if cfg.TargetScanFFs < 1 {
+		return fmt.Errorf("bench: TargetScanFFs %d", cfg.TargetScanFFs)
+	}
+	if cfg.SIBFanout == 0 {
+		cfg.SIBFanout = 8
+	}
+	if cfg.SIBFanout < 2 {
+		return fmt.Errorf("bench: SIBFanout %d (want >= 2)", cfg.SIBFanout)
+	}
+	if cfg.LeafLen == 0 {
+		cfg.LeafLen = 16
+	}
+	if cfg.LeafLen < 1 {
+		return fmt.Errorf("bench: LeafLen %d", cfg.LeafLen)
+	}
+	if cfg.Modules == 0 {
+		cfg.Modules = 16
+	}
+	if cfg.Modules < 1 {
+		return fmt.Errorf("bench: Modules %d", cfg.Modules)
+	}
+	if cfg.Categories == 0 {
+		cfg.Categories = 4
+	}
+	if cfg.Categories < 1 {
+		return fmt.Errorf("bench: Categories %d", cfg.Categories)
+	}
+	if cfg.Name == "" {
+		cfg.Name = fmt.Sprintf("scale%d", cfg.TargetScanFFs)
+	}
+	return nil
+}
+
+// countNodes returns the number of SIB tree nodes (= bypass muxes)
+// over nLeaves leaves with the given fanout, and the tree depth.
+func countNodes(nLeaves, fanout int) (nodes, depth int) {
+	var walk func(n int) (int, int)
+	walk = func(n int) (int, int) {
+		if n <= fanout {
+			return 1, 1
+		}
+		per := (n + fanout - 1) / fanout
+		total, deepest := 1, 0
+		for lo := 0; lo < n; lo += per {
+			hi := lo + per
+			if hi > n {
+				hi = n
+			}
+			t, d := walk(hi - lo)
+			total += t
+			if d > deepest {
+				deepest = d
+			}
+		}
+		return total, deepest + 1
+	}
+	return walk(nLeaves)
+}
+
+// scaleOverlay is the sampled key-gate placement: register/mux index
+// (in emission order) to key bit.
+type scaleOverlay struct {
+	regBit map[int]int
+	muxBit map[int]int
+	key    []bool
+}
+
+// sampleOverlay picks gate positions deterministically from the seed.
+// Mux gates take the low key bits, XOR gates the rest — mirroring
+// obfus.ObfuscateNetwork's layout.
+func sampleOverlay(cfg *ScaleGenConfig, nRegs, nMuxes int) (*scaleOverlay, error) {
+	share := cfg.ObfMuxShare
+	if share < 0 {
+		share = 0.5
+	}
+	if share > 1 {
+		share = 1
+	}
+	nMux := int(float64(cfg.ObfKeyBits) * share)
+	if nMux > nMuxes {
+		nMux = nMuxes
+	}
+	nXor := cfg.ObfKeyBits - nMux
+	if nXor > nRegs {
+		spill := nXor - nRegs
+		nXor = nRegs
+		nMux += spill
+		if nMux > nMuxes {
+			return nil, fmt.Errorf("bench: %d key bits exceed gate capacity (%d registers + %d muxes)",
+				cfg.ObfKeyBits, nRegs, nMuxes)
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x6f627573)) // "obus"
+	pick := func(space, count int, taken map[int]int, bit0 int) {
+		for i := 0; i < count; i++ {
+			for {
+				idx := rng.Intn(space)
+				if _, dup := taken[idx]; !dup {
+					taken[idx] = bit0 + i
+					break
+				}
+			}
+		}
+	}
+	ov := &scaleOverlay{regBit: map[int]int{}, muxBit: map[int]int{}}
+	pick(nMuxes, nMux, ov.muxBit, 0)
+	pick(nRegs, nXor, ov.regBit, nMux)
+	ov.key = rsn.KeyFromSeed(cfg.Seed, cfg.ObfKeyBits)
+	return ov, nil
+}
+
+// overlaySidecar mirrors the rsnsec.obfus-overlay/v1 wire format of
+// rsn.MarshalObfuscation (names instead of element ids).
+type overlaySidecar struct {
+	Schema  string            `json:"schema"`
+	KeyBits int               `json:"key_bits"`
+	Dynamic bool              `json:"dynamic,omitempty"`
+	Taps    []int             `json:"taps,omitempty"`
+	Gates   []overlayGateSide `json:"gates"`
+	Key     string            `json:"key,omitempty"`
+}
+
+type overlayGateSide struct {
+	Kind string `json:"kind"`
+	Elem string `json:"elem"`
+	Bit  int    `json:"bit"`
+}
+
+// StreamScaleICL streams the configured SIB-hierarchy network as ICL
+// to w. When cfg.ObfKeyBits > 0, the overlay sidecar (with the
+// embedded defender key) is written to ovw, which must be non-nil in
+// that case. The ICL is valid for the repository's own parser; for
+// large targets the consumer decides whether to materialize it.
+func StreamScaleICL(w io.Writer, ovw io.Writer, cfg ScaleGenConfig) (*ScaleStats, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	nLeaves := (cfg.TargetScanFFs + cfg.LeafLen - 1) / cfg.LeafLen
+	nMuxes, depth := countNodes(nLeaves, cfg.SIBFanout)
+	nModules := cfg.Modules
+	if nModules > nLeaves {
+		nModules = nLeaves
+	}
+	st := &ScaleStats{Registers: nLeaves, ScanFFs: cfg.TargetScanFFs,
+		Muxes: nMuxes, Modules: nModules, Depth: depth}
+
+	var ov *scaleOverlay
+	if cfg.ObfKeyBits > 0 {
+		if ovw == nil {
+			return nil, fmt.Errorf("bench: ObfKeyBits set but no overlay writer given")
+		}
+		var err error
+		if ov, err = sampleOverlay(&cfg, nLeaves, nMuxes); err != nil {
+			return nil, err
+		}
+		st.KeyBits = cfg.ObfKeyBits
+	}
+
+	bw := bufio.NewWriterSize(w, 1<<16)
+	fmt.Fprintf(bw, "ScanNetwork %q {\n", cfg.Name)
+
+	// Module declarations, with the generated specification when asked.
+	specRNG := rand.New(rand.NewSource(cfg.Seed ^ 0x73706563)) // "spec"
+	if cfg.WithSpec {
+		fmt.Fprintf(bw, "  Categories %d;\n", cfg.Categories)
+	}
+	for m := 0; m < nModules; m++ {
+		if !cfg.WithSpec {
+			fmt.Fprintf(bw, "  Module \"m%d\";\n", m)
+			continue
+		}
+		trust := specRNG.Intn(cfg.Categories)
+		accepts := uint64(0)
+		for c := 0; c < cfg.Categories; c++ {
+			if specRNG.Intn(2) == 1 {
+				accepts |= 1 << uint(c)
+			}
+		}
+		accepts |= 1 << uint(specRNG.Intn(cfg.Categories)) // never empty
+		fmt.Fprintf(bw, "  Module \"m%d\" { Trust %d; Accepts ", m, trust)
+		first := true
+		for c := 0; c < cfg.Categories; c++ {
+			if accepts&(1<<uint(c)) != 0 {
+				if !first {
+					bw.WriteString(", ")
+				}
+				fmt.Fprintf(bw, "%d", c)
+				first = false
+			}
+		}
+		bw.WriteString("; }\n")
+	}
+
+	// The SIB tree: leaves are registers, every node closes with a
+	// bypass mux whose inputs are (chain end, node entry).
+	var gates []overlayGateSide
+	regIdx, muxIdx := 0, 0
+	cur := "SI"
+	var emit func(lo, hi int) error
+	emit = func(lo, hi int) error {
+		entry := cur
+		if hi-lo <= cfg.SIBFanout {
+			for i := lo; i < hi; i++ {
+				length := cfg.LeafLen
+				if i == nLeaves-1 {
+					length = cfg.TargetScanFFs - (nLeaves-1)*cfg.LeafLen
+				}
+				name := fmt.Sprintf("R%d", regIdx)
+				mod := i * nModules / nLeaves
+				fmt.Fprintf(bw, "  ScanRegister %q { Length %d; ScanInSource %s; Module \"m%d\"; }\n",
+					name, length, cur, mod)
+				if ov != nil {
+					if bit, hit := ov.regBit[regIdx]; hit {
+						gates = append(gates, overlayGateSide{Kind: rsn.KeyXOR, Elem: name, Bit: bit})
+					}
+				}
+				cur = fmt.Sprintf("Register %q", name)
+				regIdx++
+			}
+		} else {
+			per := (hi - lo + cfg.SIBFanout - 1) / cfg.SIBFanout
+			for clo := lo; clo < hi; clo += per {
+				chi := clo + per
+				if chi > hi {
+					chi = hi
+				}
+				if err := emit(clo, chi); err != nil {
+					return err
+				}
+			}
+		}
+		name := fmt.Sprintf("S%d", muxIdx)
+		fmt.Fprintf(bw, "  ScanMux %q { Input %s; Input %s; }\n", name, cur, entry)
+		if ov != nil {
+			if bit, hit := ov.muxBit[muxIdx]; hit {
+				gates = append(gates, overlayGateSide{Kind: rsn.KeyMux, Elem: name, Bit: bit})
+			}
+		}
+		cur = fmt.Sprintf("Mux %q", name)
+		muxIdx++
+		return nil
+	}
+	if err := emit(0, nLeaves); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(bw, "  ScanOutSource %s;\n}\n", cur)
+	if err := bw.Flush(); err != nil {
+		return nil, err
+	}
+
+	if ov != nil {
+		doc := overlaySidecar{
+			Schema:  rsn.ObfuscationSchema,
+			KeyBits: cfg.ObfKeyBits,
+			Dynamic: cfg.ObfDynamic,
+			Gates:   gates,
+			Key:     rsn.KeyHex(ov.key),
+		}
+		if cfg.ObfDynamic {
+			doc.Taps = []int{0}
+			if mid := cfg.ObfKeyBits / 2; mid > 0 {
+				doc.Taps = append(doc.Taps, mid)
+			}
+		}
+		enc := json.NewEncoder(ovw)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(doc); err != nil {
+			return nil, err
+		}
+	}
+	return st, nil
+}

@@ -1,0 +1,140 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/icl"
+	"repro/internal/rsn"
+)
+
+func TestStreamScaleICLParsesBack(t *testing.T) {
+	var out, ovb bytes.Buffer
+	cfg := ScaleGenConfig{
+		TargetScanFFs: 2000,
+		SIBFanout:     4,
+		LeafLen:       8,
+		Modules:       6,
+		WithSpec:      true,
+		Seed:          11,
+		ObfKeyBits:    10,
+		ObfMuxShare:   -1,
+	}
+	st, err := StreamScaleICL(&out, &ovb, cfg)
+	if err != nil {
+		t.Fatalf("StreamScaleICL: %v", err)
+	}
+	nw, spec, err := icl.ParseNetworkAndSpec(out.String(), nil)
+	if err != nil {
+		t.Fatalf("streamed ICL does not parse: %v", err)
+	}
+	ns := nw.Stats()
+	if ns.Registers != st.Registers || ns.ScanFFs != st.ScanFFs || ns.Muxes != st.Muxes {
+		t.Fatalf("parsed stats %+v != streamed stats %+v", ns, st)
+	}
+	if ns.ScanFFs != cfg.TargetScanFFs {
+		t.Fatalf("got %d scan FFs, want %d", ns.ScanFFs, cfg.TargetScanFFs)
+	}
+	if spec == nil || spec.NumModules() != st.Modules {
+		t.Fatalf("embedded spec missing or wrong module count")
+	}
+	// The network must be structurally sound: a default configuration
+	// selects a full scan path.
+	cfgv := make(rsn.Config, ns.Muxes)
+	path, err := nw.ActivePath(cfgv)
+	if err != nil {
+		t.Fatalf("ActivePath: %v", err)
+	}
+	if len(path) != cfg.TargetScanFFs {
+		t.Fatalf("all-include path has %d cells, want %d", len(path), cfg.TargetScanFFs)
+	}
+	// The overlay sidecar resolves against the parsed network and
+	// carries the seed-derived defender key.
+	ov, key, err := rsn.ParseObfuscation(ovb.Bytes(), nw)
+	if err != nil {
+		t.Fatalf("overlay sidecar: %v", err)
+	}
+	if ov.NumKeyBits != 10 || len(ov.Gates) != 10 {
+		t.Fatalf("overlay: %d bits, %d gates", ov.NumKeyBits, len(ov.Gates))
+	}
+	want := rsn.KeyFromSeed(cfg.Seed, 10)
+	if rsn.KeyHex(key) != rsn.KeyHex(want) {
+		t.Fatalf("sidecar key %s, want %s", rsn.KeyHex(key), rsn.KeyHex(want))
+	}
+	// The keyed simulator accepts the (network, overlay, key) triple.
+	if _, err := rsn.NewKeyedSimulator(nw, ov, key); err != nil {
+		t.Fatalf("NewKeyedSimulator: %v", err)
+	}
+}
+
+func TestStreamScaleICLDeterministic(t *testing.T) {
+	gen := func(seed int64) (string, string) {
+		var out, ovb bytes.Buffer
+		_, err := StreamScaleICL(&out, &ovb, ScaleGenConfig{
+			TargetScanFFs: 500, SIBFanout: 3, LeafLen: 5, Seed: seed,
+			ObfKeyBits: 6, ObfMuxShare: -1, ObfDynamic: true,
+		})
+		if err != nil {
+			t.Fatalf("StreamScaleICL: %v", err)
+		}
+		return out.String(), ovb.String()
+	}
+	a1, o1 := gen(7)
+	a2, o2 := gen(7)
+	if a1 != a2 || o1 != o2 {
+		t.Fatal("same seed streamed different bytes")
+	}
+	_, o3 := gen(8)
+	if o1 == o3 {
+		t.Fatal("different seeds streamed identical overlays")
+	}
+}
+
+func TestStreamScaleICLSmallAndErrors(t *testing.T) {
+	var out bytes.Buffer
+	st, err := StreamScaleICL(&out, nil, ScaleGenConfig{TargetScanFFs: 3, LeafLen: 16})
+	if err != nil {
+		t.Fatalf("StreamScaleICL: %v", err)
+	}
+	if st.Registers != 1 || st.Muxes != 1 {
+		t.Fatalf("tiny network stats %+v", st)
+	}
+	nw, err := icl.ParseNetwork(out.String(), nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if nw.Stats().ScanFFs != 3 {
+		t.Fatalf("scan FFs %d", nw.Stats().ScanFFs)
+	}
+	if _, err := StreamScaleICL(&out, nil, ScaleGenConfig{TargetScanFFs: 0}); err == nil {
+		t.Fatal("TargetScanFFs 0 accepted")
+	}
+	if _, err := StreamScaleICL(&out, nil, ScaleGenConfig{TargetScanFFs: 10, ObfKeyBits: 4}); err == nil {
+		t.Fatal("overlay without a sidecar writer accepted")
+	}
+	if _, err := StreamScaleICL(&out, &bytes.Buffer{}, ScaleGenConfig{TargetScanFFs: 16, LeafLen: 16, ObfKeyBits: 40}); err == nil {
+		t.Fatal("key bits beyond gate capacity accepted")
+	}
+}
+
+func TestStreamScaleICLLastLeafRemainder(t *testing.T) {
+	var out bytes.Buffer
+	st, err := StreamScaleICL(&out, nil, ScaleGenConfig{TargetScanFFs: 100, LeafLen: 16, SIBFanout: 4})
+	if err != nil {
+		t.Fatalf("StreamScaleICL: %v", err)
+	}
+	if st.Registers != 7 {
+		t.Fatalf("registers %d, want ceil(100/16)=7", st.Registers)
+	}
+	if !strings.Contains(out.String(), "Length 4;") {
+		t.Fatal("last leaf should carry the remainder length 4")
+	}
+	nw, err := icl.ParseNetwork(out.String(), nil)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if nw.Stats().ScanFFs != 100 {
+		t.Fatalf("scan FFs %d, want 100", nw.Stats().ScanFFs)
+	}
+}

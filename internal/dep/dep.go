@@ -238,12 +238,12 @@ type Stats struct {
 	SimLanes         int64 // 64-bit pattern lanes evaluated by the prefilter
 	Functional1Cycle int   // 1-cycle dependencies classified functional
 	StructOnly1Cycle int   // 1-cycle dependencies classified only structural
-	FFsTotal         int // flip-flops before bridging
-	FFsDenoted       int // flip-flops after bridging (denoted)
-	DepsBeforeBridge int // 1-cycle dependencies before bridging
-	DepsAfterBridge  int // dependencies after bridging, before closure
-	DepsMultiCycle   int // denoted dependencies after the closure
-	ClosurePathDeps  int // path entries after the closure
+	FFsTotal         int   // flip-flops before bridging
+	FFsDenoted       int   // flip-flops after bridging (denoted)
+	DepsBeforeBridge int   // 1-cycle dependencies before bridging
+	DepsAfterBridge  int   // dependencies after bridging, before closure
+	DepsMultiCycle   int   // denoted dependencies after the closure
+	ClosurePathDeps  int   // path entries after the closure
 	BridgedFFs       int
 }
 

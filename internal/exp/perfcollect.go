@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bench"
 	"repro/internal/engine"
+	"repro/internal/obfus"
 	"repro/internal/obs"
 	"repro/internal/obs/perfrec"
 )
@@ -23,6 +24,14 @@ type CollectOptions struct {
 	Commit string
 	// Progress, when non-nil, receives one line per finished rep.
 	Progress func(format string, args ...any)
+	// AttackKeyBits, when positive, additionally measures the attack
+	// analysis each rep: the benchmark's network (at the protocol's
+	// effective scale) is obfuscated with that many key bits seeded by
+	// the run seed, both attacks run against it, and the timings land
+	// in the record's optional per-benchmark Attack annex.
+	// AttackDynamic selects the LFSR key schedule.
+	AttackKeyBits int
+	AttackDynamic bool
 }
 
 func (o CollectOptions) reps() int {
@@ -44,6 +53,16 @@ type repSample struct {
 	totalAlloc int64
 	runs       int
 	scanFFs    int
+	atk        *attackRepSample
+}
+
+// attackRepSample is one repetition's attack-analysis measurements.
+type attackRepSample struct {
+	satNS   int64
+	flushNS int64
+	iters   int64
+	confl   int64
+	rank    int64
 }
 
 // CollectBenchRecord measures the Table I protocol Reps times per
@@ -89,7 +108,7 @@ func CollectBenchRecord(ctx context.Context, benchmarks []bench.Benchmark, cfg R
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			s, err := collectRep(ctx, b, cfg)
+			s, err := collectRep(ctx, b, cfg, opts)
 			if err != nil {
 				return nil, fmt.Errorf("%s: rep %d: %w", b.Name, rep+1, err)
 			}
@@ -98,7 +117,7 @@ func CollectBenchRecord(ctx context.Context, benchmarks []bench.Benchmark, cfg R
 				opts.Progress("%s: rep %d/%d done (%d runs)", b.Name, rep+1, reps, s.runs)
 			}
 		}
-		rec.Benchmarks = append(rec.Benchmarks, assemble(b.Name, samples))
+		rec.Benchmarks = append(rec.Benchmarks, assemble(b.Name, samples, opts))
 	}
 	if err := rec.Validate(); err != nil {
 		return nil, fmt.Errorf("collected record invalid: %w", err)
@@ -108,7 +127,7 @@ func CollectBenchRecord(ctx context.Context, benchmarks []bench.Benchmark, cfg R
 
 // collectRep runs one repetition of the protocol for one benchmark
 // under private instrumentation.
-func collectRep(ctx context.Context, b bench.Benchmark, cfg RunConfig) (*repSample, error) {
+func collectRep(ctx context.Context, b bench.Benchmark, cfg RunConfig, opts CollectOptions) (*repSample, error) {
 	reg := obs.NewRegistry()
 	stats := engine.NewStatsOn(reg)
 	sink := &obs.CollectorSink{}
@@ -152,7 +171,48 @@ func collectRep(ctx context.Context, b bench.Benchmark, cfg RunConfig) (*repSamp
 	for _, ev := range sink.Events() {
 		s.spanNS[ev.Name] += ev.DurU * int64(time.Microsecond)
 	}
+	if opts.AttackKeyBits > 0 {
+		atk, err := collectAttackRep(ctx, b, cfg, opts)
+		if err != nil {
+			return nil, fmt.Errorf("attack: %w", err)
+		}
+		s.atk = atk
+	}
 	return s, nil
+}
+
+// collectAttackRep runs the attack analysis once against the
+// benchmark's obfuscated network (at the protocol's effective scale)
+// and samples its timings and effort counters. The attack stages stay
+// out of the rep's engine instrumentation so they land only in the
+// record's Attack annex, not among the pipeline stages.
+func collectAttackRep(ctx context.Context, b bench.Benchmark, cfg RunConfig, opts CollectOptions) (*attackRepSample, error) {
+	scale := cfg.Scale
+	if scale == 0 {
+		scale = b.ScaleForTarget(cfg.TargetScanFFs)
+	}
+	nw := b.Build(scale)
+	ov, key, err := obfus.ObfuscateNetwork(nw, obfus.GenConfig{
+		KeyBits: opts.AttackKeyBits, MuxShare: -1, Dynamic: opts.AttackDynamic,
+	}, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := RunAttackAnalysis(ctx, "rsnbench", nw, ov, key, AttackOptions{IncludeTimings: true})
+	if err != nil {
+		return nil, err
+	}
+	atk := &attackRepSample{}
+	if sat := rep.SAT; sat != nil {
+		atk.satNS = sat.TimeNS
+		atk.iters = int64(sat.Iterations)
+		atk.confl = sat.Conflicts
+	}
+	if fl := rep.Flush; fl != nil {
+		atk.flushNS = fl.TimeNS
+		atk.rank = int64(fl.Rank)
+	}
+	return atk, nil
 }
 
 // sampleHeapPeak polls runtime.MemStats until stop closes and sends
@@ -180,7 +240,7 @@ func sampleHeapPeak(stop <-chan struct{}, out chan<- int64) {
 // row: stage order follows the engine's deterministic pipeline order,
 // stage walls are span-derived medians, counters are medians across
 // reps, and the heap peak is the maximum over reps.
-func assemble(name string, samples []repSample) perfrec.Benchmark {
+func assemble(name string, samples []repSample, opts CollectOptions) perfrec.Benchmark {
 	first := samples[0]
 	b := perfrec.Benchmark{
 		Name:    name,
@@ -237,6 +297,28 @@ func assemble(name string, samples []repSample) perfrec.Benchmark {
 			stage.SATResolved = perfrec.Median(satQ)
 		}
 		b.Stages = append(b.Stages, stage)
+	}
+	if first.atk != nil {
+		var satNS, flushNS, iters, confl, rank []int64
+		for i := range samples {
+			a := samples[i].atk
+			satNS = append(satNS, a.satNS)
+			flushNS = append(flushNS, a.flushNS)
+			iters = append(iters, a.iters)
+			confl = append(confl, a.confl)
+			rank = append(rank, a.rank)
+		}
+		b.Attack = &perfrec.AttackBench{
+			KeyBits: opts.AttackKeyBits,
+			Dynamic: opts.AttackDynamic,
+			Stages: []perfrec.Stage{
+				perfrec.NewStage("attack-sat", satNS),
+				perfrec.NewStage("attack-flush", flushNS),
+			},
+			SATIterations: perfrec.Median(iters),
+			SATConflicts:  perfrec.Median(confl),
+			FlushRank:     perfrec.Median(rank),
+		}
 	}
 	return b
 }

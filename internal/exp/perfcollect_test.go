@@ -100,3 +100,53 @@ func stageNames(stages []perfrec.Stage) []string {
 	}
 	return names
 }
+
+func TestCollectBenchRecordAttackAnnex(t *testing.T) {
+	basic, ok := bench.ByName("BasicSCB")
+	if !ok {
+		t.Fatal("BasicSCB not in catalog")
+	}
+	cfg := smokeCollectConfig()
+	cfg.Circuits = 1
+	cfg.Specs = 1
+	cfg.TargetScanFFs = 30
+	rec, err := CollectBenchRecord(context.Background(), []bench.Benchmark{basic}, cfg,
+		CollectOptions{Reps: 2, AttackKeyBits: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := rec.Benchmarks[0].Attack
+	if a == nil {
+		t.Fatal("attack annex not collected")
+	}
+	if a.KeyBits != 4 || a.Dynamic {
+		t.Errorf("annex shape: %+v", a)
+	}
+	names := map[string]perfrec.Stage{}
+	for _, st := range a.Stages {
+		names[st.Name] = st
+	}
+	for _, want := range []string{"attack-sat", "attack-flush"} {
+		st, ok := names[want]
+		if !ok {
+			t.Errorf("attack stage %q missing", want)
+			continue
+		}
+		if st.Reps != 2 || st.MedianNS <= 0 {
+			t.Errorf("attack stage %q: reps %d median %d", want, st.Reps, st.MedianNS)
+		}
+	}
+	if a.SATIterations < 1 {
+		t.Errorf("sat_iterations %d, want >= 1", a.SATIterations)
+	}
+	// The attack stages live only in the annex, not among the pipeline
+	// stages.
+	for _, st := range rec.Benchmarks[0].Stages {
+		if st.Name == "attack-sat" || st.Name == "attack-flush" {
+			t.Errorf("attack stage %q leaked into the pipeline stages", st.Name)
+		}
+	}
+	if regs := perfrec.Compare(rec, rec, perfrec.Limits{}); len(regs) != 0 {
+		t.Errorf("self-comparison flagged: %s", perfrec.FormatRegressions(regs))
+	}
+}

@@ -1,0 +1,133 @@
+package obfus
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/rsn"
+)
+
+// MaxBruteForceBits caps brute-force key enumeration; beyond this the
+// 2^n sweep stops being a test oracle and starts being a space heater.
+const MaxBruteForceBits = 20
+
+// BruteForceOptions bounds a brute-force enumeration run.
+type BruteForceOptions struct {
+	// Horizon is the observation window in shift cycles (0 = the
+	// network's DefaultHorizon). Must match the SAT attack's horizon
+	// for differential comparison.
+	Horizon int
+	// Workers is the enumeration parallelism (0 = 1). The result is
+	// identical for any worker count: workers scan disjoint ranges and
+	// the merge keeps the global minimum.
+	Workers int
+	// MaxConfigs bounds configuration enumeration (0 = DefaultMaxConfigs).
+	MaxConfigs int
+}
+
+// BruteForceResult reports an exhaustive key-space enumeration.
+type BruteForceResult struct {
+	// Key is the smallest key observationally equivalent to the true
+	// key within the horizon.
+	Key []bool
+	// EquivalentKeys counts keys in the true key's equivalence class
+	// (at least 1: the true key itself).
+	EquivalentKeys int
+	Horizon        int
+	Configs        int
+	// TruncatedConfigs reports that the configuration space was larger
+	// than MaxConfigs and only a prefix was checked.
+	TruncatedConfigs bool
+}
+
+// BruteForce enumerates every key and returns the smallest one
+// observationally equivalent to the true key — the ground truth the
+// SAT attack is differentially tested against.
+func BruteForce(ctx context.Context, nw *rsn.Network, ov *rsn.Obfuscation, trueKey []bool, opts BruteForceOptions) (*BruteForceResult, error) {
+	if err := checkAttackable(nw, ov); err != nil {
+		return nil, err
+	}
+	n := ov.NumKeyBits
+	if n > MaxBruteForceBits {
+		return nil, fmt.Errorf("obfus: brute force over %d key bits exceeds the %d-bit cap", n, MaxBruteForceBits)
+	}
+	if len(trueKey) != n {
+		return nil, fmt.Errorf("obfus: true key has %d bits, overlay wants %d", len(trueKey), n)
+	}
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon(nw)
+	}
+	maxCfgs := opts.MaxConfigs
+	if maxCfgs <= 0 {
+		maxCfgs = DefaultMaxConfigs
+	}
+	cfgs, truncated := enumConfigs(nw, maxCfgs)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	total := uint64(1) << n
+	if uint64(workers) > total {
+		workers = int(total)
+	}
+
+	type local struct {
+		min   uint64 // smallest equivalent key in the worker's range
+		found bool
+		count int
+		err   error
+	}
+	locals := make([]local, workers)
+	var wg sync.WaitGroup
+	chunk := total / uint64(workers)
+	for w := 0; w < workers; w++ {
+		lo := uint64(w) * chunk
+		hi := lo + chunk
+		if w == workers-1 {
+			hi = total
+		}
+		wg.Add(1)
+		go func(w int, lo, hi uint64) {
+			defer wg.Done()
+			l := &locals[w]
+			for v := lo; v < hi; v++ {
+				if v%256 == 0 && ctx.Err() != nil {
+					l.err = ctx.Err()
+					return
+				}
+				eq, err := equivalent(nw, ov, keyOfUint(v, n), trueKey, cfgs, horizon)
+				if err != nil {
+					l.err = err
+					return
+				}
+				if eq {
+					l.count++
+					if !l.found {
+						l.found = true
+						l.min = v
+					}
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	res := &BruteForceResult{Horizon: horizon, Configs: len(cfgs), TruncatedConfigs: truncated}
+	best := total // sentinel above every key
+	for w := range locals {
+		if locals[w].err != nil {
+			return nil, locals[w].err
+		}
+		res.EquivalentKeys += locals[w].count
+		if locals[w].found && locals[w].min < best {
+			best = locals[w].min
+		}
+	}
+	if best == total {
+		return nil, fmt.Errorf("obfus: brute force found no equivalent key (the true key must be one)")
+	}
+	res.Key = keyOfUint(best, n)
+	return res, nil
+}

@@ -1,0 +1,44 @@
+package obfus
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/cnf"
+	"repro/internal/rsn"
+	"repro/internal/sat"
+)
+
+// WriteMiterDIMACS exports the initial key-recovery miter as a DIMACS
+// CNF: two unrolled key copies sharing a symbolic configuration and
+// scan-in stream, with the "outputs differ somewhere" activation
+// asserted as a hard clause. The formula asks whether any two keys are
+// distinguishable at all — the first query of every ScanSAT run — and
+// is the attack-shaped instance pinned under internal/sat/testdata.
+func WriteMiterDIMACS(w io.Writer, nw *rsn.Network, ov *rsn.Obfuscation, horizon int) error {
+	if err := checkAttackable(nw, ov); err != nil {
+		return err
+	}
+	if horizon <= 0 {
+		horizon = DefaultHorizon(nw)
+	}
+	b := cnf.NewBuilder()
+	var clauses [][]sat.Lit
+	b.S.SetClauseTrace(func(lits []sat.Lit) {
+		clauses = append(clauses, append([]sat.Lit(nil), lits...))
+	})
+	e := newEncoder(b, nw, ov, horizon)
+	m := buildMiter(e)
+	b.Assert(m.act)
+	b.S.SetClauseTrace(nil)
+	st := nw.Stats()
+	schedule := "static"
+	if ov.Dynamic {
+		schedule = "dynamic"
+	}
+	return sat.WriteDIMACS(w, b.S.NumVars(), clauses,
+		fmt.Sprintf("key-recovery miter: network %s (%d scan FFs, %d muxes)", nw.Name, st.ScanFFs, st.Muxes),
+		fmt.Sprintf("overlay: %d key bits, %d gates, %s schedule", ov.NumKeyBits, len(ov.Gates), schedule),
+		fmt.Sprintf("horizon: %d shift cycles, two key copies, distinguisher asserted", horizon),
+	)
+}

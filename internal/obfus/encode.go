@@ -1,0 +1,505 @@
+package obfus
+
+import (
+	"repro/internal/cnf"
+	"repro/internal/rsn"
+	"repro/internal/sat"
+)
+
+// encoder unrolls keyed shift behavior into CNF. One encoder is bound
+// to one builder and can instantiate the unrolled transition function
+// several times (two symbolic copies for the miter, plus one concrete
+// copy per recorded distinguishing input pattern and key copy), with
+// constant folding so concrete instantiations collapse to almost
+// nothing.
+type encoder struct {
+	b       *cnf.Builder
+	nw      *rsn.Network
+	ov      *rsn.Obfuscation
+	horizon int
+	t, f    sat.Lit // cached constant literals
+	revTopo []rsn.Ref
+	topo    []rsn.Ref
+	sinks   map[rsn.Ref][]rsn.Sink
+	regGate []int
+	muxGate []int
+}
+
+func newEncoder(b *cnf.Builder, nw *rsn.Network, ov *rsn.Obfuscation, horizon int) *encoder {
+	e := &encoder{
+		b:       b,
+		nw:      nw,
+		ov:      ov,
+		horizon: horizon,
+		t:       b.Const(true),
+		f:       b.Const(false),
+		topo:    nw.ElementTopoOrder(),
+		sinks:   map[rsn.Ref][]rsn.Sink{},
+		regGate: make([]int, len(nw.Registers)),
+		muxGate: make([]int, len(nw.Muxes)),
+	}
+	e.revTopo = make([]rsn.Ref, len(e.topo))
+	for i, r := range e.topo {
+		e.revTopo[len(e.topo)-1-i] = r
+	}
+	for _, r := range e.topo {
+		for _, s := range nw.Sinks(r) {
+			e.sinks[r] = append(e.sinks[r], s)
+		}
+	}
+	for i := range e.regGate {
+		e.regGate[i] = -1
+	}
+	for i := range e.muxGate {
+		e.muxGate[i] = -1
+	}
+	for _, g := range ov.Gates {
+		switch g.Kind {
+		case rsn.KeyXOR:
+			e.regGate[g.Elem] = g.Bit
+		case rsn.KeyMux:
+			e.muxGate[g.Elem] = g.Bit
+		}
+	}
+	return e
+}
+
+// Constant-folding gate helpers. Literals equal to the cached t/f
+// constants are folded instead of encoded, so instantiations with
+// concrete configurations and inputs shrink to the few gates that
+// still depend on symbolic key bits.
+
+func (e *encoder) isT(l sat.Lit) bool { return l == e.t || l == e.f.Not() }
+func (e *encoder) isF(l sat.Lit) bool { return l == e.f || l == e.t.Not() }
+
+func (e *encoder) lit(v bool) sat.Lit {
+	if v {
+		return e.t
+	}
+	return e.f
+}
+
+func (e *encoder) and2(a, x sat.Lit) sat.Lit {
+	switch {
+	case e.isF(a) || e.isF(x):
+		return e.f
+	case e.isT(a):
+		return x
+	case e.isT(x):
+		return a
+	case a == x:
+		return a
+	case a == x.Not():
+		return e.f
+	}
+	o := e.b.NewVar()
+	e.b.And(o, a, x)
+	return o
+}
+
+func (e *encoder) orN(ins []sat.Lit) sat.Lit {
+	keep := ins[:0:0]
+	for _, l := range ins {
+		if e.isT(l) {
+			return e.t
+		}
+		if e.isF(l) {
+			continue
+		}
+		dup := false
+		for _, k := range keep {
+			if k == l {
+				dup = true
+				break
+			}
+			if k == l.Not() {
+				return e.t
+			}
+		}
+		if !dup {
+			keep = append(keep, l)
+		}
+	}
+	switch len(keep) {
+	case 0:
+		return e.f
+	case 1:
+		return keep[0]
+	}
+	o := e.b.NewVar()
+	e.b.Or(o, keep...)
+	return o
+}
+
+func (e *encoder) xor2(a, x sat.Lit) sat.Lit {
+	switch {
+	case e.isF(a):
+		return x
+	case e.isF(x):
+		return a
+	case e.isT(a):
+		return x.Not()
+	case e.isT(x):
+		return a.Not()
+	case a == x:
+		return e.f
+	case a == x.Not():
+		return e.t
+	}
+	o := e.b.NewVar()
+	e.b.Xor2(o, a, x)
+	return o
+}
+
+func (e *encoder) xorN(ins []sat.Lit) sat.Lit {
+	acc := e.f
+	for _, l := range ins {
+		acc = e.xor2(acc, l)
+	}
+	return acc
+}
+
+func (e *encoder) mux(sel, lo, hi sat.Lit) sat.Lit {
+	switch {
+	case e.isT(sel):
+		return hi
+	case e.isF(sel):
+		return lo
+	case lo == hi:
+		return lo
+	case e.isF(lo) && e.isT(hi):
+		return sel
+	case e.isT(lo) && e.isF(hi):
+		return sel.Not()
+	case e.isT(hi):
+		return e.orN([]sat.Lit{sel, lo})
+	case e.isF(hi):
+		return e.and2(sel.Not(), lo)
+	case e.isT(lo):
+		return e.orN([]sat.Lit{sel.Not(), hi})
+	case e.isF(lo):
+		return e.and2(sel, hi)
+	}
+	o := e.b.NewVar()
+	e.b.Mux(o, sel, lo, hi)
+	return o
+}
+
+// selectVal encodes the output of a one-hot selection: out equals
+// ins[i] whenever sels[i] holds. sels must be constrained one-hot by
+// the caller (cfgVars does).
+func (e *encoder) selectVal(sels, ins []sat.Lit) sat.Lit {
+	for i, s := range sels {
+		if e.isT(s) {
+			return ins[i]
+		}
+	}
+	if len(sels) == 2 {
+		// One-hot over two inputs is a plain mux on sels[1].
+		return e.mux(sels[1], ins[0], ins[1])
+	}
+	o := e.b.NewVar()
+	for i, s := range sels {
+		if e.isF(s) {
+			continue
+		}
+		in := ins[i]
+		switch {
+		case e.isT(in):
+			e.b.S.AddClause(s.Not(), o)
+		case e.isF(in):
+			e.b.S.AddClause(s.Not(), o.Not())
+		default:
+			e.b.S.AddClause(s.Not(), in.Not(), o)
+			e.b.S.AddClause(s.Not(), in, o.Not())
+		}
+	}
+	return o
+}
+
+// cfgVars introduces a fresh symbolic attacker-visible configuration:
+// per mux a one-hot select vector. Two-input muxes use a single bit
+// (and its negation) without extra constraints; wider muxes get
+// exactly-one clauses.
+func (e *encoder) cfgVars() [][]sat.Lit {
+	sels := make([][]sat.Lit, len(e.nw.Muxes))
+	for m := range e.nw.Muxes {
+		w := len(e.nw.Muxes[m].Inputs)
+		switch w {
+		case 1:
+			sels[m] = []sat.Lit{e.t}
+		case 2:
+			c := e.b.NewVar()
+			sels[m] = []sat.Lit{c.Not(), c}
+		default:
+			v := make([]sat.Lit, w)
+			for i := range v {
+				v[i] = e.b.NewVar()
+			}
+			e.b.S.AddClause(v...)
+			for i := 0; i < w; i++ {
+				for j := i + 1; j < w; j++ {
+					e.b.S.AddClause(v[i].Not(), v[j].Not())
+				}
+			}
+			sels[m] = v
+		}
+	}
+	return sels
+}
+
+// cfgConst encodes a concrete configuration as constant selects.
+func (e *encoder) cfgConst(cfg rsn.Config) [][]sat.Lit {
+	sels := make([][]sat.Lit, len(e.nw.Muxes))
+	for m := range e.nw.Muxes {
+		w := len(e.nw.Muxes[m].Inputs)
+		sel := 0
+		if m < len(cfg) {
+			sel = cfg[m]
+		}
+		v := make([]sat.Lit, w)
+		for i := range v {
+			v[i] = e.lit(i == sel)
+		}
+		sels[m] = v
+	}
+	return sels
+}
+
+// keyVars introduces fresh symbolic key bits.
+func (e *encoder) keyVars() []sat.Lit {
+	k := make([]sat.Lit, e.ov.NumKeyBits)
+	for i := range k {
+		k[i] = e.b.NewVar()
+	}
+	return k
+}
+
+// insVars introduces fresh symbolic scan-in bits, one per cycle.
+func (e *encoder) insVars() []sat.Lit {
+	v := make([]sat.Lit, e.horizon)
+	for i := range v {
+		v[i] = e.b.NewVar()
+	}
+	return v
+}
+
+// insConst encodes a concrete scan-in stream (padded with zeros).
+func (e *encoder) insConst(stream []bool) []sat.Lit {
+	v := make([]sat.Lit, e.horizon)
+	for i := range v {
+		v[i] = e.f
+		if i < len(stream) && stream[i] {
+			v[i] = e.t
+		}
+	}
+	return v
+}
+
+// unroll instantiates the keyed shift behavior over the encoder's
+// horizon and returns the per-cycle scan-out literals. The instance
+// starts from the all-zero scan state; key, cfg and ins may be any mix
+// of symbolic and constant literals.
+func (e *encoder) unroll(key []sat.Lit, cfg [][]sat.Lit, ins []sat.Lit) []sat.Lit {
+	nw, ov := e.nw, e.ov
+	// Per-register cell literals of the current cycle.
+	cells := make([][]sat.Lit, len(nw.Registers))
+	for r := range cells {
+		cells[r] = make([]sat.Lit, nw.Registers[r].Len)
+		for i := range cells[r] {
+			cells[r][i] = e.f
+		}
+	}
+	ks := append([]sat.Lit(nil), key...)
+	outs := make([]sat.Lit, e.horizon)
+	val := make([]sat.Lit, nw.NumRefs())
+	reach := make([]sat.Lit, nw.NumRefs())
+	for t := 0; t < e.horizon; t++ {
+		// Effective one-hot selects under the cycle's key state.
+		eff := make([][]sat.Lit, len(nw.Muxes))
+		for m := range nw.Muxes {
+			if b := e.muxGate[m]; b >= 0 {
+				s1 := e.xor2(cfg[m][1], ks[b])
+				eff[m] = []sat.Lit{s1.Not(), s1}
+			} else {
+				eff[m] = cfg[m]
+			}
+		}
+		// Element values in topo order (sources first). A register's
+		// value is its last cell XORed with its output gate; a mux
+		// selects among its input values.
+		for _, r := range e.topo {
+			switch r.Kind {
+			case rsn.KScanIn:
+				val[nw.RefIndex(r)] = ins[t]
+			case rsn.KRegister:
+				v := cells[r.ID][nw.Registers[r.ID].Len-1]
+				if b := e.regGate[r.ID]; b >= 0 {
+					v = e.xor2(v, ks[b])
+				}
+				val[nw.RefIndex(r)] = v
+			case rsn.KMux:
+				invals := make([]sat.Lit, len(nw.Muxes[r.ID].Inputs))
+				for i, in := range nw.Muxes[r.ID].Inputs {
+					invals[i] = val[nw.RefIndex(in)]
+				}
+				val[nw.RefIndex(r)] = e.selectVal(eff[r.ID], invals)
+			}
+		}
+		outs[t] = val[nw.RefIndex(nw.OutSrc)]
+		// Reach literals in reverse topo order (scan-out first):
+		// an element is on the active path iff some consumer on the
+		// path selects it.
+		for _, r := range e.revTopo {
+			if r.Kind == rsn.KScanOut {
+				reach[nw.RefIndex(r)] = e.t
+				continue
+			}
+			var terms []sat.Lit
+			for _, s := range e.sinks[r] {
+				if s.Elem.Kind == rsn.KScanOut {
+					terms = append(terms, e.t)
+					continue
+				}
+				c := reach[nw.RefIndex(s.Elem)]
+				if s.Elem.Kind == rsn.KMux {
+					c = e.and2(c, eff[s.Elem.ID][s.Idx])
+				}
+				terms = append(terms, c)
+			}
+			reach[nw.RefIndex(r)] = e.orN(terms)
+		}
+		// Transition: registers on the path shift, everything else
+		// holds.
+		next := make([][]sat.Lit, len(cells))
+		for r := range cells {
+			on := reach[nw.RefIndex(rsn.Reg(r))]
+			next[r] = make([]sat.Lit, len(cells[r]))
+			inVal := val[nw.RefIndex(nw.Registers[r].In)]
+			next[r][0] = e.mux(on, cells[r][0], inVal)
+			for i := 1; i < len(cells[r]); i++ {
+				next[r][i] = e.mux(on, cells[r][i], cells[r][i-1])
+			}
+		}
+		cells = next
+		// Advance the key schedule.
+		if ov.Dynamic {
+			nks := make([]sat.Lit, len(ks))
+			taps := make([]sat.Lit, len(ov.Taps))
+			for i, tp := range ov.Taps {
+				taps[i] = ks[tp]
+			}
+			copy(nks, ks[1:])
+			nks[len(ks)-1] = e.xorN(taps)
+			ks = nks
+		}
+	}
+	return outs
+}
+
+// readConfig extracts the attacker-visible configuration from the
+// model of a satisfied solve.
+func (e *encoder) readConfig(cfg [][]sat.Lit) rsn.Config {
+	out := make(rsn.Config, len(e.nw.Muxes))
+	for m, sels := range cfg {
+		out[m] = 0
+		for i, s := range sels {
+			if e.litVal(s) {
+				out[m] = i
+				break
+			}
+		}
+	}
+	return out
+}
+
+// readBits extracts literal values from the model.
+func (e *encoder) readBits(lits []sat.Lit) []bool {
+	out := make([]bool, len(lits))
+	for i, l := range lits {
+		out[i] = e.litVal(l)
+	}
+	return out
+}
+
+func (e *encoder) litVal(l sat.Lit) bool {
+	if e.isT(l) {
+		return true
+	}
+	if e.isF(l) {
+		return false
+	}
+	v := e.b.S.Value(l.Var())
+	if l.Neg() {
+		v = !v
+	}
+	return v
+}
+
+// miter instantiates two key copies sharing a symbolic configuration
+// and scan-in stream, and returns an activation literal implying that
+// the two copies' outputs differ somewhere in the horizon.
+type miter struct {
+	enc      *encoder
+	keyA     []sat.Lit
+	keyB     []sat.Lit
+	cfg      [][]sat.Lit
+	ins      []sat.Lit
+	act      sat.Lit
+	numDiffs int
+}
+
+func buildMiter(e *encoder) *miter {
+	m := &miter{
+		enc:  e,
+		keyA: e.keyVars(),
+		keyB: e.keyVars(),
+		cfg:  e.cfgVars(),
+		ins:  e.insVars(),
+	}
+	outA := e.unroll(m.keyA, m.cfg, m.ins)
+	outB := e.unroll(m.keyB, m.cfg, m.ins)
+	diffs := make([]sat.Lit, 0, e.horizon)
+	for t := range outA {
+		d := e.xor2(outA[t], outB[t])
+		if !e.isF(d) {
+			diffs = append(diffs, d)
+		}
+	}
+	m.numDiffs = len(diffs)
+	m.act = e.b.NewVar()
+	cl := make([]sat.Lit, 0, len(diffs)+1)
+	cl = append(cl, m.act.Not())
+	cl = append(cl, diffs...)
+	e.b.S.AddClause(cl...)
+	return m
+}
+
+// pin asserts that both key copies reproduce the oracle response for a
+// recorded distinguishing input pattern.
+func (m *miter) pin(cfg rsn.Config, stream, oracleOut []bool) {
+	e := m.enc
+	ccfg := e.cfgConst(cfg)
+	cins := e.insConst(stream)
+	for _, key := range [][]sat.Lit{m.keyA, m.keyB} {
+		outs := e.unroll(key, ccfg, cins)
+		for t, o := range outs {
+			switch {
+			case e.isT(o):
+				if !oracleOut[t] {
+					// Structurally impossible response: make the
+					// contradiction explicit.
+					e.b.Assert(e.f)
+				}
+			case e.isF(o):
+				if oracleOut[t] {
+					e.b.Assert(e.f)
+				}
+			case oracleOut[t]:
+				e.b.Assert(o)
+			default:
+				e.b.Assert(o.Not())
+			}
+		}
+	}
+}

@@ -1,0 +1,417 @@
+package obfus
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rsn"
+)
+
+// The flush attack exploits linearity: for a fixed configuration the
+// scan data path is affine in the scan-in stream and the key, so flush
+// responses (all-zero scan-in from the all-zero state) are GF(2)
+// linear functions of the key bits behind XOR gates — even under a
+// dynamic schedule, because the LFSR itself is linear. Key-gated mux
+// selects are not linear, but they leak through timing instead: the
+// impulse-response delay of a configuration equals its active path
+// length, which pins the effective select when the two branch lengths
+// differ. The attack therefore builds a linear system from
+//
+//   - delay probes: mux-gate key bits whose value is the same in every
+//     delay-consistent select hypothesis, and
+//   - parity probes: flush response bits as XOR-gate key-bit parities,
+//     emitted when every delay-consistent hypothesis predicts the same
+//     coefficients,
+//
+// and reports its rank and the uniquely determined key bits. Dynamic
+// schedules defeat the delay probe (the active path changes mid-shift
+// with the LFSR state), so overlays combining dynamic schedules with
+// key muxes are reported as out of the flush attack's reach — that
+// combination is exactly why DynUnlock-style defenses exist, and it is
+// what the SAT attack is for.
+
+// FlushOptions bounds a flush-attack run.
+type FlushOptions struct {
+	// Horizon is the flush observation window (0 = DefaultHorizon).
+	Horizon int
+	// MaxConfigs bounds probe configurations (0 = DefaultMaxConfigs).
+	MaxConfigs int
+	// MaxMuxHypotheses bounds the enumeration of gated-mux select
+	// hypotheses per probe (0 = 4096).
+	MaxMuxHypotheses int
+}
+
+// FlushResult reports a GF(2) flush-attack run.
+type FlushResult struct {
+	// Applicable is false when the overlay is structurally out of the
+	// attack's reach (dynamic key muxes); Reason says why.
+	Applicable bool
+	Reason     string
+	Probes     int
+	// AmbiguousProbes counts configurations whose delay-consistent
+	// hypotheses disagreed on the parity coefficients, contributing
+	// delay rows only (or nothing).
+	AmbiguousProbes int
+	Equations       int
+	Rank            int
+	// RecoveredBits lists key bit indices uniquely determined by the
+	// linear system, RecoveredKey their values (false elsewhere).
+	RecoveredBits []int
+	RecoveredKey  []bool
+	// Correct reports that every recovered bit matches the true key
+	// (the defender's check; always expected to hold).
+	Correct          bool
+	Horizon          int
+	TruncatedConfigs bool
+}
+
+// FlushAttack runs the GF(2) flush analysis against an overlay,
+// querying a simulation oracle holding the true key.
+func FlushAttack(nw *rsn.Network, ov *rsn.Obfuscation, trueKey []bool, opts FlushOptions) (*FlushResult, error) {
+	if err := checkAttackable(nw, ov); err != nil {
+		return nil, err
+	}
+	if len(trueKey) != ov.NumKeyBits {
+		return nil, fmt.Errorf("obfus: true key has %d bits, overlay wants %d", len(trueKey), ov.NumKeyBits)
+	}
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = DefaultHorizon(nw)
+	}
+	maxCfgs := opts.MaxConfigs
+	if maxCfgs <= 0 {
+		maxCfgs = DefaultMaxConfigs
+	}
+	maxHyp := opts.MaxMuxHypotheses
+	if maxHyp <= 0 {
+		maxHyp = 4096
+	}
+	n := ov.NumKeyBits
+	res := &FlushResult{Applicable: true, Horizon: horizon, RecoveredKey: make([]bool, n)}
+
+	muxBits := ov.MuxGateBits()
+	if ov.Dynamic && len(muxBits) > 0 {
+		res.Applicable = false
+		res.Reason = "dynamic key schedule drives mux selects; the active path changes mid-shift and neither delay nor parity probes are sound"
+		res.Correct = true
+		return res, nil
+	}
+	if len(muxBits) > 0 && 1<<uint(len(muxBits)) > maxHyp {
+		res.Applicable = false
+		res.Reason = fmt.Sprintf("%d mux-gate key bits exceed the hypothesis budget", len(muxBits))
+		res.Correct = true
+		return res, nil
+	}
+
+	cfgs, truncated := enumConfigs(nw, maxCfgs)
+	res.TruncatedConfigs = truncated
+	sys := newGF2System(n)
+
+	for _, cfg := range cfgs {
+		res.Probes++
+		// Oracle: lane 0 flushes zeros, lane 1 sends the impulse.
+		ins := make([]uint64, horizon)
+		if horizon > 0 {
+			ins[0] = 2
+		}
+		outs, err := respond(nw, ov, trueKey, cfg, ins)
+		if err != nil {
+			return nil, err
+		}
+		obsDelay := horizon
+		for t, w := range outs {
+			if (w^(w>>1))&1 != 0 {
+				obsDelay = t
+				break
+			}
+		}
+		// Enumerate gated-mux select hypotheses and keep the
+		// delay-consistent ones.
+		var consistent []hypothesis
+		for h := 0; h < 1<<uint(len(muxBits)); h++ {
+			hyp, err := resolveHypothesis(nw, ov, cfg, muxBits, uint64(h), horizon)
+			if err != nil {
+				return nil, err
+			}
+			if hyp.delay == obsDelay {
+				consistent = append(consistent, hyp)
+			}
+		}
+		if len(consistent) == 0 {
+			// The observed delay matches no hypothesis; the probe
+			// carries no sound equation.
+			res.AmbiguousProbes++
+			continue
+		}
+		// Mux bits with consensus across the surviving hypotheses are
+		// pinned outright.
+		for i, b := range muxBits {
+			v := consistent[0].muxVal(i)
+			agree := true
+			for _, hyp := range consistent[1:] {
+				if hyp.muxVal(i) != v {
+					agree = false
+					break
+				}
+			}
+			if agree {
+				row := newVec(n + 1)
+				row.set(b)
+				if v {
+					row.set(n)
+				}
+				sys.add(row)
+				res.Equations++
+			}
+		}
+		// Parity rows are sound only when every surviving hypothesis
+		// predicts the same coefficients.
+		rows := affineFlushRows(nw, ov, consistent[0].path, horizon)
+		agree := true
+		for _, hyp := range consistent[1:] {
+			other := affineFlushRows(nw, ov, hyp.path, horizon)
+			for t := range rows {
+				if !rows[t].equal(other[t]) {
+					agree = false
+					break
+				}
+			}
+			if !agree {
+				break
+			}
+		}
+		if !agree {
+			res.AmbiguousProbes++
+			continue
+		}
+		for t, row := range rows {
+			if row.zero() {
+				continue
+			}
+			r := row.clone(n + 1)
+			if outs[t]&1 != 0 {
+				r.set(n)
+			}
+			sys.add(r)
+			res.Equations++
+		}
+	}
+
+	res.Rank = sys.rank()
+	res.Correct = true
+	for j := 0; j < n; j++ {
+		ok, v := sys.determined(j)
+		if !ok {
+			continue
+		}
+		res.RecoveredBits = append(res.RecoveredBits, j)
+		res.RecoveredKey[j] = v
+		if v != trueKey[j] {
+			res.Correct = false
+		}
+	}
+	sort.Ints(res.RecoveredBits)
+	return res, nil
+}
+
+// hypothesis is one assignment of the gated muxes' key bits together
+// with the active path and delay it predicts for a probe config.
+type hypothesis struct {
+	bits  uint64
+	path  []rsn.PathElement
+	delay int // len(path), saturated at the horizon
+}
+
+func (h hypothesis) muxVal(i int) bool { return h.bits&(1<<uint(i)) != 0 }
+
+func resolveHypothesis(nw *rsn.Network, ov *rsn.Obfuscation, cfg rsn.Config, muxBits []int, bits uint64, horizon int) (hypothesis, error) {
+	ks := make([]bool, ov.NumKeyBits)
+	for i, b := range muxBits {
+		ks[b] = bits&(1<<uint(i)) != 0
+	}
+	eff := ov.EffectiveConfig(nw, cfg, ks)
+	path, err := nw.ActivePath(eff)
+	if err != nil {
+		return hypothesis{}, err
+	}
+	d := len(path)
+	if d > horizon {
+		d = horizon
+	}
+	return hypothesis{bits: bits, path: path, delay: d}, nil
+}
+
+// affineFlushRows computes, for a fixed active path, the flush
+// response bits as GF(2) vectors over the key: row t says which key
+// bits XOR into scan-out cycle t when zeros are flushed from the
+// all-zero state. The key-state expansion evolves through the LFSR for
+// dynamic schedules (the LFSR is linear, so every cycle's state bits
+// stay linear combinations of the initial key).
+func affineFlushRows(nw *rsn.Network, ov *rsn.Obfuscation, path []rsn.PathElement, horizon int) []vec {
+	n := ov.NumKeyBits
+	regGate := make([]int, len(nw.Registers))
+	for i := range regGate {
+		regGate[i] = -1
+	}
+	for _, g := range ov.Gates {
+		if g.Kind == rsn.KeyXOR {
+			regGate[g.Elem] = g.Bit
+		}
+	}
+	// ksv[i] expands key-state bit i over the initial key bits.
+	ksv := make([]vec, n)
+	for i := range ksv {
+		ksv[i] = newVec(n)
+		ksv[i].set(i)
+	}
+	cells := make([]vec, len(path))
+	for i := range cells {
+		cells[i] = newVec(n)
+	}
+	rows := make([]vec, horizon)
+	for t := 0; t < horizon; t++ {
+		row := newVec(n)
+		if len(path) > 0 {
+			last := path[len(path)-1]
+			row.xorIn(cells[len(path)-1])
+			if b := regGate[last.Register]; b >= 0 {
+				row.xorIn(ksv[b])
+			}
+			for k := len(path) - 1; k >= 1; k-- {
+				prev := path[k-1]
+				v := cells[k-1].clone(n)
+				if prev.Register != path[k].Register {
+					if b := regGate[prev.Register]; b >= 0 {
+						v.xorIn(ksv[b])
+					}
+				}
+				cells[k] = v
+			}
+			cells[0] = newVec(n) // scan-in is the zero flush stream
+		}
+		rows[t] = row
+		if ov.Dynamic {
+			fb := newVec(n)
+			for _, tp := range ov.Taps {
+				fb.xorIn(ksv[tp])
+			}
+			copy(ksv, ksv[1:])
+			ksv[n-1] = fb
+		}
+	}
+	return rows
+}
+
+// vec is a GF(2) row vector over key bits (plus, in augmented use, a
+// right-hand-side bit).
+type vec []uint64
+
+func newVec(bits int) vec { return make(vec, (bits+63)/64) }
+
+func (v vec) set(i int)      { v[i/64] |= 1 << uint(i%64) }
+func (v vec) bit(i int) bool { return v[i/64]&(1<<uint(i%64)) != 0 }
+
+func (v vec) xorIn(w vec) {
+	for i := range w {
+		v[i] ^= w[i]
+	}
+}
+
+func (v vec) zero() bool {
+	for _, w := range v {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func (v vec) equal(w vec) bool {
+	if len(v) != len(w) {
+		return false
+	}
+	for i := range v {
+		if v[i] != w[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func (v vec) clone(bits int) vec {
+	out := newVec(bits)
+	copy(out, v)
+	return out
+}
+
+// gf2System keeps an augmented matrix over GF(2) in row echelon form:
+// n coefficient columns plus the right-hand side at column n.
+type gf2System struct {
+	n     int
+	rows  []vec // echelon rows, pivot column strictly increasing
+	pivot []int
+}
+
+func newGF2System(n int) *gf2System { return &gf2System{n: n} }
+
+// add eliminates the augmented row against the current basis and
+// inserts the remainder if it is independent.
+func (g *gf2System) add(row vec) {
+	r := row.clone(g.n + 1)
+	for i, p := range g.pivot {
+		if r.bit(p) {
+			r.xorIn(g.rows[i])
+		}
+	}
+	p := -1
+	for j := 0; j < g.n; j++ {
+		if r.bit(j) {
+			p = j
+			break
+		}
+	}
+	if p < 0 {
+		return // dependent (or inconsistent; callers only add sound rows)
+	}
+	// Keep the basis fully reduced: clear the new pivot column from
+	// every existing row, so single-pass elimination stays sound.
+	for i := range g.rows {
+		if g.rows[i].bit(p) {
+			g.rows[i].xorIn(r)
+		}
+	}
+	at := len(g.rows)
+	for i, q := range g.pivot {
+		if q > p {
+			at = i
+			break
+		}
+	}
+	g.rows = append(g.rows, nil)
+	copy(g.rows[at+1:], g.rows[at:])
+	g.rows[at] = r
+	g.pivot = append(g.pivot, 0)
+	copy(g.pivot[at+1:], g.pivot[at:])
+	g.pivot[at] = p
+}
+
+func (g *gf2System) rank() int { return len(g.rows) }
+
+// determined reports whether key bit j has the same value in every
+// solution, and that value: e_j must lie in the row space of the
+// coefficient matrix.
+func (g *gf2System) determined(j int) (bool, bool) {
+	r := newVec(g.n + 1)
+	r.set(j)
+	for i, p := range g.pivot {
+		if r.bit(p) {
+			r.xorIn(g.rows[i])
+		}
+	}
+	for c := 0; c < g.n; c++ {
+		if r.bit(c) {
+			return false, false
+		}
+	}
+	return true, r.bit(g.n)
+}

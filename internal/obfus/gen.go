@@ -1,0 +1,104 @@
+package obfus
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/rsn"
+)
+
+// GenConfig drives deterministic overlay generation over an existing
+// network: which fraction of the key gates mux selects vs register
+// outputs, and whether the key schedule is dynamic.
+type GenConfig struct {
+	// KeyBits is the key width; every bit drives exactly one gate.
+	KeyBits int
+	// MuxShare is the fraction of key bits assigned to key-controlled
+	// muxes (rounded down, clamped to the 2-input muxes available);
+	// the rest become XOR gates on register outputs. Negative means
+	// the default 0.5.
+	MuxShare float64
+	// Dynamic selects the DynUnlock-style LFSR schedule; Taps may
+	// override the default tap set {0, KeyBits/2}.
+	Dynamic bool
+	Taps    []int
+}
+
+// ObfuscateNetwork deterministically overlays key gates on a network:
+// gate placement and the true key derive from the seed alone, so the
+// same (network, config, seed) triple always produces the same
+// defended design. Returns the overlay and the true key.
+func ObfuscateNetwork(nw *rsn.Network, cfg GenConfig, seed int64) (*rsn.Obfuscation, []bool, error) {
+	if cfg.KeyBits < 1 {
+		return nil, nil, fmt.Errorf("obfus: KeyBits %d", cfg.KeyBits)
+	}
+	share := cfg.MuxShare
+	if share < 0 {
+		share = 0.5
+	}
+	if share > 1 {
+		share = 1
+	}
+	var eligMux []int
+	for i, m := range nw.Muxes {
+		if len(m.Inputs) == 2 {
+			eligMux = append(eligMux, i)
+		}
+	}
+	eligReg := make([]int, len(nw.Registers))
+	for i := range eligReg {
+		eligReg[i] = i
+	}
+	nMux := int(float64(cfg.KeyBits) * share)
+	if nMux > len(eligMux) {
+		nMux = len(eligMux)
+	}
+	nXor := cfg.KeyBits - nMux
+	if nXor > len(eligReg) {
+		// Push the remainder back onto muxes if registers run out.
+		spill := nXor - len(eligReg)
+		nXor = len(eligReg)
+		nMux += spill
+		if nMux > len(eligMux) {
+			return nil, nil, fmt.Errorf("obfus: %d key bits exceed gate capacity (%d registers + %d 2-input muxes)",
+				cfg.KeyBits, len(eligReg), len(eligMux))
+		}
+	}
+	rng := rand.New(rand.NewSource(seed))
+	rng.Shuffle(len(eligMux), func(i, j int) { eligMux[i], eligMux[j] = eligMux[j], eligMux[i] })
+	rng.Shuffle(len(eligReg), func(i, j int) { eligReg[i], eligReg[j] = eligReg[j], eligReg[i] })
+	ov := &rsn.Obfuscation{NumKeyBits: cfg.KeyBits, Dynamic: cfg.Dynamic}
+	bit := 0
+	for i := 0; i < nMux; i++ {
+		ov.Gates = append(ov.Gates, rsn.KeyGate{Kind: rsn.KeyMux, Elem: eligMux[i], Bit: bit})
+		bit++
+	}
+	for i := 0; i < nXor; i++ {
+		ov.Gates = append(ov.Gates, rsn.KeyGate{Kind: rsn.KeyXOR, Elem: eligReg[i], Bit: bit})
+		bit++
+	}
+	if cfg.Dynamic {
+		ov.Taps = cfg.Taps
+		if len(ov.Taps) == 0 {
+			ov.Taps = defaultTaps(cfg.KeyBits)
+		}
+	} else if len(cfg.Taps) != 0 {
+		return nil, nil, fmt.Errorf("obfus: taps given for a static schedule")
+	}
+	if err := ov.Validate(nw); err != nil {
+		return nil, nil, err
+	}
+	key := rsn.KeyFromSeed(seed, cfg.KeyBits)
+	return ov, key, nil
+}
+
+// defaultTaps picks a simple tap set: bit 0 plus the middle bit.
+func defaultTaps(n int) []int {
+	taps := []int{0}
+	if mid := n / 2; mid > 0 {
+		taps = append(taps, mid)
+	}
+	sort.Ints(taps)
+	return taps
+}

@@ -1,0 +1,87 @@
+package obfus
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/bench"
+)
+
+// The attack-shaped solver benchmarks under internal/sat run against
+// pinned DIMACS exports of the initial ScanSAT key-recovery miter (see
+// WriteMiterDIMACS): two catalog networks obfuscated deterministically,
+// one static mixed xor/mux overlay and one dynamic LFSR-scheduled
+// variant. This test regenerates both instances from their recipes and
+// asserts the committed files match byte for byte, so the benchmark
+// corpus can never drift from the encoder silently; set
+// REGEN_ATTACK_CNF=1 to rewrite the files after a deliberate encoding
+// change (and re-baseline bench_tables.txt).
+
+type miterRecipe struct {
+	file    string
+	bench   string
+	target  int // scan-FF budget passed to ScaleForTarget
+	cfg     GenConfig
+	seed    int64
+	horizon int // 0 = DefaultHorizon
+}
+
+var miterRecipes = []miterRecipe{
+	{
+		file:   "attack_miter_static.cnf",
+		bench:  "TreeFlat",
+		target: 48,
+		cfg:    GenConfig{KeyBits: 16, MuxShare: 0.5},
+		seed:   11,
+	},
+	{
+		file:   "attack_miter_dyn.cnf",
+		bench:  "BasicSCB",
+		target: 36,
+		cfg:    GenConfig{KeyBits: 8, MuxShare: 0.5, Dynamic: true},
+		seed:   7,
+	},
+}
+
+func genMiterCNF(t *testing.T, r miterRecipe) []byte {
+	t.Helper()
+	b, ok := bench.ByName(r.bench)
+	if !ok {
+		t.Fatalf("%s not in catalog", r.bench)
+	}
+	nw := b.Build(b.ScaleForTarget(r.target))
+	ov, _, err := ObfuscateNetwork(nw, r.cfg, r.seed)
+	if err != nil {
+		t.Fatalf("%s: obfuscate: %v", r.file, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteMiterDIMACS(&buf, nw, ov, r.horizon); err != nil {
+		t.Fatalf("%s: write miter: %v", r.file, err)
+	}
+	return buf.Bytes()
+}
+
+func TestAttackMiterTestdataPinned(t *testing.T) {
+	for _, r := range miterRecipes {
+		path := filepath.Join("..", "sat", "testdata", r.file)
+		got := genMiterCNF(t, r)
+		if os.Getenv("REGEN_ATTACK_CNF") != "" {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("regenerated %s (%d bytes)", path, len(got))
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("pinned instance missing (regenerate with REGEN_ATTACK_CNF=1): %v", err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s: committed file differs from the deterministic regeneration (%d vs %d bytes); "+
+				"if the encoder change is deliberate, rerun with REGEN_ATTACK_CNF=1 and re-baseline bench_tables.txt",
+				r.file, len(want), len(got))
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package obfus
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/cnf"
+	"repro/internal/rsn"
+	"repro/internal/sat"
+)
+
+// Attack outcomes.
+const (
+	// OutcomeRecovered: the distinguishing-input refinement collapsed
+	// the key space — every key consistent with the oracle responses
+	// is observationally equivalent, and the reported key is the
+	// lexicographically smallest of them.
+	OutcomeRecovered = "recovered"
+	// OutcomeExhausted: an iteration or conflict budget was hit first.
+	// The reported key is the smallest key consistent with the oracle
+	// responses recorded so far.
+	OutcomeExhausted = "exhausted"
+)
+
+// KeyRecoveryOptions bounds a ScanSAT-style key-recovery run.
+type KeyRecoveryOptions struct {
+	// Horizon is the observation window in shift cycles (0 = the
+	// network's DefaultHorizon). The attack proves equivalence within
+	// this window only.
+	Horizon int
+	// MaxIterations caps distinguishing-input refinements (0 = 64).
+	MaxIterations int
+	// ConflictBudget caps total solver conflicts across the refinement
+	// loop (0 = unlimited).
+	ConflictBudget int64
+	// MaxConfigs bounds configuration enumeration in the final
+	// verification step (0 = DefaultMaxConfigs).
+	MaxConfigs int
+}
+
+func (o KeyRecoveryOptions) horizon(nw *rsn.Network) int {
+	if o.Horizon > 0 {
+		return o.Horizon
+	}
+	return DefaultHorizon(nw)
+}
+
+func (o KeyRecoveryOptions) maxIterations() int {
+	if o.MaxIterations > 0 {
+		return o.MaxIterations
+	}
+	return 64
+}
+
+func (o KeyRecoveryOptions) maxConfigs() int {
+	if o.MaxConfigs > 0 {
+		return o.MaxConfigs
+	}
+	return DefaultMaxConfigs
+}
+
+// KeyRecoveryResult reports a ScanSAT-style attack run.
+type KeyRecoveryResult struct {
+	Outcome    string
+	Key        []bool // lexicographically smallest consistent key
+	Iterations int    // distinguishing input patterns queried
+	SolveCalls int
+	// DeterminedBits counts key bits forced to one value across every
+	// key consistent with the recorded oracle responses.
+	DeterminedBits int
+	// Verified reports whether the recovered key is observationally
+	// equivalent to the true key within the horizon (the defender can
+	// check this; a real attacker cannot).
+	Verified bool
+	Horizon  int
+	Vars     int
+	Clauses  int
+	Stats    sat.Statistics
+}
+
+// KeyRecovery runs the ScanSAT-style attack: unroll the keyed scan
+// path into a miter over two key copies, search for distinguishing
+// input patterns, replay each against a simulation oracle holding the
+// true key, and pin both copies to the observed response until no
+// distinguishing pattern remains. The returned key is the
+// lexicographically smallest key consistent with every oracle
+// response — for a collapsed key space that is exactly the smallest
+// key observationally equivalent to the true key, which is what
+// BruteForce computes, so the two must agree bit for bit.
+func KeyRecovery(ctx context.Context, nw *rsn.Network, ov *rsn.Obfuscation, trueKey []bool, opts KeyRecoveryOptions) (*KeyRecoveryResult, error) {
+	if err := checkAttackable(nw, ov); err != nil {
+		return nil, err
+	}
+	if len(trueKey) != ov.NumKeyBits {
+		return nil, fmt.Errorf("obfus: true key has %d bits, overlay wants %d", len(trueKey), ov.NumKeyBits)
+	}
+	horizon := opts.horizon(nw)
+	res := &KeyRecoveryResult{Outcome: OutcomeRecovered, Horizon: horizon}
+
+	b := cnf.NewBuilder()
+	e := newEncoder(b, nw, ov, horizon)
+	m := buildMiter(e)
+	s := b.S
+
+	limited := opts.ConflictBudget > 0
+	remaining := opts.ConflictBudget
+	solve := func(assumptions ...sat.Lit) (sat.Status, error) {
+		res.SolveCalls++
+		if !limited {
+			return s.Solve(assumptions...), nil
+		}
+		if remaining <= 0 {
+			return sat.Unknown, sat.ErrBudget
+		}
+		used := s.Stats.Conflicts
+		s.SetConflictBudget(remaining)
+		st, err := s.SolveLimited(assumptions...)
+		remaining -= s.Stats.Conflicts - used
+		return st, err
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if res.Iterations >= opts.maxIterations() {
+			res.Outcome = OutcomeExhausted
+			break
+		}
+		st, err := solve(m.act)
+		if errors.Is(err, sat.ErrBudget) {
+			res.Outcome = OutcomeExhausted
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		if st == sat.Unsat {
+			break // key space collapsed
+		}
+		dipCfg := e.readConfig(m.cfg)
+		dipIns := e.readBits(m.ins)
+		oracleOut, err := oracleRespond(nw, ov, trueKey, dipCfg, dipIns)
+		if err != nil {
+			return nil, err
+		}
+		m.pin(dipCfg, dipIns, oracleOut)
+		res.Iterations++
+	}
+
+	// The refinement loop is done; the remaining solves are cheap
+	// model queries on the collapsed formula and run unbudgeted.
+	s.SetConflictBudget(0)
+
+	// Determined bits: a key bit is recovered outright when only one
+	// polarity remains consistent with the recorded responses.
+	n := ov.NumKeyBits
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res.SolveCalls += 2
+		sat0 := s.Solve(m.keyA[i].Not()) == sat.Sat
+		sat1 := s.Solve(m.keyA[i]) == sat.Sat
+		if sat0 != sat1 {
+			res.DeterminedBits++
+		}
+	}
+
+	// Lexicographic minimization, most significant bit first: the
+	// smallest integer key consistent with every recorded response.
+	assums := make([]sat.Lit, 0, n)
+	for i := n - 1; i >= 0; i-- {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res.SolveCalls++
+		if s.Solve(append(assums, m.keyA[i].Not())...) == sat.Sat {
+			assums = append(assums, m.keyA[i].Not())
+		} else {
+			assums = append(assums, m.keyA[i])
+		}
+	}
+	res.SolveCalls++
+	if st := s.Solve(assums...); st != sat.Sat {
+		return nil, fmt.Errorf("obfus: key minimization lost satisfiability (%v)", st)
+	}
+	res.Key = e.readBits(m.keyA)
+
+	cfgs, _ := enumConfigs(nw, opts.maxConfigs())
+	eq, err := equivalent(nw, ov, res.Key, trueKey, cfgs, horizon)
+	if err != nil {
+		return nil, err
+	}
+	res.Verified = eq
+	res.Vars = s.NumVars()
+	res.Clauses = s.NumClauses()
+	res.Stats = s.Stats
+	return res, nil
+}
+
+// oracleRespond answers one oracle query: the scan-out stream of the
+// device holding the true key for an attacker-chosen configuration and
+// scan-in stream.
+func oracleRespond(nw *rsn.Network, ov *rsn.Obfuscation, trueKey []bool, cfg rsn.Config, ins []bool) ([]bool, error) {
+	words := make([]uint64, len(ins))
+	for i, b := range ins {
+		if b {
+			words[i] = 1
+		}
+	}
+	outs, err := respond(nw, ov, trueKey, cfg, words)
+	if err != nil {
+		return nil, err
+	}
+	res := make([]bool, len(outs))
+	for i, w := range outs {
+		res[i] = w&1 != 0
+	}
+	return res, nil
+}

@@ -114,6 +114,33 @@ func (l Limits) allowance(old, oldMAD, newMAD int64) int64 {
 	return allowed
 }
 
+// compareStages gates one stage list pair (pipeline stages, or the
+// attack annex's) under the resolved limits.
+func (l Limits) compareStages(prefix string, old, new []Stage) []Regression {
+	oldS := make(map[string]*Stage, len(old))
+	for j := range old {
+		oldS[old[j].Name] = &old[j]
+	}
+	var regs []Regression
+	for j := range new {
+		ns := &new[j]
+		os, ok := oldS[ns.Name]
+		if !ok || os.MedianNS < l.MinNS {
+			// Sub-floor stages jitter by whole multiples of their
+			// own runtime; they cannot carry a meaningful signal.
+			continue
+		}
+		delta := ns.MedianNS - os.MedianNS
+		if allowed := l.allowance(os.MedianNS, os.MADNS, ns.MADNS); delta > allowed {
+			regs = append(regs, Regression{
+				Path: prefix + "/" + ns.Name + "/median_ns",
+				Old:  os.MedianNS, New: ns.MedianNS, AllowedDelta: allowed,
+			})
+		}
+	}
+	return regs
+}
+
 // Compare gates new against old and returns every regression: a
 // per-stage median that grew beyond max(MinPct·old, MADK·MAD, MinNS),
 // or a heap peak that grew beyond max(MemPct·old, MinBytes). Only
@@ -134,25 +161,9 @@ func Compare(old, new *Record, lim Limits) []Regression {
 		if !ok {
 			continue
 		}
-		oldS := make(map[string]*Stage, len(ob.Stages))
-		for j := range ob.Stages {
-			oldS[ob.Stages[j].Name] = &ob.Stages[j]
-		}
-		for j := range nb.Stages {
-			ns := &nb.Stages[j]
-			os, ok := oldS[ns.Name]
-			if !ok || os.MedianNS < lim.MinNS {
-				// Sub-floor stages jitter by whole multiples of their
-				// own runtime; they cannot carry a meaningful signal.
-				continue
-			}
-			delta := ns.MedianNS - os.MedianNS
-			if allowed := lim.allowance(os.MedianNS, os.MADNS, ns.MADNS); delta > allowed {
-				regs = append(regs, Regression{
-					Path: nb.Name + "/" + ns.Name + "/median_ns",
-					Old:  os.MedianNS, New: ns.MedianNS, AllowedDelta: allowed,
-				})
-			}
+		regs = append(regs, lim.compareStages(nb.Name, ob.Stages, nb.Stages)...)
+		if ob.Attack != nil && nb.Attack != nil {
+			regs = append(regs, lim.compareStages(nb.Name+"/attack", ob.Attack.Stages, nb.Attack.Stages)...)
 		}
 		if lim.MemPct != NoMemGate && ob.HeapAllocPeakBytes > 0 {
 			delta := nb.HeapAllocPeakBytes - ob.HeapAllocPeakBytes

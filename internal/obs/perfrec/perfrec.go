@@ -139,6 +139,30 @@ type Benchmark struct {
 	HeapAllocPeakBytes int64 `json:"heap_alloc_peak_bytes"`
 	// TotalAllocBytes is the median per-rep allocation volume.
 	TotalAllocBytes int64 `json:"total_alloc_bytes"`
+	// Attack optionally records the attack-analysis annex of the run
+	// (collected with rsnbench -attack-keybits). Absent in records
+	// predating the obfuscation study; this reader accepts both forms,
+	// so the v1 schema stays backward-compatible.
+	Attack *AttackBench `json:"attack,omitempty"`
+}
+
+// AttackBench is one benchmark's attack-analysis measurements: the
+// overlay shape it ran under, the per-stage wall-time distributions
+// ("attack-sat", "attack-flush") and the attacks' effort counters
+// (medians across reps).
+type AttackBench struct {
+	KeyBits int  `json:"key_bits"`
+	Dynamic bool `json:"dynamic,omitempty"`
+	// Stages holds the attack stages' timing samples, shaped exactly
+	// like the benchmark's pipeline stages so the comparator gates them
+	// with the same noise allowance.
+	Stages []Stage `json:"stages"`
+	// SATIterations and SATConflicts are the key recovery's refinement
+	// and solver effort; FlushRank is the flush attack's achieved GF(2)
+	// rank.
+	SATIterations int64 `json:"sat_iterations"`
+	SATConflicts  int64 `json:"sat_conflicts"`
+	FlushRank     int64 `json:"flush_rank"`
 }
 
 // Stage is one pipeline stage's wall-time distribution over the reps,
@@ -260,36 +284,60 @@ func (r *Record) Validate() error {
 				return fmt.Errorf("bench-record: benchmark %q: negative %s", b.Name, c.what)
 			}
 		}
-		seenStage := make(map[string]bool)
-		for j := range b.Stages {
-			s := &b.Stages[j]
-			if s.Name == "" {
-				return fmt.Errorf("bench-record: benchmark %q: stage %d: empty name", b.Name, j)
+		if err := validateStages(b.Name, b.Stages); err != nil {
+			return err
+		}
+		if a := b.Attack; a != nil {
+			if a.KeyBits < 1 {
+				return fmt.Errorf("bench-record: benchmark %q: attack key_bits %d < 1", b.Name, a.KeyBits)
 			}
-			if seenStage[s.Name] {
-				return fmt.Errorf("bench-record: benchmark %q: duplicate stage %q", b.Name, s.Name)
+			if a.SATIterations < 0 || a.SATConflicts < 0 || a.FlushRank < 0 {
+				return fmt.Errorf("bench-record: benchmark %q: negative attack counter", b.Name)
 			}
-			seenStage[s.Name] = true
-			if s.Reps < 1 {
-				return fmt.Errorf("bench-record: benchmark %q: stage %q: reps %d < 1", b.Name, s.Name, s.Reps)
+			if len(a.Stages) == 0 {
+				return fmt.Errorf("bench-record: benchmark %q: attack annex without stages", b.Name)
 			}
-			if s.MedianNS < 0 || s.MADNS < 0 || s.Calls < 0 || s.Queries < 0 || s.Items < 0 || s.Saved < 0 ||
-				s.SimResolved < 0 || s.SATResolved < 0 {
-				return fmt.Errorf("bench-record: benchmark %q: stage %q: negative counter", b.Name, s.Name)
+			if err := validateStages(b.Name+"/attack", a.Stages); err != nil {
+				return err
 			}
-			if len(s.SamplesNS) > 0 {
-				if len(s.SamplesNS) != s.Reps {
-					return fmt.Errorf("bench-record: benchmark %q: stage %q: %d samples for %d reps",
-						b.Name, s.Name, len(s.SamplesNS), s.Reps)
-				}
-				if m := Median(s.SamplesNS); m != s.MedianNS {
-					return fmt.Errorf("bench-record: benchmark %q: stage %q: median_ns %d inconsistent with samples (want %d)",
-						b.Name, s.Name, s.MedianNS, m)
-				}
-				if m := MAD(s.SamplesNS); m != s.MADNS {
-					return fmt.Errorf("bench-record: benchmark %q: stage %q: mad_ns %d inconsistent with samples (want %d)",
-						b.Name, s.Name, s.MADNS, m)
-				}
+		}
+	}
+	return nil
+}
+
+// validateStages checks one stage list (a benchmark's pipeline stages
+// or its attack annex) for unique names, positive reps, non-negative
+// counters and sample-consistent medians.
+func validateStages(owner string, stages []Stage) error {
+	seenStage := make(map[string]bool)
+	for j := range stages {
+		s := &stages[j]
+		if s.Name == "" {
+			return fmt.Errorf("bench-record: benchmark %q: stage %d: empty name", owner, j)
+		}
+		if seenStage[s.Name] {
+			return fmt.Errorf("bench-record: benchmark %q: duplicate stage %q", owner, s.Name)
+		}
+		seenStage[s.Name] = true
+		if s.Reps < 1 {
+			return fmt.Errorf("bench-record: benchmark %q: stage %q: reps %d < 1", owner, s.Name, s.Reps)
+		}
+		if s.MedianNS < 0 || s.MADNS < 0 || s.Calls < 0 || s.Queries < 0 || s.Items < 0 || s.Saved < 0 ||
+			s.SimResolved < 0 || s.SATResolved < 0 {
+			return fmt.Errorf("bench-record: benchmark %q: stage %q: negative counter", owner, s.Name)
+		}
+		if len(s.SamplesNS) > 0 {
+			if len(s.SamplesNS) != s.Reps {
+				return fmt.Errorf("bench-record: benchmark %q: stage %q: %d samples for %d reps",
+					owner, s.Name, len(s.SamplesNS), s.Reps)
+			}
+			if m := Median(s.SamplesNS); m != s.MedianNS {
+				return fmt.Errorf("bench-record: benchmark %q: stage %q: median_ns %d inconsistent with samples (want %d)",
+					owner, s.Name, s.MedianNS, m)
+			}
+			if m := MAD(s.SamplesNS); m != s.MADNS {
+				return fmt.Errorf("bench-record: benchmark %q: stage %q: mad_ns %d inconsistent with samples (want %d)",
+					owner, s.Name, s.MADNS, m)
 			}
 		}
 	}

@@ -282,3 +282,89 @@ func TestEnvironmentMatches(t *testing.T) {
 		t.Error("different GOMAXPROCS matches")
 	}
 }
+
+// withAttack attaches an attack annex with the given attack-sat
+// samples to the record's benchmark.
+func withAttack(r *Record, satNS ...int64) *Record {
+	r.Benchmarks[0].Attack = &AttackBench{
+		KeyBits: 8,
+		Stages: []Stage{
+			NewStage("attack-sat", satNS),
+			NewStage("attack-flush", samplesTimes(satNS, 2)),
+		},
+		SATIterations: 5,
+		SATConflicts:  40,
+		FlushRank:     4,
+	}
+	return r
+}
+
+func TestAttackAnnexRoundTripAndOptional(t *testing.T) {
+	// Without the annex (a record predating the obfuscation study) the
+	// record stays valid and the field stays absent from the encoding.
+	plain := sample(10_000_000, 11_000_000, 10_500_000)
+	var buf bytes.Buffer
+	if err := Write(&buf, plain); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), `"attack"`) {
+		t.Fatal("attack key serialized for a record without the annex")
+	}
+	// With the annex it round-trips.
+	r := withAttack(sample(10_000_000, 11_000_000, 10_500_000), 5_000_000, 5_100_000, 5_050_000)
+	buf.Reset()
+	if err := Write(&buf, r); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := got.Benchmarks[0].Attack
+	if a == nil || a.KeyBits != 8 || len(a.Stages) != 2 || a.SATIterations != 5 {
+		t.Fatalf("attack annex did not round-trip: %+v", a)
+	}
+}
+
+func TestAttackAnnexValidate(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Record)
+	}{
+		{"zero key bits", func(r *Record) { r.Benchmarks[0].Attack.KeyBits = 0 }},
+		{"no stages", func(r *Record) { r.Benchmarks[0].Attack.Stages = nil }},
+		{"negative counter", func(r *Record) { r.Benchmarks[0].Attack.SATConflicts = -1 }},
+		{"duplicate stage", func(r *Record) {
+			a := r.Benchmarks[0].Attack
+			a.Stages = append(a.Stages, a.Stages[0])
+		}},
+		{"inconsistent median", func(r *Record) { r.Benchmarks[0].Attack.Stages[0].MedianNS++ }},
+	}
+	for _, c := range cases {
+		r := withAttack(sample(10_000_000), 5_000_000)
+		c.mutate(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: validated", c.name)
+		}
+	}
+}
+
+func TestCompareGatesAttackStages(t *testing.T) {
+	old := withAttack(sample(10_000_000, 10_000_000, 10_000_000), 5_000_000, 5_000_000, 5_000_000)
+	new := withAttack(sample(10_000_000, 10_000_000, 10_000_000), 9_000_000, 9_000_000, 9_000_000)
+	regs := Compare(old, new, Limits{})
+	if len(regs) != 2 {
+		t.Fatalf("got %d regressions, want 2 (attack-sat and attack-flush):\n%s",
+			len(regs), FormatRegressions(regs))
+	}
+	for _, r := range regs {
+		if !strings.HasPrefix(r.Path, "TreeFlat/attack/") {
+			t.Errorf("unexpected regression path %q", r.Path)
+		}
+	}
+	// An annex present on only one side is skipped, not flagged.
+	noAnnex := sample(10_000_000, 10_000_000, 10_000_000)
+	if regs := Compare(noAnnex, new, Limits{}); len(regs) != 0 {
+		t.Fatalf("one-sided annex flagged: %s", FormatRegressions(regs))
+	}
+}

@@ -43,39 +43,67 @@ func CompareBenchRecords(old, new *perfrec.Record) *Diff {
 		d.add(p+"heap_alloc_peak_bytes", float64(o.HeapAllocPeakBytes), float64(n.HeapAllocPeakBytes))
 		d.add(p+"total_alloc_bytes", float64(o.TotalAllocBytes), float64(n.TotalAllocBytes))
 
-		oldS := make(map[string]*perfrec.Stage, len(o.Stages))
-		for j := range o.Stages {
-			oldS[o.Stages[j].Name] = &o.Stages[j]
-		}
-		newS := make(map[string]*perfrec.Stage, len(n.Stages))
-		for j := range n.Stages {
-			st := &n.Stages[j]
-			newS[st.Name] = st
-			if _, ok := oldS[st.Name]; !ok {
-				d.Added = append(d.Added, "benchmark/"+o.Name+"/stage/"+st.Name)
-			}
-		}
-		for j := range o.Stages {
-			os := &o.Stages[j]
-			ns, ok := newS[os.Name]
-			if !ok {
-				d.Removed = append(d.Removed, "benchmark/"+o.Name+"/stage/"+os.Name)
-				continue
-			}
-			sp := p + "stage/" + os.Name + "/"
-			d.add(sp+"median_ns", float64(os.MedianNS), float64(ns.MedianNS))
-			d.add(sp+"mad_ns", float64(os.MADNS), float64(ns.MADNS))
-			d.add(sp+"calls", float64(os.Calls), float64(ns.Calls))
-			d.add(sp+"queries", float64(os.Queries), float64(ns.Queries))
-			d.add(sp+"items", float64(os.Items), float64(ns.Items))
-			d.add(sp+"saved", float64(os.Saved), float64(ns.Saved))
-			d.add(sp+"sim_resolved", float64(os.SimResolved), float64(ns.SimResolved))
-			d.add(sp+"sat_resolved", float64(os.SATResolved), float64(ns.SATResolved))
+		diffStages(d, p, o.Stages, n.Stages)
+
+		// The optional attack annex diffs like the pipeline stages when
+		// both records carry it; a one-sided annex is an added/removed
+		// row, never an error (the field is backward-compatible).
+		switch {
+		case o.Attack != nil && n.Attack != nil:
+			ap := p + "attack/"
+			d.add(ap+"key_bits", float64(o.Attack.KeyBits), float64(n.Attack.KeyBits))
+			d.add(ap+"sat_iterations", float64(o.Attack.SATIterations), float64(n.Attack.SATIterations))
+			d.add(ap+"sat_conflicts", float64(o.Attack.SATConflicts), float64(n.Attack.SATConflicts))
+			d.add(ap+"flush_rank", float64(o.Attack.FlushRank), float64(n.Attack.FlushRank))
+			diffStages(d, ap, o.Attack.Stages, n.Attack.Stages)
+		case o.Attack == nil && n.Attack != nil:
+			d.Added = append(d.Added, p+"attack")
+		case o.Attack != nil && n.Attack == nil:
+			d.Removed = append(d.Removed, p+"attack")
 		}
 	}
 
 	sort.Strings(d.Added)
 	sort.Strings(d.Removed)
+	sortDeltas(d)
+	return d
+}
+
+// diffStages emits the per-stage delta rows for one stage list pair
+// under prefix ("benchmark/<name>/" or "benchmark/<name>/attack/").
+func diffStages(d *Diff, prefix string, old, new []perfrec.Stage) {
+	oldS := make(map[string]*perfrec.Stage, len(old))
+	for j := range old {
+		oldS[old[j].Name] = &old[j]
+	}
+	newS := make(map[string]*perfrec.Stage, len(new))
+	for j := range new {
+		st := &new[j]
+		newS[st.Name] = st
+		if _, ok := oldS[st.Name]; !ok {
+			d.Added = append(d.Added, prefix+"stage/"+st.Name)
+		}
+	}
+	for j := range old {
+		os := &old[j]
+		ns, ok := newS[os.Name]
+		if !ok {
+			d.Removed = append(d.Removed, prefix+"stage/"+os.Name)
+			continue
+		}
+		sp := prefix + "stage/" + os.Name + "/"
+		d.add(sp+"median_ns", float64(os.MedianNS), float64(ns.MedianNS))
+		d.add(sp+"mad_ns", float64(os.MADNS), float64(ns.MADNS))
+		d.add(sp+"calls", float64(os.Calls), float64(ns.Calls))
+		d.add(sp+"queries", float64(os.Queries), float64(ns.Queries))
+		d.add(sp+"items", float64(os.Items), float64(ns.Items))
+		d.add(sp+"saved", float64(os.Saved), float64(ns.Saved))
+		d.add(sp+"sim_resolved", float64(os.SimResolved), float64(ns.SimResolved))
+		d.add(sp+"sat_resolved", float64(os.SATResolved), float64(ns.SATResolved))
+	}
+}
+
+func sortDeltas(d *Diff) {
 	sort.SliceStable(d.Deltas, func(i, j int) bool {
 		ri, rj := math.Abs(d.Deltas[i].Rel()), math.Abs(d.Deltas[j].Rel())
 		if ri != rj {
@@ -83,5 +111,4 @@ func CompareBenchRecords(old, new *perfrec.Record) *Diff {
 		}
 		return d.Deltas[i].Path < d.Deltas[j].Path
 	})
-	return d
 }

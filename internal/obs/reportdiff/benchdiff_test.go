@@ -132,3 +132,50 @@ func TestCompareBenchRecordsFilter(t *testing.T) {
 		t.Fatalf("Filter(0.50) kept %s", d)
 	}
 }
+
+// TestCompareBenchRecordsAttackAnnex covers the optional attack annex:
+// matched annexes diff stage-by-stage under the attack/ path, a
+// one-sided annex is an added/removed row, and absent annexes on both
+// sides stay silent.
+func TestCompareBenchRecordsAttackAnnex(t *testing.T) {
+	withAtk := func(satNS int64) *perfrec.Record {
+		r := benchRecord(10_000_000)
+		r.Benchmarks[0].Attack = &perfrec.AttackBench{
+			KeyBits: 8,
+			Stages: []perfrec.Stage{
+				perfrec.NewStage("attack-sat", []int64{satNS}),
+				perfrec.NewStage("attack-flush", []int64{1_000_000}),
+			},
+			SATIterations: 3, SATConflicts: 40, FlushRank: 4,
+		}
+		return r
+	}
+	if d := CompareBenchRecords(withAtk(5_000_000), withAtk(5_000_000)); !d.Empty() {
+		t.Fatalf("identical annexed records diff: %s", d)
+	}
+	d := CompareBenchRecords(withAtk(5_000_000), withAtk(9_000_000))
+	found := false
+	for _, dl := range d.Deltas {
+		if dl.Path == "benchmark/TreeFlat/attack/stage/attack-sat/median_ns" {
+			found = true
+			if dl.Old != 5_000_000 || dl.New != 9_000_000 {
+				t.Errorf("attack-sat delta = %+v", dl)
+			}
+		}
+		if strings.HasPrefix(dl.Path, "benchmark/TreeFlat/attack/stage/attack-flush/") {
+			t.Errorf("unchanged attack stage produced a delta: %+v", dl)
+		}
+	}
+	if !found {
+		t.Errorf("attack-sat median delta missing: %s", d)
+	}
+	// One-sided annex: an added row, no annex deltas, no error.
+	d = CompareBenchRecords(benchRecord(10_000_000), withAtk(5_000_000))
+	if len(d.Added) != 1 || d.Added[0] != "benchmark/TreeFlat/attack" {
+		t.Errorf("added = %v", d.Added)
+	}
+	d = CompareBenchRecords(withAtk(5_000_000), benchRecord(10_000_000))
+	if len(d.Removed) != 1 || d.Removed[0] != "benchmark/TreeFlat/attack" {
+		t.Errorf("removed = %v", d.Removed)
+	}
+}

@@ -1,0 +1,256 @@
+package rsn
+
+import (
+	"testing"
+)
+
+func boolsOf(bits ...int) []bool {
+	out := make([]bool, len(bits))
+	for i, b := range bits {
+		out[i] = b != 0
+	}
+	return out
+}
+
+func TestKeyedSimulatorStaticXOR(t *testing.T) {
+	// SI -> A(2) -> C(1) -> SO with an XOR gate on A's output link.
+	nw := New("chain")
+	m := nw.AddModule("m")
+	a := nw.AddRegister("A", 2, m)
+	c := nw.AddRegister("C", 1, m)
+	nw.Connect(a, ScanIn)
+	nw.Connect(c, Reg(a))
+	nw.ConnectOut(Reg(c))
+	ov := &Obfuscation{NumKeyBits: 2, Gates: []KeyGate{{Kind: KeyXOR, Elem: a, Bit: 1}}}
+	if err := ov.Validate(nw); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+
+	// With key bit 1 clear the keyed simulator must match the plain one.
+	ks, err := NewKeyedSimulator(nw, ov, boolsOf(1, 0))
+	if err != nil {
+		t.Fatalf("NewKeyedSimulator: %v", err)
+	}
+	ps := NewSimulator(nw, nil)
+	cfg := nw.NewConfig()
+	stream := boolsOf(1, 0, 1, 1, 0, 1, 0, 0)
+	got, err := ks.ShiftN(cfg, stream, len(stream))
+	if err != nil {
+		t.Fatalf("keyed ShiftN: %v", err)
+	}
+	want, err := ps.ShiftN(cfg, stream, len(stream))
+	if err != nil {
+		t.Fatalf("plain ShiftN: %v", err)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("cycle %d: keyed=%v plain=%v (gate bit clear should be transparent)", i, got[i], want[i])
+		}
+	}
+
+	// With key bit 1 set, every bit that crossed A's output link is
+	// inverted: the value entering C is flipped, so scan-out shows the
+	// complement of the plain response once real data emerges.
+	ks2, _ := NewKeyedSimulator(nw, ov, boolsOf(0, 1))
+	ps2 := NewSimulator(nw, nil)
+	got2, err := ks2.ShiftN(cfg, stream, len(stream))
+	if err != nil {
+		t.Fatalf("keyed ShiftN: %v", err)
+	}
+	want2, _ := ps2.ShiftN(cfg, stream, len(stream))
+	// Cycle 0 reads C's initial zero before anything crossed the gate;
+	// from cycle 1 on every emerging bit crossed A's output link once.
+	if got2[0] != want2[0] {
+		t.Fatalf("cycle 0: initial state should be unaffected by the gate")
+	}
+	for i := 1; i < len(got2); i++ {
+		if got2[i] == want2[i] {
+			t.Fatalf("cycle %d: keyed output not inverted by XOR gate", i)
+		}
+	}
+}
+
+func TestKeyedSimulatorKeyMux(t *testing.T) {
+	// Diamond: M0 gated by key bit 0. cfg=0 with key bit set must
+	// behave like cfg=1 on the plain network and vice versa.
+	nw := buildDiamond()
+	ov := &Obfuscation{NumKeyBits: 1, Gates: []KeyGate{{Kind: KeyMux, Elem: 0, Bit: 0}}}
+	stream := boolsOf(1, 1, 0, 1, 0, 0, 1, 0, 0, 0, 0, 0)
+	for sel := 0; sel <= 1; sel++ {
+		ks, err := NewKeyedSimulator(nw, ov, boolsOf(1))
+		if err != nil {
+			t.Fatalf("NewKeyedSimulator: %v", err)
+		}
+		ps := NewSimulator(nw, nil)
+		got, err := ks.ShiftN(Config{sel}, stream, len(stream))
+		if err != nil {
+			t.Fatalf("keyed ShiftN: %v", err)
+		}
+		want, err := ps.ShiftN(Config{1 - sel}, stream, len(stream))
+		if err != nil {
+			t.Fatalf("plain ShiftN: %v", err)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("sel=%d cycle %d: keyed=%v plain(flipped)=%v", sel, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestKeyScheduleLFSR(t *testing.T) {
+	ov := &Obfuscation{NumKeyBits: 3, Dynamic: true, Taps: []int{0, 2},
+		Gates: []KeyGate{{Kind: KeyXOR, Elem: 0, Bit: 0}}}
+	s := boolsOf(1, 0, 1)
+	// feedback = s[0]^s[2] = 0; shift down: [0,1,0]
+	s = ov.NextKeyState(s)
+	if !equalBools(s, boolsOf(0, 1, 0)) {
+		t.Fatalf("step 1 = %v", s)
+	}
+	// feedback = 0^0 = 0 -> [1,0,0]
+	s = ov.NextKeyState(s)
+	if !equalBools(s, boolsOf(1, 0, 0)) {
+		t.Fatalf("step 2 = %v", s)
+	}
+	// feedback = 1^0 = 1 -> [0,0,1]
+	s = ov.NextKeyState(s)
+	if !equalBools(s, boolsOf(0, 0, 1)) {
+		t.Fatalf("step 3 = %v", s)
+	}
+}
+
+func TestKeyedSimulatorDynamicAdvances(t *testing.T) {
+	// Single 1-cell register with an XOR output gate under a dynamic
+	// schedule: out_t = in_{t-1} ^ S_t[0], so the output stream for a
+	// zero input is exactly the LFSR bit-0 trace.
+	nw := New("one")
+	m := nw.AddModule("m")
+	a := nw.AddRegister("A", 1, m)
+	nw.Connect(a, ScanIn)
+	nw.ConnectOut(Reg(a))
+	ov := &Obfuscation{NumKeyBits: 3, Dynamic: true, Taps: []int{1},
+		Gates: []KeyGate{{Kind: KeyXOR, Elem: a, Bit: 0}}}
+	key := boolsOf(1, 1, 0)
+	ks, err := NewKeyedSimulator(nw, ov, key)
+	if err != nil {
+		t.Fatalf("NewKeyedSimulator: %v", err)
+	}
+	st := append([]bool(nil), key...)
+	for cycle := 0; cycle < 8; cycle++ {
+		want := st[0]
+		got, err := ks.Shift(nw.NewConfig(), false)
+		if err != nil {
+			t.Fatalf("Shift: %v", err)
+		}
+		if got != want {
+			t.Fatalf("cycle %d: out=%v want LFSR bit %v", cycle, got, want)
+		}
+		st = ov.NextKeyState(st)
+	}
+}
+
+func TestObfuscationValidate(t *testing.T) {
+	nw := buildDiamond()
+	cases := []struct {
+		name string
+		ov   Obfuscation
+	}{
+		{"no key bits", Obfuscation{Gates: []KeyGate{{Kind: KeyXOR, Elem: 0, Bit: 0}}}},
+		{"no gates", Obfuscation{NumKeyBits: 2}},
+		{"bit range", Obfuscation{NumKeyBits: 1, Gates: []KeyGate{{Kind: KeyXOR, Elem: 0, Bit: 1}}}},
+		{"bad kind", Obfuscation{NumKeyBits: 1, Gates: []KeyGate{{Kind: "nand", Elem: 0, Bit: 0}}}},
+		{"reg range", Obfuscation{NumKeyBits: 1, Gates: []KeyGate{{Kind: KeyXOR, Elem: 9, Bit: 0}}}},
+		{"mux range", Obfuscation{NumKeyBits: 1, Gates: []KeyGate{{Kind: KeyMux, Elem: 5, Bit: 0}}}},
+		{"double gate", Obfuscation{NumKeyBits: 2, Gates: []KeyGate{
+			{Kind: KeyXOR, Elem: 0, Bit: 0}, {Kind: KeyXOR, Elem: 0, Bit: 1}}}},
+		{"dynamic no taps", Obfuscation{NumKeyBits: 1, Dynamic: true,
+			Gates: []KeyGate{{Kind: KeyXOR, Elem: 0, Bit: 0}}}},
+		{"static with taps", Obfuscation{NumKeyBits: 1, Taps: []int{0},
+			Gates: []KeyGate{{Kind: KeyXOR, Elem: 0, Bit: 0}}}},
+		{"tap range", Obfuscation{NumKeyBits: 1, Dynamic: true, Taps: []int{3},
+			Gates: []KeyGate{{Kind: KeyXOR, Elem: 0, Bit: 0}}}},
+	}
+	for _, tc := range cases {
+		if err := tc.ov.Validate(nw); err == nil {
+			t.Errorf("%s: Validate accepted invalid overlay", tc.name)
+		}
+	}
+	ok := Obfuscation{NumKeyBits: 2, Gates: []KeyGate{
+		{Kind: KeyXOR, Elem: 1, Bit: 0}, {Kind: KeyMux, Elem: 0, Bit: 1}}}
+	if err := ok.Validate(nw); err != nil {
+		t.Errorf("valid overlay rejected: %v", err)
+	}
+}
+
+func TestOverlayRoundTrip(t *testing.T) {
+	nw := buildDiamond()
+	ov := &Obfuscation{NumKeyBits: 3, Dynamic: true, Taps: []int{0, 2}, Gates: []KeyGate{
+		{Kind: KeyXOR, Elem: 2, Bit: 0}, {Kind: KeyMux, Elem: 0, Bit: 2}}}
+	key := boolsOf(1, 0, 1)
+	data, err := MarshalObfuscation(ov, nw, key)
+	if err != nil {
+		t.Fatalf("MarshalObfuscation: %v", err)
+	}
+	got, gotKey, err := ParseObfuscation(data, nw)
+	if err != nil {
+		t.Fatalf("ParseObfuscation: %v", err)
+	}
+	if got.NumKeyBits != ov.NumKeyBits || got.Dynamic != ov.Dynamic || len(got.Gates) != len(ov.Gates) {
+		t.Fatalf("round trip mismatch: %+v", got)
+	}
+	for i := range got.Gates {
+		if got.Gates[i] != ov.Gates[i] {
+			t.Fatalf("gate %d: %+v != %+v", i, got.Gates[i], ov.Gates[i])
+		}
+	}
+	if !equalBools(gotKey, key) {
+		t.Fatalf("key round trip: %v != %v", gotKey, key)
+	}
+	// Without the key the document must omit the secret entirely.
+	data2, err := MarshalObfuscation(ov, nw, nil)
+	if err != nil {
+		t.Fatalf("MarshalObfuscation(no key): %v", err)
+	}
+	if string(data2) == string(data) {
+		t.Fatal("keyless document should differ")
+	}
+	_, noKey, err := ParseObfuscation(data2, nw)
+	if err != nil {
+		t.Fatalf("ParseObfuscation(no key): %v", err)
+	}
+	if noKey != nil {
+		t.Fatalf("keyless document produced key %v", noKey)
+	}
+}
+
+func TestKeyHexRoundTrip(t *testing.T) {
+	for _, n := range []int{1, 3, 8, 9, 16, 63} {
+		key := KeyFromSeed(int64(n)*77+5, n)
+		s := KeyHex(key)
+		got, err := ParseKeyHex(s, n)
+		if err != nil {
+			t.Fatalf("n=%d ParseKeyHex(%q): %v", n, s, err)
+		}
+		if !equalBools(got, key) {
+			t.Fatalf("n=%d round trip: %v != %v", n, got, key)
+		}
+	}
+	if _, err := ParseKeyHex("ff", 3); err == nil {
+		t.Fatal("ParseKeyHex accepted bits beyond the key width")
+	}
+	if _, err := ParseKeyHex("0102", 8); err == nil {
+		t.Fatal("ParseKeyHex accepted oversized key")
+	}
+}
+
+func equalBools(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -10,9 +10,19 @@ import (
 // testdata/ so that before/after comparisons across solver changes
 // measure the same formulas bit for bit:
 //
-//	php_8_7.cnf            PHP(8,7) pigeonhole, UNSAT, conflict-heavy
-//	rand3_v150_r43_s1.cnf  random 3-SAT at ratio 4.3 (phase transition), SAT
-//	rand3_v200_r38_s2.cnf  random 3-SAT at ratio 3.8, SAT, propagation-heavy
+//	php_8_7.cnf              PHP(8,7) pigeonhole, UNSAT, conflict-heavy
+//	rand3_v150_r43_s1.cnf    random 3-SAT at ratio 4.3 (phase transition), SAT
+//	rand3_v200_r38_s2.cnf    random 3-SAT at ratio 3.8, SAT, propagation-heavy
+//	attack_miter_static.cnf  ScanSAT key-recovery miter, TreeFlat @ 48 FFs,
+//	                         16-bit static xor/mux overlay, SAT
+//	attack_miter_dyn.cnf     ScanSAT miter, BasicSCB @ 36 FFs, 8-bit
+//	                         LFSR-scheduled (dynamic) overlay, SAT
+//
+// The two attack_miter instances are deterministic exports of
+// obfus.WriteMiterDIMACS (the first query of every ScanSAT run: two
+// unrolled key copies, shared symbolic config and scan-in, distinguisher
+// asserted); TestAttackMiterTestdataPinned in internal/obfus regenerates
+// them and fails if the committed bytes drift from the encoder.
 //
 // Besides ns/op, each benchmark reports the solver's own counters as
 // custom metrics (propagations, conflicts, restarts, DB reductions per
@@ -84,6 +94,50 @@ func BenchmarkDIMACSRand3HardLuby(b *testing.B) {
 
 func BenchmarkDIMACSRand3Easy(b *testing.B) {
 	benchSolve(b, "rand3_v200_r38_s2.cnf", Sat, RestartEMA)
+}
+
+// The attack miters are large, heavily structured circuit instances
+// (tens of thousands of variables, mostly binary/ternary gate clauses):
+// the workload ScanSAT actually hands the solver, as opposed to the
+// small combinatorial/random instances above. EMA and Luby variants are
+// both pinned because the glucose-style restart trade shows most
+// clearly on structured formulas.
+
+func BenchmarkDIMACSAttackStatic(b *testing.B) {
+	benchSolve(b, "attack_miter_static.cnf", Sat, RestartEMA)
+}
+
+func BenchmarkDIMACSAttackStaticLuby(b *testing.B) {
+	benchSolve(b, "attack_miter_static.cnf", Sat, RestartLuby)
+}
+
+func BenchmarkDIMACSAttackDyn(b *testing.B) {
+	benchSolve(b, "attack_miter_dyn.cnf", Sat, RestartEMA)
+}
+
+func BenchmarkDIMACSAttackDynLuby(b *testing.B) {
+	benchSolve(b, "attack_miter_dyn.cnf", Sat, RestartLuby)
+}
+
+// TestAttackMiterInstances pins the expected status of the committed
+// attack instances: an overlay with at least one distinguishable key
+// bit always yields a satisfiable initial miter.
+func TestAttackMiterInstances(t *testing.T) {
+	for _, name := range []string{"attack_miter_static.cnf", "attack_miter_dyn.cnf"} {
+		nv, clauses := loadBenchCNF(t, name)
+		s := New()
+		for v := 0; v < nv; v++ {
+			s.NewVar()
+		}
+		for _, c := range clauses {
+			if !s.AddClause(c...) {
+				t.Fatalf("%s: top-level conflict", name)
+			}
+		}
+		if st := s.Solve(); st != Sat {
+			t.Errorf("%s: Solve = %v, want Sat", name, st)
+		}
+	}
 }
 
 // BenchmarkIncrementalAssumptions replays the cofactor-query pattern of

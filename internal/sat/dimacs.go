@@ -104,3 +104,33 @@ func (s *Solver) WriteDIMACS(w io.Writer) error {
 	}
 	return bw.Flush()
 }
+
+// WriteDIMACS writes a CNF formula in DIMACS format, the inverse of
+// ParseDIMACS. Comment lines (without the leading "c ") may precede
+// the problem line.
+func WriteDIMACS(w io.Writer, numVars int, clauses [][]Lit, comments ...string) error {
+	bw := bufio.NewWriter(w)
+	for _, c := range comments {
+		if _, err := fmt.Fprintf(bw, "c %s\n", c); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(bw, "p cnf %d %d\n", numVars, len(clauses)); err != nil {
+		return err
+	}
+	for _, cl := range clauses {
+		for _, l := range cl {
+			v := int(l.Var())
+			if l.Neg() {
+				v = -v
+			}
+			if _, err := fmt.Fprintf(bw, "%d ", v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(bw, "0"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

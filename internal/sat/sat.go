@@ -158,7 +158,17 @@ type Solver struct {
 	Stats Statistics
 
 	budget int64 // max conflicts; <=0 means unlimited
+
+	// clauseTrace, when set, receives every clause handed to AddClause
+	// before normalization. Exporters use it to capture the exact CNF
+	// an encoder emitted (AddClause itself drops satisfied clauses and
+	// enqueues units without storing them).
+	clauseTrace func(lits []Lit)
 }
+
+// SetClauseTrace registers fn to observe every AddClause call (nil
+// disables tracing).
+func (s *Solver) SetClauseTrace(fn func(lits []Lit)) { s.clauseTrace = fn }
 
 // RestartPolicy selects the solver's restart strategy.
 type RestartPolicy int
@@ -288,6 +298,9 @@ func (s *Solver) litValue(l Lit) lbool {
 func (s *Solver) AddClause(lits ...Lit) bool {
 	if !s.ok {
 		return false
+	}
+	if s.clauseTrace != nil {
+		s.clauseTrace(lits)
 	}
 	// Clause addition needs level 0; drop any trail kept for
 	// assumption-prefix reuse.

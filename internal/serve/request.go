@@ -85,6 +85,10 @@ type analysis struct {
 	baseKey    string
 	script     *rsn.EditScript
 	scriptHash string
+
+	// Attack form (POST /v1/attacks): an obfuscated network to run the
+	// attack analysis against (see attack.go).
+	atk *attackRun
 }
 
 // schedKey is the scheduler/coalescing key. Profiled submissions get a

@@ -171,6 +171,10 @@ type Server struct {
 	slowJobs *obs.Counter
 	profMu   sync.Mutex // the CPU profiler is process-global
 
+	// atkMetrics aggregates attack-job solver statistics across jobs
+	// (see attack.go).
+	atkMetrics attackMetrics
+
 	// sessions holds the live analysis sessions deltas build on,
 	// keyed by content address (see session.go).
 	sessMu   sync.Mutex
@@ -224,6 +228,7 @@ func New(cfg Config) (*Server, error) {
 		// byte-identical caching) but remain observable live.
 		stats: engine.NewStatsOn(cfg.Registry),
 	}
+	s.atkMetrics = newAttackMetrics(cfg.Registry)
 	s.runJob = s.execute
 	if cfg.SlowJobThreshold > 0 && cfg.SlowJobLog != nil {
 		s.slowLog = newSlowJobLog(cfg.SlowJobLog)
@@ -315,6 +320,9 @@ func (s *Server) execute(ctx context.Context, j *Job) ([]byte, error) {
 	a := j.Payload.(*analysis)
 	if a.script != nil {
 		return s.executeDelta(ctx, j, a)
+	}
+	if a.atk != nil {
+		return s.executeAttack(ctx, j, a)
 	}
 	var rep *obs.RunReport
 	if a.benchmark != nil {

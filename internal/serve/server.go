@@ -23,6 +23,13 @@ import (
 //	GET    /v1/analyses/{id}/report finished job's rsnsec.run-report/v1
 //	GET    /v1/analyses/{id}/profile captured pprof blob (octet-stream)
 //	DELETE /v1/analyses/{id}        cancel a queued or running job
+//	POST   /v1/attacks              submit an obfuscated network for the
+//	                                attack analysis (200 cached, 202
+//	                                accepted; see attack.go)
+//	GET    /v1/attacks/{id}         job status (alias of the analyses
+//	                                status endpoint — attacks share the
+//	                                job namespace)
+//	GET    /v1/attacks/{id}/report  finished rsnsec.attack-report/v1
 //	GET    /v1/load                 autoscale load signal (see load.go)
 //	GET    /debug/events            flight-recorder events (?cat=, ?job=, ?n=)
 //	GET    /healthz                 liveness
@@ -44,6 +51,9 @@ func (s *Server) Handler() http.Handler {
 	mux.Handle("GET /v1/analyses/{id}/report", s.instrument("report", s.handleReport))
 	mux.Handle("GET /v1/analyses/{id}/profile", s.instrument("profile", s.handleProfile))
 	mux.Handle("DELETE /v1/analyses/{id}", s.instrument("cancel", s.handleCancel))
+	mux.Handle("POST /v1/attacks", s.instrument("attack", s.handleAttack))
+	mux.Handle("GET /v1/attacks/{id}", s.instrument("status", s.handleStatus))
+	mux.Handle("GET /v1/attacks/{id}/report", s.instrument("report", s.handleReport))
 	mux.Handle("GET /healthz", s.instrument("healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	}))

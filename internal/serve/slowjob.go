@@ -22,15 +22,15 @@ import (
 // configured threshold, the full span tree of the run, and the
 // flight-recorder events the job left behind.
 type slowJobEntry struct {
-	Time        string        `json:"time"`
-	JobID       string        `json:"job_id"`
-	Label       string        `json:"label,omitempty"`
-	Key         string        `json:"key"`
-	RequestID   string        `json:"request_id,omitempty"`
-	TraceID     string        `json:"trace_id,omitempty"`
-	DurMS       int64         `json:"dur_ms"`
-	ThresholdMS int64         `json:"threshold_ms"`
-	Spans       []obs.Event   `json:"spans,omitempty"`
+	Time        string         `json:"time"`
+	JobID       string         `json:"job_id"`
+	Label       string         `json:"label,omitempty"`
+	Key         string         `json:"key"`
+	RequestID   string         `json:"request_id,omitempty"`
+	TraceID     string         `json:"trace_id,omitempty"`
+	DurMS       int64          `json:"dur_ms"`
+	ThresholdMS int64          `json:"threshold_ms"`
+	Spans       []obs.Event    `json:"spans,omitempty"`
 	Events      []flight.Event `json:"events,omitempty"`
 }
 

@@ -44,6 +44,7 @@ import (
 	"repro/internal/hybrid"
 	"repro/internal/icl"
 	"repro/internal/netlist"
+	"repro/internal/obfus"
 	"repro/internal/obs"
 	"repro/internal/obs/perfrec"
 	"repro/internal/obs/reportdiff"
@@ -605,3 +606,85 @@ type RunningExampleParts = paperex.Example
 // RunningExample returns the running example's circuit, network,
 // specification and internal flip-flops.
 func RunningExample() *RunningExampleParts { return paperex.New() }
+
+// Scan obfuscation and attack analysis (the internal/obfus subsystem):
+// key-gated scan primitives, ScanSAT-style key recovery and the GF(2)
+// flush analysis.
+type (
+	// Obfuscation is a key-gate overlay on a scan network.
+	Obfuscation = rsn.Obfuscation
+	// ObfusKeyGate is one key-controlled gate (XOR or mux select).
+	ObfusKeyGate = rsn.KeyGate
+	// ObfusGenConfig drives deterministic overlay generation.
+	ObfusGenConfig = obfus.GenConfig
+	// AttackOptions parameterizes RunAttackAnalysis.
+	AttackOptions = exp.AttackOptions
+	// AttackReport is the rsnsec.attack-report/v1 document.
+	AttackReport = obfus.Report
+	// KeyRecoveryResult reports a ScanSAT key-recovery run.
+	KeyRecoveryResult = obfus.KeyRecoveryResult
+	// FlushAttackResult reports a GF(2) flush-attack run.
+	FlushAttackResult = obfus.FlushResult
+)
+
+// Attack-analysis schema identifiers.
+const (
+	AttackReportSchema = obfus.ReportSchema
+	ObfusOverlaySchema = rsn.ObfuscationSchema
+)
+
+// ObfuscateNetwork deterministically overlays key gates on a network,
+// returning the overlay and the defender's true key.
+func ObfuscateNetwork(nw *Network, cfg ObfusGenConfig, seed int64) (*Obfuscation, []bool, error) {
+	return obfus.ObfuscateNetwork(nw, cfg, seed)
+}
+
+// ParseObfuscationOverlay reads an rsnsec.obfus-overlay/v1 document,
+// resolving element names against the network; the returned key is nil
+// when the overlay carries none.
+func ParseObfuscationOverlay(data []byte, nw *Network) (*Obfuscation, []bool, error) {
+	return rsn.ParseObfuscation(data, nw)
+}
+
+// MarshalObfuscationOverlay writes the overlay (and the optional
+// defender key) as an rsnsec.obfus-overlay/v1 document.
+func MarshalObfuscationOverlay(ov *Obfuscation, nw *Network, key []bool) ([]byte, error) {
+	return rsn.MarshalObfuscation(ov, nw, key)
+}
+
+// RunAttackAnalysis executes the ScanSAT and flush attack stages and
+// assembles the rsnsec.attack-report/v1 document.
+func RunAttackAnalysis(ctx context.Context, tool string, nw *Network, ov *Obfuscation, trueKey []bool, opts AttackOptions) (*AttackReport, error) {
+	return exp.RunAttackAnalysis(ctx, tool, nw, ov, trueKey, opts)
+}
+
+// WriteAttackReport serializes an attack report as indented JSON.
+func WriteAttackReport(w io.Writer, r *AttackReport) error { return obfus.WriteReport(w, r) }
+
+// ReadAttackReport parses and validates an attack report.
+func ReadAttackReport(r io.Reader) (*AttackReport, error) { return obfus.ReadReport(r) }
+
+// ObfusKeyFromSeed derives a deterministic key of n bits from a seed.
+func ObfusKeyFromSeed(seed int64, n int) []bool { return rsn.KeyFromSeed(seed, n) }
+
+// ObfusKeyHex formats a key as big-endian hex; ParseObfusKeyHex is its
+// inverse for a key of n bits.
+func ObfusKeyHex(key []bool) string { return rsn.KeyHex(key) }
+
+// ParseObfusKeyHex parses a big-endian hex key of n bits.
+func ParseObfusKeyHex(s string, n int) ([]bool, error) { return rsn.ParseKeyHex(s, n) }
+
+// Streaming scale-up generation (the rsngen -scale-ff path).
+type (
+	// ScaleGenConfig parameterizes one streamed SIB-hierarchy network.
+	ScaleGenConfig = bench.ScaleGenConfig
+	// ScaleGenStats summarizes what was streamed.
+	ScaleGenStats = bench.ScaleStats
+)
+
+// StreamScaleICL streams a SIB-hierarchy scan network of
+// cfg.TargetScanFFs flip-flops as ICL to w without materializing it;
+// with cfg.ObfKeyBits set, the obfuscation overlay sidecar goes to ovw.
+func StreamScaleICL(w, ovw io.Writer, cfg ScaleGenConfig) (*ScaleGenStats, error) {
+	return bench.StreamScaleICL(w, ovw, cfg)
+}
