@@ -50,10 +50,16 @@
 // hierarchical span journal (run > secure > stage > query) as JSONL
 // with query spans sampled per -trace-sample, and -debug-addr serves
 // live expvar, Prometheus-text metrics and pprof during the run.
+// -validate-slo FILE checks a stored observability document — an SLO
+// objectives config (rsnsec.slo-config/v1), a served status snapshot
+// (rsnsec.slo-status/v1) or a metrics-history query result
+// (rsnsec.metrics-history/v1) — against its schema and exits.
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -65,6 +71,8 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
+	"repro/internal/obs/series"
+	"repro/internal/obs/slo"
 	"repro/internal/version"
 )
 
@@ -111,6 +119,7 @@ func main() {
 		atkConfl    = flag.Int64("attack-conflicts", 0, "total solver conflict budget for the key recovery (0 = unlimited)")
 		atkTimings  = flag.Bool("attack-timings", false, "include wall-clock timings in the attack report")
 		validateAtk = flag.String("validate-attack", "", "validate a stored attack report and exit")
+		validateSLO = flag.String("validate-slo", "", "validate a stored SLO/observability document (slo-config, slo-status or metrics-history) and exit")
 		logLevel    = flag.String("log-level", "info", "log level spec: LEVEL[,component=LEVEL...] (debug|info|warn|error|off)")
 		logFormat   = flag.String("log-format", "text", "log record encoding: text or json")
 		showVer     = flag.Bool("version", false, "print version and exit")
@@ -131,6 +140,8 @@ func main() {
 	switch {
 	case *validateAtk != "":
 		err = runValidateAttack(*validateAtk, ec)
+	case *validateSLO != "":
+		err = runValidateSLO(*validateSLO, ec)
 	case *attack:
 		ac := attackConfig{overlayPath: *overlayPath, keyBits: *obfKeyBits,
 			muxShare: *obfMuxShare, dynamic: *obfDynamic, keyHex: *keyHex,
@@ -601,6 +612,54 @@ func runValidateAttack(path string, ec engineConfig) error {
 	if !ec.quiet {
 		fmt.Printf("%s: valid %s (network %s, %d key bits)\n",
 			path, rep.Schema, rep.Network.Name, rep.Overlay.KeyBits)
+	}
+	return nil
+}
+
+// runValidateSLO is the -validate-slo mode: sniff the document's
+// schema field and run it through the matching validating reader. One
+// flag covers the PR-10 document family — objectives configs
+// (rsnsec.slo-config/v1), served status documents (rsnsec.slo-status/v1)
+// and metrics-history query results (rsnsec.metrics-history/v1) — so a
+// pipeline can check any artifact it stored without knowing which
+// endpoint produced it.
+func runValidateSLO(path string, ec engineConfig) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var head struct {
+		Schema string `json:"schema"`
+	}
+	if err := json.Unmarshal(data, &head); err != nil {
+		return fmt.Errorf("%s: parse: %w", path, err)
+	}
+	var detail string
+	switch head.Schema {
+	case slo.ConfigSchema:
+		c, err := slo.ReadConfig(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		detail = fmt.Sprintf("%d objectives", len(c.Objectives))
+	case slo.StatusSchema:
+		s, err := slo.ReadStatus(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		detail = fmt.Sprintf("%d objectives, breaching=%v", len(s.Objectives), s.Breaching)
+	case series.HistorySchema:
+		h, err := series.ReadHistory(bytes.NewReader(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		detail = fmt.Sprintf("%s %s/%s, %d points", h.Kind, h.Name, h.Fn, len(h.Points))
+	default:
+		return fmt.Errorf("%s: unknown schema %q (want %s, %s or %s)",
+			path, head.Schema, slo.ConfigSchema, slo.StatusSchema, series.HistorySchema)
+	}
+	if !ec.quiet {
+		fmt.Printf("%s: valid %s (%s)\n", path, head.Schema, detail)
 	}
 	return nil
 }

@@ -31,11 +31,20 @@
 // "info,serve.http=warn"); each HTTP request gets an X-Request-ID and
 // W3C traceparent (accepted or minted, echoed on the response) that
 // follow the work through logs, spans, job records and the flight
-// recorder (GET /debug/events, sized by -flight-events). Autoscalers
-// read GET /v1/load (or the serve_* gauges on /metrics) for the
-// predicted backlog; -readyz-saturation DUR turns /readyz into a
-// backpressure signal, and -load-model seeds the cost model from a
-// rsnbench record before the first job completes.
+// recorder (GET /debug/events, sized by -flight-events; pollers tail
+// incrementally with ?since=<last_seq>). Autoscalers read GET /v1/load
+// (or the serve_* gauges on /metrics) for the predicted backlog;
+// -readyz-saturation DUR turns /readyz into a backpressure signal, and
+// -load-model seeds the cost model from a rsnbench record before the
+// first job completes (-load-ewma-alpha tunes its adaptation speed).
+//
+// Metrics history and SLOs: -history-interval samples every registry
+// metric into a bounded in-process series store (window sized by
+// -history-retention), queryable at GET /debug/metrics/history as
+// rsnsec.metrics-history/v1 documents; -slo FILE loads declarative
+// objectives (rsnsec.slo-config/v1) evaluated with fast+slow burn-rate
+// windows over that history, served at GET /v1/slo, re-exported as
+// slo_* gauges, and — for gate_ready objectives — coupled to /readyz.
 package main
 
 import (
@@ -54,6 +63,8 @@ import (
 	"repro/internal/obs"
 	"repro/internal/obs/olog"
 	"repro/internal/obs/perfrec"
+	"repro/internal/obs/series"
+	"repro/internal/obs/slo"
 	"repro/internal/serve"
 	"repro/internal/version"
 )
@@ -87,7 +98,11 @@ func run() error {
 		logFile      = flag.String("log-file", "", "write log records to this file instead of stderr (buffered, flushed on shutdown)")
 		flightEvents = flag.Int("flight-events", 0, "flight-recorder ring size per category (0 = 256, -1 = disabled)")
 		loadModel    = flag.String("load-model", "", "seed the predicted-backlog cost model from this rsnbench record")
+		loadAlpha    = flag.Float64("load-ewma-alpha", 0.3, "cost-model EWMA weight on (0,1] (higher adapts faster)")
 		readyzSat    = flag.Duration("readyz-saturation", 0, "/readyz answers 503 while the predicted backlog exceeds this (0 = off)")
+		histInterval = flag.Duration("history-interval", 0, "sample metrics into the in-process history every DUR (0 = off unless -slo)")
+		histRetain   = flag.Duration("history-retention", 0, "metrics-history window (0 = 1h, or the slowest SLO window)")
+		sloPath      = flag.String("slo", "", "evaluate SLO objectives from this rsnsec.slo-config/v1 file")
 		showVersion  = flag.Bool("version", false, "print version and exit")
 	)
 	flag.Parse()
@@ -125,6 +140,25 @@ func run() error {
 		loadRec, err = perfrec.ReadFile(*loadModel)
 		if err != nil {
 			return fmt.Errorf("load model: %w", err)
+		}
+	}
+	if *loadAlpha <= 0 || *loadAlpha > 1 {
+		return fmt.Errorf("-load-ewma-alpha %v outside (0, 1]", *loadAlpha)
+	}
+	var sloCfg *slo.Config
+	if *sloPath != "" {
+		sloCfg, err = slo.LoadConfig(*sloPath)
+		if err != nil {
+			return err
+		}
+	}
+	var histCfg *series.Config
+	if *histInterval > 0 || *histRetain > 0 || sloCfg != nil {
+		histCfg = &series.Config{Interval: *histInterval, Retention: *histRetain}
+		if sloCfg != nil && *histRetain == 0 {
+			if w := sloCfg.MaxWindow(); w > histCfg.Retention {
+				histCfg.Retention = w
+			}
 		}
 	}
 	var tracer *obs.Tracer
@@ -173,7 +207,10 @@ func run() error {
 		Logger:              lg,
 		FlightEvents:        *flightEvents,
 		LoadModel:           loadRec,
+		LoadEWMAAlpha:       *loadAlpha,
 		SaturationThreshold: *readyzSat,
+		History:             histCfg,
+		SLO:                 sloCfg,
 	})
 	if err != nil {
 		return err

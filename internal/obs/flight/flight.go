@@ -175,6 +175,32 @@ func (r *Recorder) Recent(n int) []Event {
 	return evs
 }
 
+// SnapshotSince returns the retained events with Seq > since, one
+// category or all (""), in global Seq order — the incremental-tail
+// primitive behind the endpoint's ?since= cursor. A poller that keeps
+// the last seq it saw reads only new events on each poll instead of
+// re-reading the whole ring; a cursor older than the ring simply
+// returns everything retained (the gap shows up in Dropped).
+func (r *Recorder) SnapshotSince(cat string, since uint64) []Event {
+	evs := r.Snapshot(cat)
+	if since == 0 {
+		return evs
+	}
+	// Seq is globally monotone, so within a snapshot (already Seq
+	// sorted) the cut is a binary search.
+	i := sort.Search(len(evs), func(i int) bool { return evs[i].Seq > since })
+	return evs[i:]
+}
+
+// LastSeq returns the newest sequence number assigned so far (0 before
+// any event): the cursor a poller should resume from.
+func (r *Recorder) LastSeq() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.seq.Load()
+}
+
 // ForJob returns the retained events of one job across all categories.
 func (r *Recorder) ForJob(jobID string) []Event {
 	var out []Event
@@ -199,7 +225,10 @@ func (r *Recorder) Dropped() uint64 {
 type response struct {
 	Categories []string `json:"categories"`
 	Dropped    uint64   `json:"dropped"`
-	Events     []Event  `json:"events"`
+	// LastSeq is the newest sequence number assigned so far; pass it
+	// back as ?since= to read only what happened after this response.
+	LastSeq uint64  `json:"last_seq"`
+	Events  []Event `json:"events"`
 }
 
 // Handler serves the recorder as JSON (the /debug/events endpoint):
@@ -207,17 +236,32 @@ type response struct {
 //	GET ?cat=sched    one category only
 //	GET ?job=a0001-…  one job's events across categories
 //	GET ?n=100        at most the latest 100 events
+//	GET ?since=42     only events with seq > 42 (incremental tail;
+//	                  resume from the previous response's last_seq)
 //
 // The request's identity middleware runs outside this handler, so the
 // recorder itself stays HTTP-agnostic.
 func (r *Recorder) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
-		resp := response{Categories: r.Categories(), Dropped: r.Dropped()}
+		resp := response{Categories: r.Categories(), Dropped: r.Dropped(), LastSeq: r.LastSeq()}
+		var since uint64
+		if ss := req.URL.Query().Get("since"); ss != "" {
+			v, err := strconv.ParseUint(ss, 10, 64)
+			if err != nil {
+				http.Error(w, `{"error":"since must be a non-negative integer"}`, http.StatusBadRequest)
+				return
+			}
+			since = v
+		}
 		switch {
 		case req.URL.Query().Get("job") != "":
 			resp.Events = r.ForJob(req.URL.Query().Get("job"))
+			if since > 0 {
+				i := sort.Search(len(resp.Events), func(i int) bool { return resp.Events[i].Seq > since })
+				resp.Events = resp.Events[i:]
+			}
 		default:
-			resp.Events = r.Snapshot(req.URL.Query().Get("cat"))
+			resp.Events = r.SnapshotSince(req.URL.Query().Get("cat"), since)
 		}
 		if ns := req.URL.Query().Get("n"); ns != "" {
 			n, err := strconv.Atoi(ns)

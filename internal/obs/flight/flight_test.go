@@ -2,6 +2,7 @@ package flight
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -122,5 +123,86 @@ func TestHandlerJSON(t *testing.T) {
 	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?n=bogus", nil))
 	if rec.Code != 400 || !strings.Contains(rec.Body.String(), "error") {
 		t.Errorf("bad n: code=%d body=%s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSnapshotSinceCursor(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 5; i++ {
+		r.Record(Event{Cat: "job", Name: "tick"})
+	}
+	all := r.Snapshot("")
+	if len(all) != 5 || r.LastSeq() != all[4].Seq {
+		t.Fatalf("snapshot = %d events, last seq %d", len(all), r.LastSeq())
+	}
+	mid := all[2].Seq
+	tail := r.SnapshotSince("", mid)
+	if len(tail) != 2 || tail[0].Seq != all[3].Seq {
+		t.Fatalf("since %d = %+v", mid, tail)
+	}
+	// Cursor at the tip: nothing new.
+	if got := r.SnapshotSince("job", r.LastSeq()); len(got) != 0 {
+		t.Fatalf("since tip = %+v", got)
+	}
+	// Cursor older than everything retained: full ring.
+	if got := r.SnapshotSince("", 0); len(got) != 5 {
+		t.Fatalf("since 0 = %d events", len(got))
+	}
+	var nilR *Recorder
+	if nilR.LastSeq() != 0 || nilR.SnapshotSince("", 0) != nil {
+		t.Fatal("nil recorder must no-op")
+	}
+}
+
+func TestHandlerSinceParam(t *testing.T) {
+	r := New(8)
+	r.Record(Event{Cat: "job", Name: "first", Job: "a1"})
+	r.Record(Event{Cat: "job", Name: "second", Job: "a1"})
+
+	var resp struct {
+		LastSeq uint64  `json:"last_seq"`
+		Events  []Event `json:"events"`
+	}
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.LastSeq == 0 || len(resp.Events) != 2 {
+		t.Fatalf("baseline = %+v", resp)
+	}
+
+	// Tail from the advertised cursor: only what happened after.
+	cursor := resp.LastSeq
+	r.Record(Event{Cat: "sched", Name: "third", Job: "a1"})
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET",
+		fmt.Sprintf("/debug/events?since=%d", cursor), nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 1 || resp.Events[0].Name != "third" {
+		t.Fatalf("tailed events = %+v", resp.Events)
+	}
+	if resp.LastSeq != cursor+1 {
+		t.Fatalf("last_seq = %d, want %d", resp.LastSeq, cursor+1)
+	}
+
+	// since composes with the job filter.
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET",
+		fmt.Sprintf("/debug/events?job=a1&since=%d", cursor), nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Events) != 1 || resp.Events[0].Name != "third" {
+		t.Fatalf("job-filtered tail = %+v", resp.Events)
+	}
+
+	// A malformed cursor is a 400.
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/events?since=-3", nil))
+	if rec.Code != 400 {
+		t.Fatalf("bad since: code=%d", rec.Code)
 	}
 }

@@ -153,6 +153,62 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return math.Inf(1)
 }
 
+// Bounds returns a copy of the histogram's sorted bucket upper bounds
+// (the implicit +Inf overflow bucket is not listed). A nil receiver
+// returns nil.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// BucketCounts copies the per-bucket (non-cumulative) observation
+// counts into dst — len(Bounds())+1 entries, the last being the +Inf
+// overflow bucket — reusing dst's backing array when it is large
+// enough. The counts are read bucket-by-bucket without a lock, so a
+// snapshot taken under concurrent Observe calls may be internally
+// skewed by in-flight observations; each bucket value is itself
+// monotone, which is what windowed-delta consumers (the series
+// sampler) need. A nil receiver returns dst unchanged (nil for a nil
+// dst).
+func (h *Histogram) BucketCounts(dst []int64) []int64 {
+	if h == nil {
+		return dst[:0]
+	}
+	n := len(h.buckets)
+	if cap(dst) < n {
+		dst = make([]int64, n)
+	}
+	dst = dst[:n]
+	for i := range h.buckets {
+		dst[i] = h.buckets[i].Load()
+	}
+	return dst
+}
+
+// FloatGauge is a settable float64 metric for values that lose too
+// much to int64 truncation (cumulative CPU seconds, ratios). Like the
+// other metric kinds, all methods tolerate nil receivers.
+type FloatGauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *FloatGauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Value returns the current value.
+func (g *FloatGauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
 // Registry holds named metrics and renders them for exposition. Metric
 // names follow the Prometheus convention and may carry a literal label
 // set, e.g. `engine_stage_wall_ns_total{stage="closure"}`; series of
@@ -235,6 +291,19 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 	return h
 }
 
+// FloatGauge returns the named float gauge, creating it on first use.
+func (r *Registry) FloatGauge(name string) *FloatGauge {
+	if r == nil {
+		return nil
+	}
+	m := r.lookup(name, func() any { return new(FloatGauge) })
+	g, ok := m.(*FloatGauge)
+	if !ok {
+		panic(fmt.Sprintf("obs: metric %q registered as %T, not a float gauge", name, m))
+	}
+	return g
+}
+
 // AddCollector registers fn to run immediately before each exposition
 // (WritePrometheus, Snapshot), refreshing pull-style gauges — values
 // that are cheap to compute on demand but wasteful to keep current
@@ -258,6 +327,17 @@ func (r *Registry) collect() {
 	for _, fn := range fns {
 		fn()
 	}
+}
+
+// Collect runs the registered collectors without rendering anything —
+// the refresh half of an exposition. Non-rendering consumers that read
+// metric values directly (the series sampler) call it so pull-style
+// gauges are as fresh in their samples as they are in a scrape.
+func (r *Registry) Collect() {
+	if r == nil {
+		return
+	}
+	r.collect()
 }
 
 // SetHelp attaches a HELP line to a metric family.
@@ -297,7 +377,7 @@ func (r *Registry) snapshot() ([]string, map[string]any, map[string]string) {
 }
 
 // Each calls fn for every registered metric in registration order. The
-// value is *Counter, *Gauge or *Histogram.
+// value is *Counter, *Gauge, *FloatGauge or *Histogram.
 func (r *Registry) Each(fn func(name string, metric any)) {
 	if r == nil {
 		return
@@ -322,6 +402,8 @@ func (r *Registry) Snapshot() map[string]any {
 		case *Counter:
 			out[name] = x.Value()
 		case *Gauge:
+			out[name] = x.Value()
+		case *FloatGauge:
 			out[name] = x.Value()
 		case *Histogram:
 			fam, labels := family(name)
@@ -368,7 +450,7 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 		switch metrics[series[0]].(type) {
 		case *Counter:
 			fmt.Fprintf(&sb, "# TYPE %s counter\n", f)
-		case *Gauge:
+		case *Gauge, *FloatGauge:
 			fmt.Fprintf(&sb, "# TYPE %s gauge\n", f)
 		case *Histogram:
 			fmt.Fprintf(&sb, "# TYPE %s histogram\n", f)
@@ -380,6 +462,8 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 				fmt.Fprintf(&sb, "%s%s %d\n", f, labels, x.Value())
 			case *Gauge:
 				fmt.Fprintf(&sb, "%s%s %d\n", f, labels, x.Value())
+			case *FloatGauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f, labels, formatFloat(x.Value()))
 			case *Histogram:
 				var cum int64
 				for i, b := range x.bounds {

@@ -26,12 +26,23 @@ var runtimeSamples = []struct {
 		"Cumulative CPU-milliseconds spent in GC stop-the-world pauses."},
 }
 
+// cpuSamples feed go_cpu_seconds_total: the runtime's estimate of all
+// CPU time available to the process minus the idle share — i.e. the
+// CPU the process actually spent working (user code, GC, scavenger).
+// Kept apart from runtimeSamples because two samples combine into one
+// exported value, and that value is a float (seconds truncate too
+// coarsely for SLO CPU accounting).
+var cpuSamples = struct{ total, idle string }{
+	total: "/cpu/classes/total:cpu-seconds",
+	idle:  "/cpu/classes/idle:cpu-seconds",
+}
+
 // EnableRuntimeMetrics registers Go runtime health gauges
 // (go_goroutines, go_heap_live_bytes, go_mem_total_bytes,
-// go_gc_cycles_total, go_gc_pause_cpu_ms_total) in the registry,
-// refreshed via runtime/metrics on every exposition. Unknown sample
-// names (older runtimes) are skipped silently, so the set degrades
-// instead of breaking across Go versions.
+// go_gc_cycles_total, go_gc_pause_cpu_ms_total, go_cpu_seconds_total)
+// in the registry, refreshed via runtime/metrics on every exposition.
+// Unknown sample names (older runtimes) are skipped silently, so the
+// set degrades instead of breaking across Go versions.
 func EnableRuntimeMetrics(r *Registry) {
 	if r == nil {
 		return
@@ -43,6 +54,11 @@ func EnableRuntimeMetrics(r *Registry) {
 		r.SetHelp(rs.gauge, rs.help)
 		gauges[i] = r.Gauge(rs.gauge)
 	}
+	r.SetHelp("go_cpu_seconds_total",
+		"Cumulative CPU seconds the process spent working (total minus idle, "+
+			"per runtime/metrics; the estimate refreshes on GC, so it lags on quiet processes).")
+	cpuG := r.FloatGauge("go_cpu_seconds_total")
+	cpu := []metrics.Sample{{Name: cpuSamples.total}, {Name: cpuSamples.idle}}
 	r.AddCollector(func() {
 		metrics.Read(samples)
 		for i := range samples {
@@ -57,6 +73,12 @@ func EnableRuntimeMetrics(r *Registry) {
 				// Float samples here are cumulative seconds; export as
 				// integer milliseconds (the registry is int64-valued).
 				gauges[i].Set(int64(samples[i].Value.Float64() * 1e3))
+			}
+		}
+		metrics.Read(cpu)
+		if cpu[0].Value.Kind() == metrics.KindFloat64 && cpu[1].Value.Kind() == metrics.KindFloat64 {
+			if busy := cpu[0].Value.Float64() - cpu[1].Value.Float64(); busy >= 0 {
+				cpuG.Set(busy)
 			}
 		}
 	})

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"net/http"
+	"time"
+
+	"repro/internal/obs/series"
+)
+
+// handleHistory serves GET /debug/metrics/history: one evaluated range
+// query over the in-process series store, as a
+// rsnsec.metrics-history/v1 document.
+//
+//	name=    metric family (required; omit to get the known families)
+//	window=  trailing range, Go duration (default: full retention)
+//	step=    point spacing, Go duration (default: sampling interval)
+//	fn=      aggregation (kind-specific; default rate/avg/p50)
+func (s *Server) handleHistory(w http.ResponseWriter, r *http.Request) {
+	if s.history == nil {
+		writeError(w, http.StatusNotFound, "metrics history disabled (start with -history-interval)")
+		return
+	}
+	q := r.URL.Query()
+	name := q.Get("name")
+	if name == "" {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"families":     s.history.Families(),
+			"fns":          series.KnownFns(),
+			"interval_ms":  s.history.Interval().Milliseconds(),
+			"retention_ms": s.history.Retention().Milliseconds(),
+		})
+		return
+	}
+	window, err := parseDur(q.Get("window"), s.history.Retention())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "window: %v", err)
+		return
+	}
+	step, err := parseDur(q.Get("step"), 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "step: %v", err)
+		return
+	}
+	h, err := s.history.Query(name, window, step, q.Get("fn"), time.Now())
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
+func parseDur(s string, def time.Duration) (time.Duration, error) {
+	if s == "" {
+		return def, nil
+	}
+	return time.ParseDuration(s)
+}
+
+// handleSLO serves GET /v1/slo: the rsnsec.slo-status/v1 document.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	if s.sloEng == nil {
+		writeError(w, http.StatusNotFound, "no SLO config loaded (start with -slo)")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sloEng.Evaluate(time.Now()))
+}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"math"
 	"net/http"
 	"sort"
 	"sync"
@@ -8,6 +9,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/obs/perfrec"
+	"repro/internal/obs/series"
 )
 
 // LoadStatus is the autoscale load signal served by GET /v1/load and
@@ -35,29 +37,61 @@ type LoadStatus struct {
 	// /readyz to 503.
 	SaturationThresholdSeconds float64 `json:"saturation_threshold_seconds,omitempty"`
 	Saturated                  bool    `json:"saturated"`
+	// CostP50NSPerFF / CostP90NSPerFF expose the windowed ns-per-scan-FF
+	// percentiles the predictor runs on (0 while the history window is
+	// still empty and the EWMA fallback is in charge).
+	CostP50NSPerFF float64 `json:"cost_p50_ns_per_ff,omitempty"`
+	CostP90NSPerFF float64 `json:"cost_p90_ns_per_ff,omitempty"`
 }
 
 // costModel predicts one job's run time from its scan flip-flop count.
-// It is seeded from a bench record (rsnsec.bench-record/v1): the sum
-// of per-stage median wall times divided by the benchmark's scan-FF
-// count gives an ns-per-FF rate, and the median rate across the
-// record's benchmarks is the prior. Every finished job then feeds an
-// EWMA, so the model tracks this machine and this workload even when
-// no record was given (it just starts from zero knowledge and warms up
-// after the first job). Jobs with unknown size (deltas) fall back to
-// the EWMA of whole-job durations.
+// Prediction sources, in order (see DESIGN.md §5j for the full story):
+//
+//  1. Windowed percentiles. When the metrics history is enabled, every
+//     finished sized job records its ns-per-scan-FF rate into the
+//     serve_job_cost_ns_per_ff histogram, and the predictor uses the
+//     p90 of that distribution over the history window — a queue-wait
+//     promise should reflect the observed spread, not the last sample,
+//     and under a bimodal job mix (cheap pure-mode jobs interleaved
+//     with SAT-heavy hybrid ones) an EWMA converges to a value that
+//     describes neither mode.
+//  2. EWMA ns-per-FF as cold-start fallback: seeded from a bench
+//     record (rsnsec.bench-record/v1 — the sum of per-stage median wall
+//     times over the benchmark's scan-FF count, median across
+//     benchmarks), then updated by every finished job.
+//  3. EWMA of whole-job durations, for jobs with unknown size (deltas).
 type costModel struct {
 	mu      sync.Mutex
+	alpha   float64 // EWMA weight on (0, 1]
 	nsPerFF float64 // EWMA ns per scan FF; 0 = unknown
 	jobNS   float64 // EWMA whole-job ns; 0 = unknown
+
+	costHist *obs.Histogram // serve_job_cost_ns_per_ff (nil until bindMetrics)
+	history  *series.Store  // windowed percentile source (nil = EWMA only)
+
+	// Windowed percentiles are memoized for one sampling interval: a
+	// load snapshot calls estimate once per queued job, and the window
+	// only changes when a sample lands.
+	q50, q90 float64
+	qAt      time.Time
 }
 
-// ewmaAlpha weights new observations: high enough to adapt within a
+// ewmaAlpha is the default EWMA weight: high enough to adapt within a
 // few jobs, low enough that one outlier does not whipsaw the signal.
 const ewmaAlpha = 0.3
 
-func newCostModel(rec *perfrec.Record) *costModel {
-	m := &costModel{}
+// costBounds are the serve_job_cost_ns_per_ff histogram's bucket upper
+// bounds — log-spaced over the plausible ns-per-scan-FF range (sub-µs
+// pure-mode propagation up to ~10ms/FF SAT-heavy attacks). Windowed
+// percentiles resolve to these bounds, so they are also the
+// granularity of the backlog prediction.
+var costBounds = []float64{1e2, 3e2, 1e3, 3e3, 1e4, 3e4, 1e5, 3e5, 1e6, 3e6, 1e7}
+
+func newCostModel(rec *perfrec.Record, alpha float64) *costModel {
+	m := &costModel{alpha: alpha}
+	if m.alpha <= 0 || m.alpha > 1 {
+		m.alpha = ewmaAlpha
+	}
 	if rec == nil {
 		return m
 	}
@@ -82,6 +116,26 @@ func newCostModel(rec *perfrec.Record) *costModel {
 	return m
 }
 
+// bindMetrics registers the per-job cost-rate histogram the windowed
+// percentiles are computed from.
+func (m *costModel) bindMetrics(reg *obs.Registry) {
+	if m == nil || reg == nil {
+		return
+	}
+	reg.SetHelp("serve_job_cost_ns_per_ff",
+		"Per-job analysis cost rate in nanoseconds per scan flip-flop; "+
+			"the windowed p90 drives the /v1/load backlog prediction.")
+	m.costHist = reg.Histogram("serve_job_cost_ns_per_ff", costBounds...)
+}
+
+// bindHistory attaches the series store the windowed percentiles read
+// from; without it the model is EWMA-only.
+func (m *costModel) bindHistory(st *series.Store) {
+	if m != nil {
+		m.history = st
+	}
+}
+
 // observe folds one finished job into the model.
 func (m *costModel) observe(scanFFs int, d time.Duration) {
 	if m == nil || d <= 0 {
@@ -93,24 +147,69 @@ func (m *costModel) observe(scanFFs int, d time.Duration) {
 		if cur == 0 {
 			return sample
 		}
-		return cur + ewmaAlpha*(sample-cur)
+		return cur + m.alpha*(sample-cur)
 	}
 	if scanFFs > 0 {
-		m.nsPerFF = blend(m.nsPerFF, float64(d)/float64(scanFFs))
+		rate := float64(d) / float64(scanFFs)
+		m.nsPerFF = blend(m.nsPerFF, rate)
+		if m.costHist != nil {
+			m.costHist.Observe(rate)
+		}
 	}
 	m.jobNS = blend(m.jobNS, float64(d))
 }
 
+// quantiles returns the windowed (p50, p90) ns-per-FF rates, memoized
+// for one sampling interval; ok is false while the window is empty
+// (history disabled, or no sized job finished inside the retention).
+func (m *costModel) quantiles() (p50, p90 float64, ok bool) {
+	if m == nil || m.history == nil {
+		return 0, 0, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.quantilesLocked(time.Now())
+}
+
+func (m *costModel) quantilesLocked(now time.Time) (p50, p90 float64, ok bool) {
+	if m.history == nil {
+		return 0, 0, false
+	}
+	if !m.qAt.IsZero() && now.Sub(m.qAt) >= 0 && now.Sub(m.qAt) < m.history.Interval() {
+		return m.q50, m.q90, m.q90 > 0
+	}
+	m.qAt = now
+	m.q50, m.q90 = 0, 0
+	d, found := m.history.FamilyHistogramWindow("serve_job_cost_ns_per_ff", m.history.Retention(), now)
+	if !found {
+		return 0, 0, false
+	}
+	p50, p90 = d.Quantile(0.5), d.Quantile(0.9)
+	if math.IsNaN(p50) || math.IsNaN(p90) || math.IsInf(p90, 0) {
+		return 0, 0, false
+	}
+	m.q50, m.q90 = p50, p90
+	return p50, p90, true
+}
+
 // estimate predicts a job's run time; 0 when the model knows nothing
-// yet.
+// yet. Sized jobs prefer the windowed p90 rate (conservative: the
+// backlog signal gates /readyz, and under-promising wait time is the
+// harmful direction), then the EWMA rate; sizeless jobs use the
+// whole-job EWMA.
 func (m *costModel) estimate(scanFFs int) time.Duration {
 	if m == nil {
 		return 0
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if scanFFs > 0 && m.nsPerFF > 0 {
-		return time.Duration(m.nsPerFF * float64(scanFFs))
+	if scanFFs > 0 {
+		if _, p90, ok := m.quantilesLocked(time.Now()); ok {
+			return time.Duration(p90 * float64(scanFFs))
+		}
+		if m.nsPerFF > 0 {
+			return time.Duration(m.nsPerFF * float64(scanFFs))
+		}
 	}
 	return time.Duration(m.jobNS)
 }
@@ -145,6 +244,9 @@ func (s *Server) loadStatus() LoadStatus {
 	if t := s.cfg.SaturationThreshold; t > 0 {
 		st.SaturationThresholdSeconds = t.Seconds()
 		st.Saturated = backlog >= t
+	}
+	if p50, p90, ok := s.cost.quantiles(); ok {
+		st.CostP50NSPerFF, st.CostP90NSPerFF = p50, p90
 	}
 	return st
 }

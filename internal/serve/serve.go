@@ -42,6 +42,8 @@ import (
 	"repro/internal/obs/flight"
 	"repro/internal/obs/olog"
 	"repro/internal/obs/perfrec"
+	"repro/internal/obs/series"
+	"repro/internal/obs/slo"
 )
 
 // Limits bounds and defaults the per-request protocol parameters.
@@ -122,6 +124,19 @@ type Config struct {
 	// SaturationThreshold flips /readyz to 503 "saturated" while the
 	// predicted backlog meets or exceeds it; 0 disables the gate.
 	SaturationThreshold time.Duration
+	// LoadEWMAAlpha overrides the cost model's EWMA weight; 0 uses the
+	// default (0.3), anything outside (0, 1] is rejected by New.
+	LoadEWMAAlpha float64
+	// History, when non-nil, enables the in-process metrics history: a
+	// bounded series store sampling the registry on History.Interval
+	// (served at /debug/metrics/history, feeding the SLO engine and the
+	// windowed cost percentiles). Nil disables it — unless SLO is set,
+	// which enables history with defaults sized to the objectives.
+	History *series.Config
+	// SLO, when non-nil, evaluates the objectives against the metrics
+	// history: /v1/slo serves the status document, slo_* gauges appear
+	// in /metrics, and gate_ready objectives couple to /readyz.
+	SLO *slo.Config
 }
 
 // limits resolves the configured bounds against the defaults.
@@ -166,6 +181,8 @@ type Server struct {
 	engLog  *slog.Logger
 	flight  *flight.Recorder
 	cost    *costModel
+	history *series.Store
+	sloEng  *slo.Engine
 
 	slowLog  *slowJobLog
 	slowJobs *obs.Counter
@@ -194,6 +211,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Registry == nil {
 		cfg.Registry = obs.NewRegistry()
 	}
+	if a := cfg.LoadEWMAAlpha; a < 0 || a > 1 {
+		return nil, fmt.Errorf("serve: load EWMA alpha %v outside (0, 1]", a)
+	}
 	var rec *flight.Recorder
 	if cfg.FlightEvents >= 0 {
 		rec = flight.New(cfg.FlightEvents)
@@ -220,7 +240,7 @@ func New(cfg Config) (*Server, error) {
 		httpLog:  olog.Component(base, "http"),
 		engLog:   olog.Component(base, "engine"),
 		flight:   rec,
-		cost:     newCostModel(cfg.LoadModel),
+		cost:     newCostModel(cfg.LoadModel, cfg.LoadEWMAAlpha),
 		sessions: make(map[string]*session),
 		// Engine stage counters aggregate across jobs on the server
 		// registry (engine_stage_*_total{stage=...}): per-job numbers
@@ -245,6 +265,28 @@ func New(cfg Config) (*Server, error) {
 		Flight:       rec,
 	}, cfg.Registry, s.dispatch)
 	s.registerLoadGauges()
+	s.cost.bindMetrics(cfg.Registry)
+	// SLO evaluation needs history; an SLO config without one enables
+	// the series store with defaults stretched to cover the slowest
+	// objective window.
+	histCfg := cfg.History
+	if histCfg == nil && cfg.SLO != nil {
+		histCfg = &series.Config{}
+		if w := cfg.SLO.MaxWindow(); w > histCfg.Retention {
+			histCfg.Retention = w
+		}
+	}
+	if histCfg != nil {
+		s.history = series.NewStore(cfg.Registry, *histCfg)
+		s.cost.bindHistory(s.history)
+	}
+	if cfg.SLO != nil {
+		eng, err := slo.NewEngine(cfg.SLO, s.history, cfg.Registry)
+		if err != nil {
+			return nil, err
+		}
+		s.sloEng = eng
+	}
 	s.httpSrv = &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -263,6 +305,9 @@ func (s *Server) Start() error {
 		return fmt.Errorf("serve: listen: %w", err)
 	}
 	s.ln = ln
+	if s.history != nil {
+		s.history.Start()
+	}
 	if s.tracer != nil {
 		s.root = s.tracer.Start(nil, "server", obs.Str("addr", ln.Addr().String()))
 	}
@@ -286,6 +331,13 @@ func (s *Server) Addr() string {
 // Registry returns the server's metrics registry.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
+// History returns the in-process series store (nil when disabled).
+// Tests tick it manually via Sample; the daemon samples in background.
+func (s *Server) History() *series.Store { return s.history }
+
+// SLOEngine returns the objectives engine (nil when no SLO config).
+func (s *Server) SLOEngine() *slo.Engine { return s.sloEng }
+
 // Shutdown drains gracefully: new submissions are refused immediately
 // (503), queued and running jobs are given until ctx's deadline to
 // finish, then any stragglers are canceled, and finally the HTTP
@@ -294,6 +346,9 @@ func (s *Server) Registry() *obs.Registry { return s.reg }
 // process exits.
 func (s *Server) Shutdown(ctx context.Context) error {
 	s.log.Info("rsnserved draining", "queued", s.sched.Queued(), "running", s.sched.Running())
+	if s.history != nil {
+		s.history.Stop()
+	}
 	s.sched.Drain(ctx)
 	err := s.httpSrv.Shutdown(ctx)
 	if s.root != nil {
